@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunZipfOnly(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-trace", "zipf", "-footprint", "4194304",
+		"-warmup", "5000", "-accesses", "20000",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "zipf miss curve:") {
+		t.Fatalf("miss curve missing:\n%s", s)
+	}
+	if !strings.Contains(s, "m0@40MB") {
+		t.Fatalf("fit table missing:\n%s", s)
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "fractal"}, &out); err == nil {
+		t.Fatal("unknown trace class accepted")
+	}
+}
+
+func TestRunBadFlagRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestMakeGenFactoryValidatesOnce(t *testing.T) {
+	// Invalid geometry must surface at factory construction, not inside
+	// the sweep's worker goroutines.
+	if _, err := makeGenFactory("uniform", 32, 64, 0.8, 1); err == nil {
+		t.Fatal("footprint below line accepted")
+	}
+	mk, err := makeGenFactory("sequential", 1<<20, 64, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := mk(); g == nil || g.Name() != "sequential" {
+		t.Fatal("factory returned wrong generator")
+	}
+}

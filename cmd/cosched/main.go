@@ -1,0 +1,215 @@
+// Command cosched computes a co-schedule for a set of applications on a
+// cache-partitioned platform and prints the resource assignment,
+// per-application finish times and (optionally) the Intel CAT way masks
+// realizing the cache partition.
+//
+// Usage:
+//
+//	cosched [flags]
+//	cosched -apps apps.json -heuristic DominantMinRatio -ways 20
+//
+// Without -apps the built-in NPB workload of the paper's Table 2 is used.
+// The JSON application format is an array of objects:
+//
+//	[{"name": "CG", "work": 5.7e10, "seq": 0.05, "freq": 0.535,
+//	  "missRate": 6.59e-4, "refCache": 4e7, "footprint": 0}, ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cat"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+type appJSON struct {
+	Name      string  `json:"name"`
+	Work      float64 `json:"work"`
+	Seq       float64 `json:"seq"`
+	Freq      float64 `json:"freq"`
+	MissRate  float64 `json:"missRate"`
+	RefCache  float64 `json:"refCache"`
+	Footprint float64 `json:"footprint"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cosched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cosched", flag.ContinueOnError)
+	var (
+		appsPath  = fs.String("apps", "", "JSON file of applications (default: built-in NPB Table 2)")
+		heuristic = fs.String("heuristic", "DominantMinRatio", "scheduling policy (see -list)")
+		list      = fs.Bool("list", false, "list available heuristics and exit")
+		procs     = fs.Float64("p", 256, "processor count")
+		cache     = fs.Float64("cache", 32000e6, "LLC size in bytes")
+		ls        = fs.Float64("ls", 0.17, "cache access latency")
+		ll        = fs.Float64("ll", 1, "cache miss (memory) latency")
+		alpha     = fs.Float64("alpha", 0.5, "power-law sensitivity exponent")
+		seq       = fs.Float64("seq", 0, "override sequential fraction for every application (0 keeps input values)")
+		ways      = fs.Int("ways", 0, "if > 0, also print Intel CAT way masks for that many LLC ways")
+		seed      = fs.Uint64("seed", 42, "seed for randomized heuristics")
+		simulate  = fs.Bool("sim", false, "cross-check with the discrete-event simulator")
+		gantt     = fs.Bool("gantt", false, "draw an ASCII Gantt chart of the execution")
+		jsonOut   = fs.String("json", "", "write the schedule as JSON to this file ('-' for stdout)")
+		integer   = fs.Bool("int", false, "also round to whole processors and report the cost")
+		local     = fs.Bool("localsearch", false, "refine with Amdahl-aware membership local search")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, h := range sched.ExtendedHeuristics {
+			fmt.Fprintln(out, h)
+		}
+		return nil
+	}
+
+	h, err := sched.ParseHeuristic(*heuristic)
+	if err != nil {
+		return err
+	}
+	pl := model.Platform{Processors: *procs, CacheSize: *cache, LatencyS: *ls, LatencyL: *ll, Alpha: *alpha}
+
+	apps, err := loadApps(*appsPath)
+	if err != nil {
+		return err
+	}
+	if *seq > 0 {
+		for i := range apps {
+			apps[i].SeqFraction = *seq
+		}
+	}
+
+	s, err := h.Schedule(pl, apps, solve.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	label := h.String()
+	if *local {
+		refined, err := sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, solve.NewRNG(*seed))
+		if err != nil {
+			return err
+		}
+		if refined.Makespan < s.Makespan {
+			fmt.Fprintf(out, "local search improved %s by %.2f%%\n", label, 100*(1-refined.Makespan/s.Makespan))
+			s, label = refined, label+"+LocalSearch"
+		} else {
+			fmt.Fprintf(out, "local search found no improvement over %s\n", label)
+		}
+	}
+
+	fmt.Fprintf(out, "heuristic: %v   platform: p=%g Cs=%.3g ls=%g ll=%g α=%g\n\n", label, pl.Processors, pl.CacheSize, pl.LatencyS, pl.LatencyL, pl.Alpha)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tprocessors\tcache share\tfinish time")
+	ft := s.FinishTimes(pl, apps)
+	for i, a := range apps {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.4f\t%.4g\n", a.Name, s.Assignments[i].Processors, s.Assignments[i].CacheShare, ft[i])
+	}
+	tw.Flush()
+	fmt.Fprintf(out, "\nmakespan: %.6g\n", s.Makespan)
+
+	if *ways > 0 {
+		shares := make([]float64, len(s.Assignments))
+		for i, a := range s.Assignments {
+			shares[i] = a.CacheShare
+		}
+		alloc, err := cat.Partition(shares, *ways)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nCAT realization on %d ways (max rounding error %.4f):\n", *ways, alloc.MaxError)
+		for i, a := range apps {
+			fmt.Fprintf(out, "  %-8s %s (%d ways)\n", a.Name, cat.FormatMask(alloc.Masks[i], *ways), alloc.WayCounts[i])
+		}
+	}
+
+	if *integer {
+		ri, err := sched.RoundProcessors(pl, apps, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwhole-processor realization (makespan ×%.4f):\n", ri.Degradation)
+		for i, a := range apps {
+			fmt.Fprintf(out, "  %-8s %4d procs\n", a.Name, ri.Processors[i])
+		}
+	}
+
+	if *simulate || *gantt {
+		res, err := sim.Execute(pl, apps, s, sim.Static)
+		if err != nil {
+			return err
+		}
+		if *simulate {
+			fmt.Fprintf(out, "\nDES cross-check: simulated makespan %.6g, utilization %.1f%%\n",
+				res.Makespan, 100*res.ProcessorTime/(pl.Processors*res.Makespan))
+		}
+		if *gantt {
+			fmt.Fprintln(out)
+			if err := sim.RenderGantt(out, pl, apps, s, res, 60); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		w := out
+		var closer io.Closer
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			w, closer = f, f
+		} else {
+			fmt.Fprintln(out)
+		}
+		if err := sched.WriteJSON(w, label, pl, apps, s); err != nil {
+			return err
+		}
+		if closer != nil {
+			if err := closer.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadApps reads the JSON fleet at path, or returns the built-in NPB
+// workload when path is empty.
+func loadApps(path string) ([]model.Application, error) {
+	if path == "" {
+		return workload.NPB(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in []appJSON
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	apps := make([]model.Application, 0, len(in))
+	for _, a := range in {
+		apps = append(apps, model.Application{
+			Name: a.Name, Work: a.Work, SeqFraction: a.Seq, AccessFreq: a.Freq,
+			RefMissRate: a.MissRate, RefCacheSize: a.RefCache, Footprint: a.Footprint,
+		})
+	}
+	return apps, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultNPB(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"DominantMinRatio", "makespan:", "CG", "FT"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DominantMinRatio", "AllProcCache", "SharedCache", "LocalSearch"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownHeuristic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-heuristic", "Bogus"}, &out); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestRunWaysAndInt(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "0.05", "-ways", "20", "-int"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "CAT realization on 20 ways") {
+		t.Fatalf("missing CAT section:\n%s", s)
+	}
+	if !strings.Contains(s, "whole-processor realization") {
+		t.Fatalf("missing integer section:\n%s", s)
+	}
+}
+
+func TestRunSimAndGantt(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "0.05", "-sim", "-gantt"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "DES cross-check") || !strings.Contains(s, "█") {
+		t.Fatalf("missing sim/gantt output:\n%s", s)
+	}
+}
+
+func TestRunLocalSearch(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "0.05", "-localsearch"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "local search") {
+		t.Fatal("local search message missing")
+	}
+}
+
+func TestRunJSONOutputAndCustomApps(t *testing.T) {
+	dir := t.TempDir()
+	appsPath := filepath.Join(dir, "apps.json")
+	fleet := `[
+		{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7},
+		{"name": "b", "work": 2e10, "seq": 0.02, "freq": 0.7, "missRate": 5e-3, "refCache": 4e7}
+	]`
+	if err := os.WriteFile(appsPath, []byte(fleet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "sched.json")
+	var out bytes.Buffer
+	if err := run([]string{"-apps", appsPath, "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"heuristic": "DominantMinRatio"`, `"app": "a"`, `"app": "b"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("schedule JSON missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+func TestRunJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "0.05", "-json", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"assignments"`) {
+		t.Fatal("JSON not written to stdout")
+	}
+}
+
+func TestRunBadAppsFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-apps", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-apps", bad}, &out); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's evaluation: Figures 1–18
+// and Tables 1–2 of Aupy et al., "Co-scheduling algorithms for
+// cache-partitioned systems".
+//
+// Usage:
+//
+//	experiments -fig 5            # regenerate Figure 5 (CSV + ASCII)
+//	experiments -all              # regenerate everything
+//	experiments -tables           # print Tables 1 and 2
+//	experiments -fig 3 -raw       # skip the paper's normalization
+//	experiments -reps 10 -out dir # fewer replicates, custom output dir
+//
+// Each figure is written to <out>/figN.csv with the raw summaries and
+// printed as an ASCII table (normalized as in the paper unless -raw).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig    = fs.Int("fig", 0, "figure number to regenerate (1-18)")
+		ext    = fs.Int("ext", 0, "extension experiment to run (1-5, studies beyond the paper)")
+		all    = fs.Bool("all", false, "regenerate every figure")
+		allExt = fs.Bool("all-ext", false, "run every extension experiment")
+		tables = fs.Bool("tables", false, "print Tables 1 and 2")
+		reps   = fs.Int("reps", 50, "replicates per configuration (paper: 50)")
+		seed   = fs.Uint64("seed", 0x5EED, "master seed")
+		out    = fs.String("out", "results", "output directory for CSV files")
+		raw    = fs.Bool("raw", false, "print raw makespans instead of the paper's normalization")
+		plot   = fs.Bool("plot", false, "also draw an ASCII plot per figure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *tables {
+		if err := experiments.WriteTable1(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := experiments.WriteTable2(stdout); err != nil {
+			return err
+		}
+	}
+
+	cfg := experiments.Config{Replicates: *reps, Seed: *seed}
+	type job struct {
+		n     int
+		isExt bool
+		reg   map[int]func(experiments.Config) (*experiments.Figure, error)
+	}
+	var jobs []job
+	switch {
+	case *all:
+		var ns []int
+		for n := range experiments.Registry {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		for _, n := range ns {
+			jobs = append(jobs, job{n, false, experiments.Registry})
+		}
+	case *fig != 0:
+		jobs = append(jobs, job{*fig, false, experiments.Registry})
+	}
+	switch {
+	case *allExt:
+		var ns []int
+		for n := range experiments.Extensions {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		for _, n := range ns {
+			jobs = append(jobs, job{n, true, experiments.Extensions})
+		}
+	case *ext != 0:
+		jobs = append(jobs, job{*ext, true, experiments.Extensions})
+	}
+	if len(jobs) == 0 {
+		if *tables {
+			return nil
+		}
+		return fmt.Errorf("nothing to do; pass -fig N, -ext N, -all, -all-ext or -tables")
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		n := j.n
+		drv, ok := j.reg[n]
+		if !ok {
+			return fmt.Errorf("unknown experiment %d", n)
+		}
+		start := time.Now()
+		f, err := drv(cfg)
+		if err != nil {
+			return err
+		}
+		csvPath := filepath.Join(*out, fmt.Sprintf("%s.csv", f.ID))
+		fh, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteCSV(fh); err != nil {
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+
+		display := f
+		if base := experiments.NormalizationBase(n); !j.isExt && base != "" && !*raw {
+			if display, err = f.Normalized(base); err != nil {
+				return err
+			}
+		}
+		if err := display.RenderTable(stdout); err != nil {
+			return err
+		}
+		if *plot {
+			if err := display.RenderASCIIPlot(stdout, 72, 20); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "wrote %s (%.1fs)\n\n", csvPath, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-tables"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "conjugate gradients", "FT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("tables missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "10", "-reps", "1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig10") {
+		t.Fatalf("figure header missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "series,x,mean") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestRunExtension(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-ext", "4", "-reps", "1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ext4.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "whole-processor") {
+		t.Fatalf("extension title missing:\n%s", out.String())
+	}
+}
+
+func TestRunRawAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "10", "-reps", "1", "-raw", "-plot", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|") {
+		t.Fatal("plot frame missing")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "99", "-out", dir}, &out); err == nil {
+		t.Fatal("figure 99 accepted")
+	}
+}

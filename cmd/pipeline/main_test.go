@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultFleet(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-maxdepth", "3", "-batches", "12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"pipelining depth:", "sustainable period:", "max backlog:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "sustainable:  true") {
+		t.Fatalf("default 5%% slack should be sustainable:\n%s", s)
+	}
+}
+
+func TestRunFixedDepthOverload(t *testing.T) {
+	var out bytes.Buffer
+	// Probe the sustainable period first, then simulate at 70% of it.
+	if err := run([]string{"-depth", "2", "-batches", "20", "-period", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "falls behind") {
+		t.Fatalf("absurdly short period should overload:\n%s", out.String())
+	}
+}
+
+func TestRunCustomFleet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	fleet := `[{"name": "x", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7}]`
+	if err := os.WriteFile(path, []byte(fleet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-apps", path, "-depth", "1", "-batches", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fleet: 1 analyses") {
+		t.Fatalf("custom fleet not loaded:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-heuristic", "Nope"}, &out); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if err := run([]string{"-apps", "/missing.json"}, &out); err == nil {
+		t.Fatal("missing fleet accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

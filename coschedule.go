@@ -1,0 +1,150 @@
+// Package repro is a Go implementation of the co-scheduling algorithms
+// for cache-partitioned systems of Aupy, Benoit, Pottier, Raghavan,
+// Robert and Shantharam (IPDPS 2017 / INRIA RR-8965).
+//
+// Given n parallel applications and a platform whose last-level cache can
+// be partitioned (à la Intel Cache Allocation Technology), the library
+// decides how many (rational) processors and which fraction of the cache
+// to give each application so that the makespan — the completion time of
+// the longest application, all starting together — is minimized.
+//
+// The root package is a facade re-exporting the user-facing pieces of the
+// internal packages:
+//
+//   - Platform and Application describe the hardware and the workload
+//     (Amdahl speedup + Power Law of Cache Misses cost model).
+//   - Heuristic enumerates the paper's ten scheduling policies; its
+//     Schedule method produces a complete assignment.
+//   - Schedule holds the resulting {(p_i, x_i)} with validation and
+//     per-application finish times.
+//
+// Quick start:
+//
+//	pl := repro.TaihuLight()
+//	apps := repro.NPB()
+//	s, err := repro.DominantMinRatio.Schedule(pl, apps, nil)
+//	if err != nil { ... }
+//	fmt.Println(s.Makespan)
+//
+// For the evaluation harness reproducing the paper's figures, see
+// cmd/experiments; for CAT way-mask realization of fractional shares, see
+// the CATPartition helper.
+package repro
+
+import (
+	"repro/internal/cat"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// Platform describes the multi-core machine; see model.Platform.
+type Platform = model.Platform
+
+// Application describes one co-scheduled job; see model.Application.
+type Application = model.Application
+
+// Assignment is one application's resource share; see sched.Assignment.
+type Assignment = sched.Assignment
+
+// Schedule is a complete co-schedule; see sched.Schedule.
+type Schedule = sched.Schedule
+
+// Heuristic enumerates the scheduling policies; see sched.Heuristic.
+type Heuristic = sched.Heuristic
+
+// The ten policies of the paper. DominantMinRatio is the reference
+// heuristic (best or tied-best in every experiment).
+const (
+	DominantRandom      = sched.DominantRandom
+	DominantMinRatio    = sched.DominantMinRatio
+	DominantMaxRatio    = sched.DominantMaxRatio
+	DominantRevRandom   = sched.DominantRevRandom
+	DominantRevMinRatio = sched.DominantRevMinRatio
+	DominantRevMaxRatio = sched.DominantRevMaxRatio
+	Fair                = sched.Fair
+	ZeroCache           = sched.ZeroCache
+	RandomPart          = sched.RandomPart
+	AllProcCache        = sched.AllProcCache
+)
+
+// Heuristics lists every policy in presentation order.
+var Heuristics = sched.Heuristics
+
+// ParseHeuristic resolves a heuristic name (as produced by its String
+// method).
+func ParseHeuristic(name string) (Heuristic, error) { return sched.ParseHeuristic(name) }
+
+// TaihuLight returns the paper's reference platform: 256 processors,
+// 32 GB shared LLC, ll = 1, ls = 0.17, α = 0.5.
+func TaihuLight() Platform { return model.TaihuLight() }
+
+// NPB returns the six NAS Parallel Benchmark applications of the paper's
+// Table 2.
+func NPB() []Application { return workload.NPB() }
+
+// NewRNG returns a deterministic random stream for the randomized
+// heuristics (DominantRandom, DominantRevRandom, RandomPart).
+func NewRNG(seed uint64) *solve.RNG { return solve.NewRNG(seed) }
+
+// ExactSchedule enumerates all cache partitions (n ≤ 24) and returns the
+// optimal schedule for perfectly parallel applications; a ground-truth
+// reference for validating heuristics on small instances.
+func ExactSchedule(pl Platform, apps []Application) (*Schedule, error) {
+	s, _, err := sched.ExactSubset(pl, apps)
+	return s, err
+}
+
+// CATAllocation is the way-level realization of fractional cache shares;
+// see cat.Allocation.
+type CATAllocation = cat.Allocation
+
+// CATPartition rounds a schedule's fractional cache shares onto `ways`
+// whole, contiguous LLC ways as Intel CAT requires.
+func CATPartition(s *Schedule, ways int) (*CATAllocation, error) {
+	shares := make([]float64, len(s.Assignments))
+	for i, a := range s.Assignments {
+		shares[i] = a.CacheShare
+	}
+	return cat.Partition(shares, ways)
+}
+
+// SimulationResult is the outcome of discrete-event execution; see
+// sim.Result.
+type SimulationResult = sim.Result
+
+// Simulate executes the schedule in the discrete-event engine with static
+// allocations and returns per-application finish times; it cross-checks
+// the analytic model.
+func Simulate(pl Platform, apps []Application, s *Schedule) (*SimulationResult, error) {
+	return sim.Execute(pl, apps, s, sim.Static)
+}
+
+// SimulateRedistribute executes the schedule, handing resources freed by
+// finished applications to the survivors — an extension quantifying the
+// headroom a static assignment leaves for unequal-finish schedules.
+func SimulateRedistribute(pl Platform, apps []Application, s *Schedule) (*SimulationResult, error) {
+	return sim.Execute(pl, apps, s, sim.Redistribute)
+}
+
+// LocalSearchSchedule is the speedup-profile-aware extension named in the
+// paper's conclusion: hill-climbing over cache-partition memberships
+// evaluated with the true Amdahl profiles, warm-started from
+// DominantMinRatio. Never worse than the warm start; strictly better on
+// workloads with heterogeneous sequential fractions and tight caches.
+func LocalSearchSchedule(pl Platform, apps []Application, rng *solve.RNG) (*Schedule, error) {
+	return sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, rng)
+}
+
+// IntegerSchedule realizes a rational schedule with whole processors; see
+// sched.IntegerSchedule.
+type IntegerSchedule = sched.IntegerSchedule
+
+// RoundProcessors converts a rational schedule to whole processors
+// (largest-remainder, every application keeps ≥ 1) and reports the
+// makespan degradation.
+func RoundProcessors(pl Platform, apps []Application, s *Schedule) (*IntegerSchedule, error) {
+	return sched.RoundProcessors(pl, apps, s)
+}

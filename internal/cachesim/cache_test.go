@@ -1,0 +1,314 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+	"repro/internal/trace"
+)
+
+func smallConfig() Config {
+	return Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 8} // 128 sets
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 8},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 8},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 8},  // line not power of two
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},  // no ways
+		{SizeBytes: 1024, LineBytes: 64, Ways: 16}, // lines % ways != 0 → sets=1, ok? 1024/64=16 lines, 16/16=1 set, power of two — valid!
+	}
+	for i, c := range cases[:4] {
+		if c.Validate() == nil {
+			t.Fatalf("case %d accepted invalid config", i)
+		}
+	}
+	if err := cases[4].Validate(); err != nil {
+		t.Fatalf("fully-associative config rejected: %v", err)
+	}
+	// Non power-of-two set count.
+	bad := Config{SizeBytes: 3 * 64 * 8, LineBytes: 64, Ways: 8} // 3 sets
+	if bad.Validate() == nil {
+		t.Fatal("3-set cache accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	if _, err := New(cfg, []int{-1}); err == nil {
+		t.Fatal("negative ways accepted")
+	}
+	if _, err := New(cfg, []int{5, 5}); err == nil {
+		t.Fatal("oversubscribed ways accepted")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c, err := New(smallConfig(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Access{Addr: 0x1000}
+	if c.Access(0, a) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0, a) {
+		t.Fatal("second access missed")
+	}
+	st := c.Stats(0)
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if mr := st.MissRate(); mr != 0.5 {
+		t.Fatalf("miss rate %v", mr)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 2-way cache, one set: size = 2 lines.
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 2}
+	c, err := New(cfg, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill both ways with A, B (same set, different tags).
+	A := trace.Access{Addr: 0}
+	B := trace.Access{Addr: 64 * 1} // with 1 set, every line maps to set 0
+	C := trace.Access{Addr: 64 * 2}
+	c.Access(0, A) // miss, fill
+	c.Access(0, B) // miss, fill
+	c.Access(0, A) // hit: A now MRU
+	c.Access(0, C) // miss: evicts B (LRU)
+	if !c.Access(0, A) {
+		t.Fatal("A should still be resident")
+	}
+	if c.Access(0, B) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestZeroWayPartitionAlwaysMisses(t *testing.T) {
+	c, err := New(smallConfig(), []int{8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Access{Addr: 0x40}
+	for i := 0; i < 5; i++ {
+		if c.Access(1, a) {
+			t.Fatal("zero-way partition produced a hit")
+		}
+	}
+	if st := c.Stats(1); st.Misses != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The architectural premise: with way partitioning, a co-runner cannot
+// change another partition's hit/miss outcome.
+func TestPartitionIsolation(t *testing.T) {
+	mkGen := func(seed uint64) trace.Generator {
+		g, err := trace.NewZipf(1<<15, 64, 0.9, solve.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	// Run partition 0 alone.
+	alone, err := New(smallConfig(), []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mkGen(1)
+	for i := 0; i < 20000; i++ {
+		alone.Access(0, g.Next())
+	}
+	// Run partition 0 with an antagonistic co-runner hammering away.
+	shared, err := New(smallConfig(), []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := mkGen(1)
+	antagonist := mkGen(999)
+	for i := 0; i < 20000; i++ {
+		shared.Access(0, g0.Next())
+		shared.Access(1, antagonist.Next())
+		shared.Access(1, antagonist.Next())
+	}
+	if alone.Stats(0) != shared.Stats(0) {
+		t.Fatalf("co-runner perturbed a partitioned workload: %+v vs %+v", alone.Stats(0), shared.Stats(0))
+	}
+}
+
+// Without partitioning (both streams share all ways), the co-runner DOES
+// interfere — the contrast that motivates CAT.
+func TestUnpartitionedInterference(t *testing.T) {
+	mk := func() (*Cache, error) { return New(smallConfig(), []int{8}) }
+	alone, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewZipf(1<<15, 64, 0.9, solve.NewRNG(1))
+	for i := 0; i < 20000; i++ {
+		alone.Access(0, g.Next())
+	}
+	shared, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, _ := trace.NewZipf(1<<15, 64, 0.9, solve.NewRNG(1))
+	ant, _ := trace.NewUniform(1<<20, 64, solve.NewRNG(999))
+	for i := 0; i < 20000; i++ {
+		shared.Access(0, g0.Next())
+		shared.Access(0, ant.Next()) // same partition: thrashes the shared ways
+	}
+	// The victim's own addresses now miss more. Compare the miss count
+	// attributable to the victim stream indirectly: total misses grew
+	// beyond the antagonist's own cold misses would explain.
+	if shared.Stats(0).Misses <= alone.Stats(0).Misses {
+		t.Fatal("expected interference in the unpartitioned cache")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, err := New(smallConfig(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, trace.Access{Addr: 0})
+	c.ResetStats()
+	if st := c.Stats(0); st.Accesses != 0 || st.Misses != 0 {
+		t.Fatalf("stats not cleared: %+v", st)
+	}
+	// Contents survive: the next access to the same line hits.
+	if !c.Access(0, trace.Access{Addr: 0}) {
+		t.Fatal("reset evicted cache contents")
+	}
+}
+
+func TestRunLengthMismatch(t *testing.T) {
+	c, err := New(smallConfig(), []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := trace.NewSequential(1024, 64)
+	if _, err := c.Run([]trace.Generator{g}, 10); err == nil {
+		t.Fatal("generator/partition mismatch accepted")
+	}
+}
+
+func TestMissRateMonotoneInCacheSize(t *testing.T) {
+	mkGen := func() trace.Generator {
+		g, err := trace.NewZipf(1<<20, 64, 0.8, solve.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	sizes := []uint64{16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	pts, err := Sweep(sizes, 64, 8, mkGen, 20000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MissRate > pts[i-1].MissRate+0.02 {
+			t.Fatalf("miss rate rose with cache size: %+v", pts)
+		}
+	}
+}
+
+func TestFitPowerLawRecoversSynthetic(t *testing.T) {
+	// Analytic points from a known law: m = 0.01 · (40e6/C)^0.5.
+	var pts []SweepPoint
+	for _, c := range []uint64{1e6, 2e6, 4e6, 8e6, 16e6, 32e6} {
+		m := 0.01 * math.Pow(40e6/float64(c), 0.5)
+		pts = append(pts, SweepPoint{CacheBytes: c, MissRate: m})
+	}
+	fit, err := FitPowerLaw(pts, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-0.5) > 1e-9 || math.Abs(fit.M0-0.01) > 1e-9 {
+		t.Fatalf("fit %+v, want α=0.5 m0=0.01", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("perfect data should give R²≈1, got %v", fit.R2)
+	}
+	if m := fit.MissRate(40e6); math.Abs(m-0.01) > 1e-9 {
+		t.Fatalf("fit.MissRate(C0) = %v", m)
+	}
+	if m := fit.MissRate(0); m != 1 {
+		t.Fatalf("fit.MissRate(0) = %v, want clamp to 1", m)
+	}
+}
+
+func TestFitPowerLawRejectsDegenerate(t *testing.T) {
+	if _, err := FitPowerLaw([]SweepPoint{{CacheBytes: 1e6, MissRate: 0.5}}, 40e6); err == nil {
+		t.Fatal("single point accepted")
+	}
+	pts := []SweepPoint{{CacheBytes: 1e6, MissRate: 1}, {CacheBytes: 2e6, MissRate: 1}}
+	if _, err := FitPowerLaw(pts, 40e6); err == nil {
+		t.Fatal("all-clamped points accepted")
+	}
+	same := []SweepPoint{{CacheBytes: 1e6, MissRate: 0.5}, {CacheBytes: 1e6, MissRate: 0.4}}
+	if _, err := FitPowerLaw(same, 40e6); err == nil {
+		t.Fatal("all-equal sizes accepted")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	mkGen := func() trace.Generator {
+		g, _ := trace.NewSequential(1024, 64)
+		return g
+	}
+	if _, err := Sweep([]uint64{1 << 16}, 64, 8, mkGen, 0, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+// Property: stats never report more misses than accesses, whatever the
+// access pattern.
+func TestStatsSanityProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		c, err := New(smallConfig(), []int{5, 3})
+		if err != nil {
+			return false
+		}
+		r := solve.NewRNG(seed)
+		for i := 0; i < int(n%2000)+1; i++ {
+			part := r.Intn(2)
+			c.Access(part, trace.Access{Addr: uint64(r.Intn(1 << 20))})
+		}
+		for p := 0; p < 2; p++ {
+			st := c.Stats(p)
+			if st.Misses > st.Accesses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWayRange(t *testing.T) {
+	c, err := New(smallConfig(), []int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := c.WayRange(0); lo != 0 || hi != 3 {
+		t.Fatalf("partition 0 ways [%d,%d)", lo, hi)
+	}
+	if lo, hi := c.WayRange(1); lo != 3 || hi != 8 {
+		t.Fatalf("partition 1 ways [%d,%d)", lo, hi)
+	}
+	if c.Partitions() != 2 {
+		t.Fatal("partition count")
+	}
+}

@@ -1,0 +1,124 @@
+package cachesim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/solve"
+	"repro/internal/trace"
+)
+
+// SweepPoint is one measurement of a cache-size sweep.
+type SweepPoint struct {
+	CacheBytes uint64
+	MissRate   float64
+}
+
+// Sweep measures the miss rate of the generator build (a fresh generator
+// per size, from mkGen) across the given cache sizes. Each run performs
+// warmup accesses that are discarded before measuring count accesses, so
+// cold-start misses do not pollute the steady-state curve.
+//
+// Sizes are simulated concurrently (each size gets its own cache and its
+// own generator from mkGen, so runs are independent); results are
+// returned in input order regardless of scheduling. mkGen must therefore
+// be safe for concurrent calls and each returned generator must be
+// independent — both hold for the internal/trace generators, which carry
+// their own RNG state.
+func Sweep(sizes []uint64, line uint64, ways int, mkGen func() trace.Generator, warmup, count int) ([]SweepPoint, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("cachesim: sweep needs count > 0, got %d", count)
+	}
+	pts := make([]SweepPoint, len(sizes))
+	errs := make([]error, len(sizes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for idx, size := range sizes {
+		wg.Add(1)
+		go func(idx int, size uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := Config{SizeBytes: size, LineBytes: line, Ways: ways}
+			c, err := New(cfg, []int{ways})
+			if err != nil {
+				errs[idx] = fmt.Errorf("cachesim: sweep at %d bytes: %w", size, err)
+				return
+			}
+			g := mkGen()
+			for i := 0; i < warmup; i++ {
+				c.Access(0, g.Next())
+			}
+			c.ResetStats()
+			for i := 0; i < count; i++ {
+				c.Access(0, g.Next())
+			}
+			pts[idx] = SweepPoint{CacheBytes: size, MissRate: c.Stats(0).MissRate()}
+		}(idx, size)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// PowerLawFit holds the fitted parameters of m(C) = M0 · (C0/C)^Alpha.
+type PowerLawFit struct {
+	M0    float64 // miss rate at the reference size C0
+	C0    float64 // reference cache size, bytes
+	Alpha float64 // sensitivity exponent
+	R2    float64 // coefficient of determination of the log-log fit
+}
+
+// MissRate evaluates the fitted law (with the Eq. 1 clamp) at cache size
+// c bytes.
+func (f PowerLawFit) MissRate(c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	return math.Min(1, f.M0*math.Pow(f.C0/c, f.Alpha))
+}
+
+// FitPowerLaw performs an ordinary least-squares fit of log(m) against
+// log(C) over the sweep points with 0 < m < 1 (clamped points carry no
+// slope information), returning the power law anchored at refSize.
+// At least two usable points are required.
+func FitPowerLaw(pts []SweepPoint, refSize float64) (PowerLawFit, error) {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.MissRate > 0 && p.MissRate < 1 {
+			xs = append(xs, math.Log(float64(p.CacheBytes)))
+			ys = append(ys, math.Log(p.MissRate))
+		}
+	}
+	if len(xs) < 2 {
+		return PowerLawFit{}, fmt.Errorf("cachesim: power-law fit needs >= 2 unclamped points, have %d", len(xs))
+	}
+	n := float64(len(xs))
+	mx := solve.Sum(xs) / n
+	my := solve.Sum(ys) / n
+	var sxx, sxy, syy solve.Kahan
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx.Add(dx * dx)
+		sxy.Add(dx * dy)
+		syy.Add(dy * dy)
+	}
+	if sxx.Sum() == 0 {
+		return PowerLawFit{}, fmt.Errorf("cachesim: degenerate sweep (all sizes equal)")
+	}
+	slope := sxy.Sum() / sxx.Sum() // log m = slope · log C + b, slope = -α
+	b := my - slope*mx
+	alpha := -slope
+	m0 := math.Exp(b + slope*math.Log(refSize))
+	r2 := 0.0
+	if syy.Sum() > 0 {
+		r2 = sxy.Sum() * sxy.Sum() / (sxx.Sum() * syy.Sum())
+	}
+	return PowerLawFit{M0: m0, C0: refSize, Alpha: alpha, R2: r2}, nil
+}

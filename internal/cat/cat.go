@@ -1,0 +1,219 @@
+// Package cat models Intel Cache Allocation Technology way-mask
+// allocation: converting the ideal fractional cache shares produced by
+// the co-scheduler into the contiguous capacity bitmasks real hardware
+// accepts.
+//
+// CAT constraints (Intel SDM vol. 3B): each class of service holds a
+// bitmask over the LLC's ways; the mask must be non-empty and its set
+// bits contiguous. This package rounds fractional shares to whole ways
+// with a largest-remainder scheme, lays the allocations out contiguously
+// and reports the rounding error so callers can quantify the fidelity
+// loss versus the ideal fractional partition.
+package cat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Allocation is the way-level realization of a fractional cache
+// partitioning.
+type Allocation struct {
+	Ways int // total ways in the LLC
+	// WayCounts[i] is the number of ways granted to application i
+	// (zero for applications outside the cache partition).
+	WayCounts []int
+	// Masks[i] is the contiguous CAT capacity bitmask of application i
+	// (bit w set = way w owned); zero for applications with no ways.
+	Masks []uint64
+	// Fractions[i] is the realized fraction WayCounts[i]/Ways.
+	Fractions []float64
+	// MaxError is the largest |realized - requested| fraction across
+	// applications.
+	MaxError float64
+}
+
+// Partition rounds the requested fractional shares (each in [0, 1],
+// summing to at most 1) onto ways whole cache ways. Shares are rounded
+// with the largest-remainder method under two CAT-motivated rules: an
+// application with a positive share never rounds to zero ways (a CAT
+// mask must be non-empty, and a zero-way grant silently degrades to
+// no-cache, defeating the partition chosen by the scheduler), and the
+// total never exceeds ways.
+//
+// ways must be at most 64 so masks fit one uint64 (real CAT masks are at
+// most 32 bits wide).
+func Partition(shares []float64, ways int) (*Allocation, error) {
+	if ways <= 0 || ways > 64 {
+		return nil, fmt.Errorf("cat: way count %d outside [1, 64]", ways)
+	}
+	var sum float64
+	nonzero := 0
+	for i, s := range shares {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			return nil, fmt.Errorf("cat: share %d is %v, outside [0,1]", i, s)
+		}
+		if s > 0 {
+			nonzero++
+		}
+		sum += s
+	}
+	if sum > 1+1e-9 {
+		return nil, fmt.Errorf("cat: shares sum to %v > 1", sum)
+	}
+	if nonzero > ways {
+		return nil, fmt.Errorf("cat: %d applications need ways but only %d ways exist", nonzero, ways)
+	}
+
+	n := len(shares)
+	counts := make([]int, n)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	rems := make([]frac, 0, n)
+	used := 0
+	for i, s := range shares {
+		if s == 0 {
+			continue
+		}
+		ideal := s * float64(ways)
+		w := int(math.Floor(ideal))
+		if w == 0 {
+			w = 1 // CAT masks cannot be empty
+		}
+		counts[i] = w
+		used += w
+		rems = append(rems, frac{idx: i, rem: ideal - math.Floor(ideal)})
+	}
+	if used > ways {
+		// Forced minimum grants overshot the budget: reclaim from the
+		// largest allocations first (they lose the least relative).
+		order := make([]int, 0, n)
+		for i := range counts {
+			if counts[i] > 1 {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+		for used > ways && len(order) > 0 {
+			for _, i := range order {
+				if used == ways {
+					break
+				}
+				if counts[i] > 1 {
+					counts[i]--
+					used--
+				}
+			}
+			// Re-filter in case every count reached 1.
+			filtered := order[:0]
+			for _, i := range order {
+				if counts[i] > 1 {
+					filtered = append(filtered, i)
+				}
+			}
+			order = filtered
+		}
+		if used > ways {
+			return nil, fmt.Errorf("cat: cannot fit %d mandatory ways into %d", used, ways)
+		}
+	} else {
+		// Distribute leftover ways by largest remainder.
+		sort.Slice(rems, func(a, b int) bool {
+			if rems[a].rem != rems[b].rem {
+				return rems[a].rem > rems[b].rem
+			}
+			return rems[a].idx < rems[b].idx // deterministic ties
+		})
+		spare := ways - used
+		// Only hand out as many spare ways as requested overall; if the
+		// shares sum below 1 the remainder stays unallocated, mirroring
+		// the scheduler's decision to leave cache idle.
+		idealTotal := int(math.Round(sum * float64(ways)))
+		grant := idealTotal - used
+		if grant > spare {
+			grant = spare
+		}
+		for k := 0; k < grant; k++ {
+			counts[rems[k%len(rems)].idx]++
+		}
+	}
+
+	alloc := &Allocation{
+		Ways:      ways,
+		WayCounts: counts,
+		Masks:     make([]uint64, n),
+		Fractions: make([]float64, n),
+	}
+	cursor := 0
+	for i, w := range counts {
+		if w == 0 {
+			continue
+		}
+		mask := (uint64(1)<<uint(w) - 1) << uint(cursor)
+		alloc.Masks[i] = mask
+		cursor += w
+		alloc.Fractions[i] = float64(w) / float64(ways)
+		if e := math.Abs(alloc.Fractions[i] - shares[i]); e > alloc.MaxError {
+			alloc.MaxError = e
+		}
+	}
+	for i, s := range shares {
+		if counts[i] == 0 {
+			if e := math.Abs(s); e > alloc.MaxError {
+				alloc.MaxError = e
+			}
+		}
+	}
+	return alloc, nil
+}
+
+// Contiguous reports whether mask's set bits form one contiguous run
+// (the CAT validity rule). The empty mask is not contiguous.
+func Contiguous(mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	// Strip trailing zeros, then the run of ones; valid iff nothing
+	// remains.
+	m := mask >> trailingZeros(mask)
+	return m&(m+1) == 0
+}
+
+func trailingZeros(x uint64) uint {
+	var n uint
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Overlap reports whether any two masks share a way.
+func Overlap(masks []uint64) bool {
+	var seen uint64
+	for _, m := range masks {
+		if seen&m != 0 {
+			return true
+		}
+		seen |= m
+	}
+	return false
+}
+
+// FormatMask renders a CAT mask as a binary string of width ways,
+// most-significant way first, e.g. "00001111110000000000" for ways 4–9 of
+// a 20-way LLC.
+func FormatMask(mask uint64, ways int) string {
+	b := make([]byte, ways)
+	for i := 0; i < ways; i++ {
+		if mask&(1<<uint(ways-1-i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

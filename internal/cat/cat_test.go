@@ -1,0 +1,228 @@
+package cat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Partition([]float64{0.5}, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	if _, err := Partition([]float64{0.5}, 65); err == nil {
+		t.Fatal("65 ways accepted")
+	}
+	if _, err := Partition([]float64{-0.1}, 8); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, err := Partition([]float64{0.6, 0.6}, 8); err == nil {
+		t.Fatal("shares summing above 1 accepted")
+	}
+	if _, err := Partition([]float64{0.2, 0.2, 0.2}, 2); err == nil {
+		t.Fatal("more nonzero apps than ways accepted")
+	}
+	if _, err := Partition([]float64{math.NaN()}, 8); err == nil {
+		t.Fatal("NaN share accepted")
+	}
+}
+
+func TestPartitionExactQuarters(t *testing.T) {
+	alloc, err := Partition([]float64{0.25, 0.25, 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 4}
+	for i, w := range want {
+		if alloc.WayCounts[i] != w {
+			t.Fatalf("counts %v, want %v", alloc.WayCounts, want)
+		}
+	}
+	if alloc.MaxError > 1e-12 {
+		t.Fatalf("exact shares should have zero error, got %v", alloc.MaxError)
+	}
+}
+
+func TestPartitionZeroShareGetsNothing(t *testing.T) {
+	alloc, err := Partition([]float64{0.5, 0, 0.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.WayCounts[1] != 0 || alloc.Masks[1] != 0 {
+		t.Fatal("zero share received ways")
+	}
+}
+
+func TestPartitionTinyShareGetsOneWay(t *testing.T) {
+	alloc, err := Partition([]float64{0.01, 0.99}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.WayCounts[0] < 1 {
+		t.Fatal("positive share rounded to zero ways (CAT masks cannot be empty)")
+	}
+}
+
+func TestPartitionMasksContiguousAndDisjoint(t *testing.T) {
+	alloc, err := Partition([]float64{0.3, 0.2, 0.1, 0.4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range alloc.Masks {
+		if alloc.WayCounts[i] > 0 && !Contiguous(m) {
+			t.Fatalf("mask %d not contiguous: %b", i, m)
+		}
+	}
+	if Overlap(alloc.Masks) {
+		t.Fatal("masks overlap")
+	}
+	total := 0
+	for _, w := range alloc.WayCounts {
+		total += w
+	}
+	if total > 20 {
+		t.Fatalf("allocated %d of 20 ways", total)
+	}
+}
+
+func TestPartitionUnderSubscribedLeavesWaysIdle(t *testing.T) {
+	// Shares sum to 0.5: roughly half the ways stay unallocated.
+	alloc, err := Partition([]float64{0.25, 0.25}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := alloc.WayCounts[0] + alloc.WayCounts[1]
+	if total < 7 || total > 9 {
+		t.Fatalf("half-subscribed shares got %d of 16 ways", total)
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	cases := []struct {
+		mask uint64
+		want bool
+	}{
+		{0, false},
+		{0b1, true},
+		{0b1110, true},
+		{0b1010, false},
+		{0b11110000, true},
+		{0b10010000, false},
+		{^uint64(0), true},
+	}
+	for _, c := range cases {
+		if Contiguous(c.mask) != c.want {
+			t.Fatalf("Contiguous(%b) != %v", c.mask, c.want)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if Overlap([]uint64{0b11, 0b1100}) {
+		t.Fatal("disjoint masks flagged")
+	}
+	if !Overlap([]uint64{0b11, 0b0110}) {
+		t.Fatal("overlapping masks missed")
+	}
+	if Overlap(nil) {
+		t.Fatal("empty set flagged")
+	}
+}
+
+func TestFormatMask(t *testing.T) {
+	if s := FormatMask(0b0110, 4); s != "0110" {
+		t.Fatalf("FormatMask = %q", s)
+	}
+	if s := FormatMask(0b1, 8); s != "00000001" {
+		t.Fatalf("FormatMask = %q", s)
+	}
+}
+
+// Property: any feasible share vector yields a valid CAT allocation —
+// contiguous disjoint masks, no budget overrun, every positive share
+// granted at least one way, and fractions consistent with counts.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed uint64, waysPick, nPick uint8) bool {
+		ways := 4 + int(waysPick)%29 // 4..32
+		r := solve.NewRNG(seed)
+		maxN := 8
+		if ways < maxN {
+			maxN = ways
+		}
+		n := 1 + int(nPick)%maxN
+		// Random shares scaled to sum to at most 1.
+		shares := make([]float64, n)
+		var sum float64
+		for i := range shares {
+			shares[i] = r.Float64()
+			sum += shares[i]
+		}
+		scale := r.Float64() / math.Max(sum, 1e-9)
+		for i := range shares {
+			shares[i] *= scale
+		}
+		alloc, err := Partition(shares, ways)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, w := range alloc.WayCounts {
+			total += w
+			if shares[i] > 0 && w == 0 {
+				return false
+			}
+			if w > 0 && !Contiguous(alloc.Masks[i]) {
+				return false
+			}
+			if alloc.Fractions[i] != float64(w)/float64(ways) {
+				return false
+			}
+		}
+		if total > ways {
+			return false
+		}
+		return !Overlap(alloc.Masks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionFullSubscriptionManyApps(t *testing.T) {
+	// 8 apps on 8 ways, each 1/8: everyone gets exactly one way.
+	shares := make([]float64, 8)
+	for i := range shares {
+		shares[i] = 0.125
+	}
+	alloc, err := Partition(shares, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range alloc.WayCounts {
+		if w != 1 {
+			t.Fatalf("app %d got %d ways", i, w)
+		}
+	}
+}
+
+func TestPartitionForcedMinimumReclaim(t *testing.T) {
+	// 4 apps with tiny shares + 1 big one on 4 ways: the forced 1-way
+	// minimums exceed the budget unless reclaimed from the big one.
+	shares := []float64{0.02, 0.02, 0.02, 0.94}
+	alloc, err := Partition(shares, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range alloc.WayCounts {
+		total += w
+		if w < 1 {
+			t.Fatal("positive share starved")
+		}
+	}
+	if total != 4 {
+		t.Fatalf("total %d, want 4", total)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Choice selects the next application to move across the partition
+// boundary. Both greedy builders call it with the set of candidate
+// indices (never empty); it must return one of them.
+type Choice func(p *Partition, candidates []int) int
+
+// ChooseRandom picks a candidate uniformly at random using rng.
+// It matches the paper's Random policy.
+func ChooseRandom(rng *solve.RNG) Choice {
+	return func(_ *Partition, candidates []int) int {
+		return candidates[rng.Intn(len(candidates))]
+	}
+}
+
+// ChooseMinRatio picks the candidate with the smallest dominance ratio
+// r_i, the paper's MinRatio policy. Ties break on the lowest index so the
+// deterministic policies are fully reproducible.
+func ChooseMinRatio(p *Partition, candidates []int) int {
+	best := candidates[0]
+	for _, i := range candidates[1:] {
+		if p.Ratio(i) < p.Ratio(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// ChooseMaxRatio picks the candidate with the largest dominance ratio
+// r_i, the paper's MaxRatio policy. Ties break on the lowest index.
+func ChooseMaxRatio(p *Partition, candidates []int) int {
+	best := candidates[0]
+	for _, i := range candidates[1:] {
+		if p.Ratio(i) > p.Ratio(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dominant is Algorithm 1: start with IC = I and, while any member
+// violates the dominance condition, evict an application chosen by
+// choice from the whole of IC (the paper's choice(IC) ranges over every
+// member, not only violators — this is exactly why the MaxRatio policy
+// performs poorly here: it evicts the best-suited applications first).
+// The returned partition is always dominant.
+func Dominant(pl model.Platform, apps []model.Application, choice Choice) (*Partition, error) {
+	p, err := NewPartition(pl, apps, nil)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]int, 0, len(apps))
+	for {
+		if len(p.Violators()) == 0 {
+			return p, nil
+		}
+		members = members[:0]
+		for i := 0; i < p.Len(); i++ {
+			if p.InCache(i) {
+				members = append(members, i)
+			}
+		}
+		k := choice(p, members)
+		p.Remove(k)
+		if p.CacheSetSize() == 0 {
+			return p, nil
+		}
+	}
+}
+
+// DominantRev is Algorithm 2: start with IC = ∅ and greedily admit
+// applications chosen by choice for as long as the partition stays
+// dominant. The returned partition is always dominant.
+func DominantRev(pl model.Platform, apps []model.Application, choice Choice) (*Partition, error) {
+	p, err := NewPartition(pl, apps, make([]bool, len(apps)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(apps))
+	refreshOut := func() {
+		out = out[:0]
+		for i := 0; i < p.Len(); i++ {
+			if !p.InCache(i) {
+				out = append(out, i)
+			}
+		}
+	}
+	for {
+		refreshOut()
+		if len(out) == 0 {
+			return p, nil
+		}
+		k := choice(p, out)
+		if !p.WouldRemainDominant(k) {
+			return p, nil
+		}
+		p.Add(k)
+	}
+}
+
+// ImproveNonDominant applies one step of Theorem 2's constructive
+// improvement: given a non-dominant partition, pick a violating member
+// i0, move its (extended-solution) share to another member i1 and evict
+// i0 from IC. It reports whether a step was applied (false when the
+// partition was already dominant). Repeatedly calling it converges to a
+// dominant partition in at most |IC| steps because each step strictly
+// shrinks IC.
+func ImproveNonDominant(p *Partition) bool {
+	v := p.Violators()
+	if len(v) == 0 {
+		return false
+	}
+	i0 := v[0]
+	// Theorem 2 shows an i1 ∈ IC \ {i0} always exists for a valid
+	// non-dominant partition; the proof only needs i0's share handed to
+	// any other member, which the closed-form Shares() re-derivation
+	// after eviction subsumes.
+	p.Remove(i0)
+	return true
+}
+
+// BuildDominant converts a named policy into a partition. The six
+// variants of the paper are the cross product {Dominant, DominantRev} ×
+// {Random, MinRatio, MaxRatio}.
+func BuildDominant(pl model.Platform, apps []model.Application, reverse bool, choice Choice) (*Partition, error) {
+	if reverse {
+		return DominantRev(pl, apps, choice)
+	}
+	return Dominant(pl, apps, choice)
+}
+
+// CheckDominantInvariant returns an error describing the first violation
+// of Definition 4, for use in tests and in the simulator's cross-checks.
+func CheckDominantInvariant(p *Partition) error {
+	for _, i := range p.Violators() {
+		return fmt.Errorf("core: application %d violates dominance: ratio %g ≤ weight sum %g",
+			i, p.Ratio(i), p.WeightSum())
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: the theory of
+// dominant partitions for the CoSchedCache problem (Aupy et al., RR-8965,
+// Section 4).
+//
+// For perfectly parallel applications the problem reduces (Lemma 3) to
+// choosing the subset IC of applications that receive a cache share; once
+// IC is fixed, Lemma 4 gives the optimal shares in closed form:
+//
+//	x_i = (w_i f_i d_i)^{1/(α+1)} / Σ_{j∈IC} (w_j f_j d_j)^{1/(α+1)}
+//
+// A partition is *dominant* (Definition 4) when every allotted share
+// strictly exceeds the application's useless-threshold d_i^{1/α}; Theorem
+// 2 shows non-dominant partitions are improvable in polynomial time and
+// Theorem 3 that on dominant partitions the closed form is optimal. This
+// package provides the partition type, the closed-form share computation
+// and the two greedy builders Dominant (Algorithm 1) and DominantRev
+// (Algorithm 2) with the three choice policies Random / MinRatio /
+// MaxRatio.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Partition is a split of the application set into IC (receives cache)
+// and its complement (no cache). It caches the per-application dominance
+// weights and ratios so membership tests and share computation are O(1)
+// and O(n) respectively.
+type Partition struct {
+	pl      model.Platform
+	apps    []model.Application
+	inCache []bool    // inCache[i] == true iff i ∈ IC
+	weight  []float64 // (w_i f_i d_i)^{1/(α+1)}
+	ratio   []float64 // r_i = weight[i] / d_i^{1/α}
+	thresh  []float64 // d_i^{1/α}
+	sum     float64   // Σ_{j∈IC} weight[j], maintained incrementally
+	size    int       // |IC|
+}
+
+// NewPartition builds a partition over apps with the given initial
+// membership. If members is nil, all applications start in IC.
+func NewPartition(pl model.Platform, apps []model.Application, members []bool) (*Partition, error) {
+	if err := model.ValidateAll(pl, apps); err != nil {
+		return nil, err
+	}
+	if members != nil && len(members) != len(apps) {
+		return nil, fmt.Errorf("core: members length %d does not match %d applications", len(members), len(apps))
+	}
+	p := &Partition{
+		pl:      pl,
+		apps:    apps,
+		inCache: make([]bool, len(apps)),
+		weight:  make([]float64, len(apps)),
+		ratio:   make([]float64, len(apps)),
+		thresh:  make([]float64, len(apps)),
+	}
+	var sum solve.Kahan
+	for i, a := range apps {
+		p.weight[i] = a.DominanceWeight(pl)
+		p.thresh[i] = a.MinUsefulFraction(pl)
+		if p.thresh[i] > 0 {
+			p.ratio[i] = p.weight[i] / p.thresh[i]
+		} else {
+			// d_i = 0: the application never misses even without cache;
+			// its share is never wasted, so it can always stay in IC.
+			p.ratio[i] = math.Inf(1)
+		}
+		in := members == nil || members[i]
+		p.inCache[i] = in
+		if in {
+			sum.Add(p.weight[i])
+			p.size++
+		}
+	}
+	p.sum = sum.Sum()
+	return p, nil
+}
+
+// Len returns the number of applications (both sides of the partition).
+func (p *Partition) Len() int { return len(p.apps) }
+
+// CacheSetSize returns |IC|.
+func (p *Partition) CacheSetSize() int { return p.size }
+
+// InCache reports whether application i is in IC.
+func (p *Partition) InCache(i int) bool { return p.inCache[i] }
+
+// WeightSum returns Σ_{j∈IC} (w_j f_j d_j)^{1/(α+1)}.
+func (p *Partition) WeightSum() float64 { return p.sum }
+
+// Weight returns (w_i f_i d_i)^{1/(α+1)} for application i.
+func (p *Partition) Weight(i int) float64 { return p.weight[i] }
+
+// Ratio returns the dominance ratio r_i of application i.
+func (p *Partition) Ratio(i int) float64 { return p.ratio[i] }
+
+// Threshold returns d_i^{1/α} for application i.
+func (p *Partition) Threshold(i int) float64 { return p.thresh[i] }
+
+// Add moves application i into IC. It is a no-op if already present.
+func (p *Partition) Add(i int) {
+	if !p.inCache[i] {
+		p.inCache[i] = true
+		p.sum += p.weight[i]
+		p.size++
+	}
+}
+
+// Remove moves application i out of IC. It is a no-op if already absent.
+func (p *Partition) Remove(i int) {
+	if p.inCache[i] {
+		p.inCache[i] = false
+		p.sum -= p.weight[i]
+		p.size--
+		if p.size == 0 {
+			p.sum = 0 // clear accumulated rounding error
+		}
+	}
+}
+
+// Members returns a fresh copy of the membership vector.
+func (p *Partition) Members() []bool {
+	m := make([]bool, len(p.inCache))
+	copy(m, p.inCache)
+	return m
+}
+
+// Violators returns the indices i ∈ IC whose dominance condition fails,
+// i.e. r_i ≤ Σ_{j∈IC} weight_j (Definition 4 requires strict >).
+func (p *Partition) Violators() []int {
+	var v []int
+	for i := range p.apps {
+		if p.inCache[i] && p.ratio[i] <= p.sum {
+			v = append(v, i)
+		}
+	}
+	return v
+}
+
+// Dominant reports whether the partition satisfies Definition 4: for all
+// i ∈ IC, r_i > Σ_{j∈IC} weight_j. The empty IC is vacuously dominant.
+func (p *Partition) Dominant() bool {
+	for i := range p.apps {
+		if p.inCache[i] && p.ratio[i] <= p.sum {
+			return false
+		}
+	}
+	return true
+}
+
+// WouldRemainDominant reports whether adding application i to IC keeps
+// every member's dominance condition satisfied (the loop guard of
+// Algorithm 2).
+func (p *Partition) WouldRemainDominant(add int) bool {
+	sum := p.sum
+	if !p.inCache[add] {
+		sum += p.weight[add]
+	}
+	if p.ratio[add] <= sum {
+		return false
+	}
+	for i := range p.apps {
+		if (p.inCache[i] && i != add) && p.ratio[i] <= sum {
+			return false
+		}
+	}
+	return true
+}
+
+// Shares returns the optimal cache shares for the current partition
+// according to Lemma 4 / Theorem 3: x_i = weight_i / Σ weights for
+// i ∈ IC, x_i = 0 otherwise. When IC is empty it returns all zeros.
+func (p *Partition) Shares() []float64 {
+	x := make([]float64, len(p.apps))
+	if p.size == 0 || p.sum == 0 {
+		return x
+	}
+	for i := range p.apps {
+		if p.inCache[i] {
+			x[i] = p.weight[i] / p.sum
+		}
+	}
+	return x
+}
+
+// SeqTimeTotal returns Σ_i Exe_i(1, x_i) for the partition's optimal
+// shares — by Lemma 3, dividing by p gives the optimal makespan for
+// perfectly parallel applications under this partition.
+func (p *Partition) SeqTimeTotal() float64 {
+	x := p.Shares()
+	var k solve.Kahan
+	for i, a := range p.apps {
+		k.Add(a.ExeSeq(p.pl, x[i]))
+	}
+	return k.Sum()
+}
+
+// Makespan returns the analytic makespan SeqTimeTotal()/p for perfectly
+// parallel applications (Lemma 3). For general Amdahl applications use
+// package sched, which equalizes completion times by binary search.
+func (p *Partition) Makespan() float64 {
+	return p.SeqTimeTotal() / p.pl.Processors
+}

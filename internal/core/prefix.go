@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// The dominance condition compares each member's ratio r_i against the
+// member weight sum, so low-ratio applications are always the first to
+// violate: if a partition containing application i is dominant, the
+// partition obtained by swapping i for any application with a larger
+// ratio has a chance to be dominant too, while the converse does not
+// hold. This suggests that among memberships of a given size, the one
+// keeping the LARGEST-ratio applications is the natural candidate — and
+// there are only n+1 such prefix sets. BestRatioPrefix scans them all.
+
+// BestRatioPrefix returns the best partition among the n+1 prefixes of
+// the ratio-sorted order (keep the top-k applications by dominance ratio,
+// k = 0…n), evaluated by the closed-form perfectly-parallel makespan
+// (Lemma 3 / Lemma 4). Only dominant prefixes are considered, so the
+// result always satisfies Definition 4; the empty prefix is vacuously
+// dominant, guaranteeing a result. The scan is O(n²) overall (O(n) per
+// prefix evaluation after sorting).
+func BestRatioPrefix(pl model.Platform, apps []model.Application) (*Partition, error) {
+	probe, err := NewPartition(pl, apps, nil)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return probe.Ratio(order[a]) > probe.Ratio(order[b])
+	})
+
+	// Start from the empty membership and admit in decreasing-ratio
+	// order, tracking the best dominant prefix seen.
+	cur, err := NewPartition(pl, apps, make([]bool, len(apps)))
+	if err != nil {
+		return nil, err
+	}
+	bestMembers := cur.Members()
+	bestK := cur.Makespan()
+	for _, idx := range order {
+		cur.Add(idx)
+		if !cur.Dominant() {
+			// Larger prefixes only increase the weight sum, so once a
+			// member violates, every superset prefix violates too: the
+			// member ratios are fixed and the sum grows monotonically.
+			break
+		}
+		if k := cur.Makespan(); k < bestK {
+			bestK = k
+			bestMembers = cur.Members()
+		}
+	}
+	return NewPartition(pl, apps, bestMembers)
+}

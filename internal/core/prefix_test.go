@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+func TestBestRatioPrefixDominant(t *testing.T) {
+	pl := refPlatform()
+	pl.CacheSize = 1e8
+	for seed := uint64(0); seed < 15; seed++ {
+		apps := randomApps(seed, 24)
+		for i := range apps {
+			apps[i].RefMissRate = 0.4
+		}
+		p, err := BestRatioPrefix(pl, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Dominant() {
+			t.Fatalf("seed %d: prefix result not dominant", seed)
+		}
+	}
+}
+
+func TestBestRatioPrefixNeverWorseThanGreedy(t *testing.T) {
+	// The prefix scan evaluates every dominant prefix, so it is never
+	// worse (in closed-form makespan) than Dominant/MinRatio, whose
+	// result is one of those prefixes... up to eviction-order nuances;
+	// assert it is at least as good as the larger of the two greedy
+	// variants' makespans.
+	pl := refPlatform()
+	pl.CacheSize = 1e8
+	for seed := uint64(0); seed < 15; seed++ {
+		apps := randomApps(seed, 24)
+		for i := range apps {
+			apps[i].RefMissRate = 0.4
+		}
+		prefix, err := BestRatioPrefix(pl, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Dominant(pl, apps, ChooseMinRatio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prefix.Makespan() > greedy.Makespan()*(1+1e-9) {
+			t.Fatalf("seed %d: prefix (%v) worse than greedy (%v)", seed, prefix.Makespan(), greedy.Makespan())
+		}
+	}
+}
+
+func TestBestRatioPrefixOnNPB(t *testing.T) {
+	// On the reference platform every application is dominant, so the
+	// best prefix is the full set.
+	pl := refPlatform()
+	p, err := BestRatioPrefix(pl, npbApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheSetSize() != 6 {
+		t.Fatalf("expected the full set, got %d members", p.CacheSetSize())
+	}
+}
+
+func TestBestRatioPrefixEmptyInputRejected(t *testing.T) {
+	pl := refPlatform()
+	if _, err := BestRatioPrefix(pl, nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+// Property: the prefix result is always feasible and dominant for any
+// workload.
+func TestBestRatioPrefixProperty(t *testing.T) {
+	pl := refPlatform()
+	pl.CacheSize = 2e8
+	f := func(seed uint64, nPick uint8) bool {
+		n := 1 + int(nPick)%20
+		apps := randomApps(seed, n)
+		for i := range apps {
+			apps[i].RefMissRate = 0.1 + 0.5*float64(i%3)/2
+		}
+		p, err := BestRatioPrefix(pl, apps)
+		if err != nil {
+			return false
+		}
+		if !p.Dominant() {
+			return false
+		}
+		x := p.Shares()
+		return solve.Sum(x) <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

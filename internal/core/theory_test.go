@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+// Theorem 3, tested directly: for a dominant partition, the closed-form
+// shares minimize the perfectly-parallel makespan over ALL feasible share
+// vectors supported on the same IC.
+func TestTheorem3OptimalAgainstRandomShares(t *testing.T) {
+	pl := refPlatform()
+	pl.CacheSize = 1e9
+	f := func(seed uint64) bool {
+		apps := randomApps(seed, 10)
+		p, err := Dominant(pl, apps, ChooseMinRatio)
+		if err != nil {
+			return false
+		}
+		base := p.Makespan()
+		members := p.Members()
+		r := solve.NewRNG(seed ^ 0xABCD)
+		// Try 20 random share vectors on the same support.
+		for trial := 0; trial < 20; trial++ {
+			alt := make([]float64, len(apps))
+			var sum float64
+			for i := range alt {
+				if members[i] {
+					alt[i] = 0.01 + r.Float64()
+					sum += alt[i]
+				}
+			}
+			if sum == 0 {
+				continue
+			}
+			for i := range alt {
+				alt[i] /= sum
+			}
+			var total float64
+			for i, a := range apps {
+				total += a.ExeSeq(pl, alt[i])
+			}
+			if total/pl.Processors < base*(1-1e-9) {
+				return false // a random vector beat the closed form
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 1 + Lemma 2, tested directly: moving processor mass away from
+// the proportional (equal-finish) assignment strictly increases the
+// makespan for perfectly parallel applications.
+func TestLemma2PerturbationIncreasesMakespan(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps()
+	p, err := NewPartition(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.Shares()
+	// Lemma 2 processors.
+	seq := make([]float64, len(apps))
+	var total float64
+	for i, a := range apps {
+		seq[i] = a.ExeSeq(pl, x[i])
+		total += seq[i]
+	}
+	procs := make([]float64, len(apps))
+	for i := range procs {
+		procs[i] = pl.Processors * seq[i] / total
+	}
+	base := total / pl.Processors
+
+	makespan := func(procs []float64) float64 {
+		var m float64
+		for i, a := range apps {
+			m = math.Max(m, a.Exe(pl, procs[i], x[i]))
+		}
+		return m
+	}
+	if got := makespan(procs); math.Abs(got-base) > 1e-9*base {
+		t.Fatalf("Lemma 2 assignment has makespan %v, want %v", got, base)
+	}
+	r := solve.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		i, j := r.Intn(len(procs)), r.Intn(len(procs))
+		if i == j {
+			continue
+		}
+		eps := procs[i] * 0.1 * r.Float64()
+		alt := append([]float64(nil), procs...)
+		alt[i] -= eps
+		alt[j] += eps
+		if makespan(alt) < base*(1-1e-12) {
+			t.Fatalf("perturbation %d beat the Lemma 2 assignment", trial)
+		}
+	}
+}
+
+// The NP-completeness core, observed: which subset IC is optimal really
+// does change with the instance (if one subset always won, the problem
+// would be easy). We exhibit two small instances whose optimal subsets
+// differ in size.
+func TestOptimalSubsetVariesAcrossInstances(t *testing.T) {
+	pl := refPlatform()
+	pl.CacheSize = 1e7 // very tight cache
+
+	// Instance A: mild miss rates — everyone fits, full IC is best.
+	a := npbApps()
+	pA, err := NewPartition(pl, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDominantA := pA.Dominant()
+
+	// Instance B: savage miss rates — dominance forces eviction.
+	b := npbApps()
+	for i := range b {
+		b[i].RefMissRate = 0.9
+	}
+	pB, err := Dominant(pl, b, ChooseMinRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullDominantA && pB.CacheSetSize() == len(b) {
+		t.Fatal("expected instance B to force evictions that instance A does not")
+	}
+}

@@ -1,0 +1,221 @@
+// Package experiments reproduces the paper's evaluation: every figure of
+// Section 6 and Appendix A (Figures 1–18) and the two tables. Each
+// FigureN function builds the corresponding workload, sweeps the paper's
+// parameter, runs the heuristics over independent replicates and returns
+// the aggregated series; rendering (CSV, ASCII) lives in render.go.
+//
+// All figures follow the paper's protocol: 50 replicates per
+// configuration, mean makespan reported, platform defaults from Section
+// 6.1 (one Sunway TaihuLight node: p = 256, Cs = 32 GB, ll = 1,
+// ls = 0.17, α = 0.5).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Replicates per sweep point; the paper uses 50. Values < 1 are
+	// treated as the default 50.
+	Replicates int
+	// Seed of the master random stream; replicate r of sweep point k
+	// derives an independent substream, so results are reproducible and
+	// insensitive to execution order.
+	Seed uint64
+}
+
+// DefaultConfig matches the paper's protocol.
+func DefaultConfig() Config { return Config{Replicates: 50, Seed: 0x5EED} }
+
+func (c Config) replicates() int {
+	if c.Replicates < 1 {
+		return 50
+	}
+	return c.Replicates
+}
+
+// Figure is the aggregated output of one experiment: one series per
+// heuristic (plus derived series for repartition figures), with raw
+// (unnormalized) makespans. Use Normalized to apply the paper's
+// normalization.
+type Figure struct {
+	ID     string // "fig1" … "fig18"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []stats.Series
+}
+
+// SeriesByName returns the named series, or nil.
+func (f *Figure) SeriesByName(name string) *stats.Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Normalized returns a copy of the figure with every series divided,
+// point-wise, by the base series' mean (the paper normalizes to either
+// AllProcCache or DominantMinRatio). The base series itself normalizes
+// to 1. It returns an error if base is absent.
+func (f *Figure) Normalized(base string) (*Figure, error) {
+	b := f.SeriesByName(base)
+	if b == nil {
+		return nil, fmt.Errorf("experiments: %s has no series %q to normalize by", f.ID, base)
+	}
+	out := &Figure{ID: f.ID, Title: f.Title + " (normalized to " + base + ")", XLabel: f.XLabel, YLabel: "Normalized Makespan"}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, *s.Normalize(b))
+	}
+	return out, nil
+}
+
+// sweep runs the generic experiment loop: for every x in xs and every
+// replicate, build (platform, apps) and measure each heuristic's
+// makespan. Replicate r at every sweep point reuses the same workload
+// stream (paired comparison, as in the authors' simulator), so curves
+// differ only through the swept parameter.
+//
+// Cells (x, replicate) are independent, so they run on a bounded worker
+// pool; results land in preallocated slots, keeping output bit-identical
+// to the sequential order regardless of scheduling.
+func sweep(cfg Config, hs []sched.Heuristic, xs []float64,
+	build func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error),
+) ([]stats.Series, error) {
+	reps := cfg.replicates()
+	master := solve.NewRNG(cfg.Seed)
+	// Pre-split one stream per replicate so every sweep point sees the
+	// same per-replicate randomness.
+	repStreams := make([]uint64, reps)
+	for r := range repStreams {
+		repStreams[r] = master.Uint64()
+	}
+
+	type cell struct{ xi, r int }
+	// samples[xi][hi][r] = makespan.
+	samples := make([][][]float64, len(xs))
+	for xi := range samples {
+		samples[xi] = make([][]float64, len(hs))
+		for hi := range samples[xi] {
+			samples[xi][hi] = make([]float64, reps)
+		}
+	}
+	cells := make(chan cell)
+	errc := make(chan error, 1)
+	workers := runtime.GOMAXPROCS(0)
+	if total := len(xs) * reps; workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				x := xs[c.xi]
+				wlRNG := solve.NewRNG(repStreams[c.r])
+				pl, apps, err := build(x, wlRNG)
+				if err != nil {
+					sendErr(errc, fmt.Errorf("experiments: build at x=%g: %w", x, err))
+					continue
+				}
+				for hi, h := range hs {
+					// Heuristic-internal randomness gets its own
+					// substream so RandomPart et al. differ across
+					// replicates but not across sweep points.
+					hRNG := solve.NewRNG(repStreams[c.r] ^ (uint64(hi+1) * 0x9E3779B97F4A7C15))
+					s, err := h.Schedule(pl, apps, hRNG)
+					if err != nil {
+						sendErr(errc, fmt.Errorf("experiments: %v at x=%g: %w", h, x, err))
+						break
+					}
+					samples[c.xi][hi][c.r] = s.Makespan
+				}
+			}
+		}()
+	}
+	for xi := range xs {
+		for r := 0; r < reps; r++ {
+			cells <- cell{xi, r}
+		}
+	}
+	close(cells)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	series := make([]stats.Series, len(hs))
+	for hi, h := range hs {
+		series[hi] = stats.Series{Name: h.String()}
+		for xi, x := range xs {
+			sum, err := stats.Summarize(samples[xi][hi])
+			if err != nil {
+				return nil, err
+			}
+			series[hi].Points = append(series[hi].Points, stats.Point{X: x, Summary: sum})
+		}
+	}
+	return series, nil
+}
+
+// sendErr records the first error; later ones are dropped.
+func sendErr(errc chan error, err error) {
+	select {
+	case errc <- err:
+	default:
+	}
+}
+
+// Sweep grids used across figures.
+func appCounts() []float64 { return []float64{1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256} }
+func procCounts() []float64 {
+	return []float64{16, 32, 64, 96, 128, 160, 192, 224, 256}
+}
+func seqFractions() []float64 {
+	return []float64{0.0001, 0.01, 0.025, 0.05, 0.075, 0.1, 0.125, 0.15}
+}
+func missRates() []float64 {
+	return []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+func lsValues() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// comparisonHeuristics is the Section 6.3 set.
+var comparisonHeuristics = []sched.Heuristic{
+	sched.AllProcCache, sched.DominantMinRatio, sched.RandomPart, sched.Fair, sched.ZeroCache,
+}
+
+// platformWithProcessors returns the reference platform with p
+// processors.
+func platformWithProcessors(p float64) model.Platform {
+	pl := model.TaihuLight()
+	pl.Processors = p
+	return pl
+}
+
+// genApps builds a workload of n applications from gen with sequential
+// fractions drawn from the Section 6.1 default range.
+func genApps(gen workload.Generator, n int, rng *solve.RNG) ([]model.Application, error) {
+	return workload.Generate(workload.Config{Generator: gen, N: n}, rng)
+}
+
+// genAppsFixedSeq builds a workload with every sequential fraction set to
+// s.
+func genAppsFixedSeq(gen workload.Generator, n int, s float64, rng *solve.RNG) ([]model.Application, error) {
+	return workload.Generate(workload.Config{Generator: gen, N: n, Seq: s, SeqFixed: true}, rng)
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// quick config for tests: 3 replicates keeps the full suite fast while
+// exercising the aggregation paths.
+func testCfg() Config { return Config{Replicates: 3, Seed: 7} }
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.replicates() != 50 {
+		t.Fatalf("default replicates %d", c.replicates())
+	}
+	if (Config{Replicates: -5}).replicates() != 50 {
+		t.Fatal("negative replicates should fall back to 50")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for n := 1; n <= 18; n++ {
+		if _, ok := Registry[n]; !ok {
+			t.Fatalf("figure %d missing from registry", n)
+		}
+	}
+	if len(Registry) != 18 {
+		t.Fatalf("registry has %d figures", len(Registry))
+	}
+}
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	f, err := Figure1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := f.Normalized(sched.AllProcCache.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ≥85% gain over AllProcCache from ~50 applications on.
+	for _, s := range norm.Series {
+		if s.Name == sched.AllProcCache.String() {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X >= 64 && p.Summary.Mean > 0.15 {
+				t.Fatalf("%s at n=%g: normalized %v, paper promises ≤0.15", s.Name, p.X, p.Summary.Mean)
+			}
+		}
+	}
+	// And all six dominant variants coincide on this data set.
+	ref := norm.SeriesByName(sched.DominantMinRatio.String())
+	for _, h := range sched.DominantHeuristics {
+		s := norm.SeriesByName(h.String())
+		for i, p := range s.Points {
+			if math.Abs(p.Summary.Mean-ref.Points[i].Summary.Mean) > 0.02 {
+				t.Fatalf("%v diverges from DominantMinRatio at n=%g", h, p.X)
+			}
+		}
+	}
+}
+
+func TestFigure3OrderingAtScale(t *testing.T) {
+	f, err := Figure3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(name string, x float64) float64 {
+		s := f.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("missing series %s", name)
+		}
+		p, ok := s.At(x)
+		if !ok {
+			t.Fatalf("missing point %g in %s", x, name)
+		}
+		return p.Summary.Mean
+	}
+	// Paper ordering at large n: DMR < RandomPart < ZeroCache < Fair < APC.
+	const n = 128
+	dmr := at("DominantMinRatio", n)
+	rp := at("RandomPart", n)
+	zc := at("ZeroCache", n)
+	fair := at("Fair", n)
+	apc := at("AllProcCache", n)
+	if !(dmr < rp && rp < zc && zc < fair && fair < apc) {
+		t.Fatalf("ordering broken at n=%d: DMR=%g RP=%g ZC=%g Fair=%g APC=%g", n, dmr, rp, zc, fair, apc)
+	}
+}
+
+func TestFigure2DifferencesOnlyAtHighMissRates(t *testing.T) {
+	f, err := Figure2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(x float64) float64 {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, s := range f.Series {
+			p, ok := s.At(x)
+			if !ok {
+				t.Fatalf("missing %g", x)
+			}
+			mn = math.Min(mn, p.Summary.Mean)
+			mx = math.Max(mx, p.Summary.Mean)
+		}
+		return (mx - mn) / mn
+	}
+	if lo := spread(0.01); lo > 0.02 {
+		t.Fatalf("heuristics differ at miss rate 0.01: spread %v", lo)
+	}
+	if hi := spread(0.9); hi < 0.01 {
+		t.Fatalf("heuristics identical at miss rate 0.9: spread %v", hi)
+	}
+}
+
+func TestFigure5FairImprovesWithProcessors(t *testing.T) {
+	f, err := Figure5(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := f.Normalized("DominantMinRatio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := norm.SeriesByName("Fair")
+	first, _ := fair.At(16)
+	last, _ := fair.At(256)
+	if last.Summary.Mean >= first.Summary.Mean {
+		t.Fatalf("Fair did not close the gap with more processors: %v → %v", first.Summary.Mean, last.Summary.Mean)
+	}
+}
+
+func TestFigure6CoSchedulingWinsGrowWithSeqFraction(t *testing.T) {
+	f, err := Figure6(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := f.Normalized("AllProcCache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmr := norm.SeriesByName("DominantMinRatio")
+	lo, _ := dmr.At(0.0001)
+	hi, _ := dmr.At(0.15)
+	if hi.Summary.Mean >= lo.Summary.Mean {
+		t.Fatalf("gain should grow with sequential fraction: %v → %v", lo.Summary.Mean, hi.Summary.Mean)
+	}
+	// Paper: >50% gain already at s=0.01.
+	p, _ := dmr.At(0.01)
+	if p.Summary.Mean > 0.5 {
+		t.Fatalf("gain at s=0.01 is only %v, paper promises >50%%", 1-p.Summary.Mean)
+	}
+}
+
+func TestFigure7RepartitionStructure(t *testing.T) {
+	f, err := Figure7(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair's processor min == max (uniform split).
+	mn := f.SeriesByName("Fair/procs/min")
+	mx := f.SeriesByName("Fair/procs/max")
+	if mn == nil || mx == nil {
+		t.Fatal("Fair repartition series missing")
+	}
+	for i := range mn.Points {
+		if math.Abs(mn.Points[i].Summary.Mean-mx.Points[i].Summary.Mean) > 1e-9 {
+			t.Fatal("Fair should allocate identical processor counts")
+		}
+	}
+	// Ranges shrink as applications increase (paper's observation).
+	// Compare a moderate n against the largest; n=1 is trivially zero.
+	dmrMin := f.SeriesByName("DominantMinRatio/procs/min")
+	dmrMax := f.SeriesByName("DominantMinRatio/procs/max")
+	rangeAt := func(x float64) float64 {
+		lo, _ := dmrMin.At(x)
+		hi, _ := dmrMax.At(x)
+		return hi.Summary.Mean - lo.Summary.Mean
+	}
+	if mid, last := rangeAt(16), rangeAt(256); last > mid {
+		t.Fatalf("processor range should shrink with more applications: %v → %v", mid, last)
+	}
+	// Cache averages: DMR and Fair present, ZeroCache absent (no cache).
+	if f.SeriesByName("ZeroCache/cache/avg") != nil {
+		t.Fatal("ZeroCache should not report cache repartition")
+	}
+}
+
+func TestFigure15LatencyDoesNotReorder(t *testing.T) {
+	f, err := Figure15(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranking of heuristics must be identical at every ls value.
+	rank := func(x float64) []string {
+		type nv struct {
+			n string
+			v float64
+		}
+		var vals []nv
+		for _, s := range f.Series {
+			p, _ := s.At(x)
+			vals = append(vals, nv{s.Name, p.Summary.Mean})
+		}
+		for i := 0; i < len(vals); i++ {
+			for j := i + 1; j < len(vals); j++ {
+				if vals[j].v < vals[i].v {
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+		names := make([]string, len(vals))
+		for i, v := range vals {
+			names[i] = v.n
+		}
+		return names
+	}
+	base := rank(0.1)
+	for _, x := range []float64{0.5, 1.0} {
+		got := rank(x)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("ordering changed between ls=0.1 and ls=%g: %v vs %v", x, base, got)
+			}
+		}
+	}
+}
+
+func TestNormalizedMissingBase(t *testing.T) {
+	f := &Figure{ID: "x"}
+	if _, err := f.Normalized("nope"); err == nil {
+		t.Fatal("missing base accepted")
+	}
+}
+
+func TestNormalizationBaseTable(t *testing.T) {
+	if NormalizationBase(1) != "AllProcCache" {
+		t.Fatal("fig1 base")
+	}
+	if NormalizationBase(2) != "DominantMinRatio" {
+		t.Fatal("fig2 base")
+	}
+	if NormalizationBase(7) != "" || NormalizationBase(17) != "" {
+		t.Fatal("repartition figures have no normalization")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f, err := Figure10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,x,mean,stddev,min,max,n") {
+		t.Fatalf("csv header wrong: %q", out[:40])
+	}
+	lines := strings.Count(out, "\n")
+	// 5 heuristics × 9 processor counts + header.
+	if lines != 5*9+1 {
+		t.Fatalf("%d csv lines", lines)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	f, err := Figure10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.RenderTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig10") || !strings.Contains(out, "DominantMinRatio") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}
+
+func TestRenderASCIIPlot(t *testing.T) {
+	f, err := Figure10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.RenderASCIIPlot(&buf, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|") {
+		t.Fatal("plot frame missing")
+	}
+	if err := f.RenderASCIIPlot(&buf, 4, 2); err == nil {
+		t.Fatal("tiny plot area accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "conjugate gradients") {
+		t.Fatal("table 1 content missing")
+	}
+	buf.Reset()
+	if err := WriteTable2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"CG", "BT", "LU", "SP", "MG", "FT"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("table 2 missing %s", name)
+		}
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	cfg := Config{Replicates: 2, Seed: 99}
+	a, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Points {
+			if a.Series[i].Points[j].Summary.Mean != b.Series[i].Points[j].Summary.Mean {
+				t.Fatal("experiment not reproducible for a fixed seed")
+			}
+		}
+	}
+}
+
+// Run every remaining figure driver once with tiny settings so the whole
+// registry is exercised.
+func TestAllFiguresRun(t *testing.T) {
+	cfg := Config{Replicates: 1, Seed: 3}
+	for n, run := range Registry {
+		f, err := run(cfg)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if len(f.Series) == 0 {
+			t.Fatalf("figure %d produced no series", n)
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("figure %d series %s empty", n, s.Name)
+			}
+			for _, p := range s.Points {
+				if math.IsNaN(p.Summary.Mean) || p.Summary.Mean < 0 {
+					t.Fatalf("figure %d series %s has bad mean %v", n, s.Name, p.Summary.Mean)
+				}
+			}
+		}
+	}
+}
+
+// Regression pin: the headline Figure 1 number under the default
+// 50-replicate protocol and master seed. Any change to the model, the
+// partition theory, the workload generators or the RNG that alters the
+// reproduced result trips this test; EXPERIMENTS.md quotes this value.
+func TestFigure1HeadlinePin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 50-replicate protocol")
+	}
+	f, err := Figure1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := f.Normalized(sched.AllProcCache.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := norm.SeriesByName(sched.DominantMinRatio.String()).At(256)
+	if !ok {
+		t.Fatal("missing n=256 point")
+	}
+	const want = 0.048369
+	if math.Abs(p.Summary.Mean-want) > 1e-5 {
+		t.Fatalf("Figure 1 headline drifted: DMR/APC at n=256 = %v, pinned %v", p.Summary.Mean, want)
+	}
+}

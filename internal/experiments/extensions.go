@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Extension experiments: studies beyond the paper's figures, built on the
+// same protocol (replicated sweeps, mean makespans). Each has a string ID
+// of the form "extN" and is registered in Extensions.
+
+// ExtPartitioning (ext1) compares partitioned co-scheduling
+// (DominantMinRatio) against unpartitioned sharing (SharedCache) and Fair
+// across application counts, on a contended 1 GB LLC with a quarter of
+// the fleet replaced by streaming antagonists (high access pressure, no
+// reuse). It isolates what Cache Allocation Technology itself buys.
+func ExtPartitioning(cfg Config) (*Figure, error) {
+	hs := []sched.Heuristic{sched.DominantMinRatio, sched.SharedCache, sched.Fair}
+	series, err := sweep(cfg, hs, []float64{4, 8, 16, 32, 64, 128}, func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		pl := platformWithProcessors(256)
+		pl.CacheSize = 1e9
+		n := int(x)
+		apps, err := genApps(workload.GenNPBSynth, n, rng)
+		if err != nil {
+			return pl, nil, err
+		}
+		for i := range apps {
+			apps[i].RefMissRate = 0.3
+			if i%4 == 0 { // every fourth application streams
+				apps[i].AccessFreq = 0.9
+				apps[i].RefMissRate = 1e-9
+			}
+		}
+		return pl, apps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ext1", Title: "Partitioned vs unpartitioned LLC with streaming antagonists",
+		XLabel: "#Applications", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// ExtLocalSearch (ext2) measures the Amdahl-aware local search against
+// its DominantMinRatio warm start across LLC sizes (membership matters
+// only when the cache is tight).
+func ExtLocalSearch(cfg Config) (*Figure, error) {
+	hs := []sched.Heuristic{sched.DominantMinRatio, sched.LocalSearch}
+	sizes := []float64{1e8, 2e8, 5e8, 1e9, 4e9, 32e9}
+	series, err := sweep(cfg, hs, sizes, func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		pl := platformWithProcessors(256)
+		pl.CacheSize = x
+		apps, err := genApps(workload.GenNPBSynth, 12, rng)
+		if err != nil {
+			return pl, nil, err
+		}
+		for i := range apps {
+			apps[i].RefMissRate = 0.4
+		}
+		return pl, apps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ext2", Title: "Amdahl-aware membership local search vs its warm start",
+		XLabel: "LLC size (bytes)", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// ExtRedistribution (ext3) sweeps the application count and reports the
+// relative makespan gain of handing freed resources to survivors, for
+// Fair (unequal finishes) and DominantMinRatio (equal finishes, expected
+// zero).
+func ExtRedistribution(cfg Config) (*Figure, error) {
+	pl := platformWithProcessors(256)
+	fig := &Figure{
+		ID: "ext3", Title: "Makespan recovered by dynamic redistribution",
+		XLabel: "#Applications", YLabel: "Relative gain",
+	}
+	for _, h := range []sched.Heuristic{sched.Fair, sched.DominantMinRatio} {
+		s := stats.Series{Name: h.String()}
+		for _, x := range []float64{4, 8, 16, 32, 64} {
+			gains, err := replicated(cfg, func(rng *solve.RNG) (float64, error) {
+				apps, err := genApps(workload.GenNPBSynth, int(x), rng)
+				if err != nil {
+					return 0, err
+				}
+				sc, err := h.Schedule(pl, apps, rng)
+				if err != nil {
+					return 0, err
+				}
+				st, err := sim.Execute(pl, apps, sc, sim.Static)
+				if err != nil {
+					return 0, err
+				}
+				rd, err := sim.Execute(pl, apps, sc, sim.Redistribute)
+				if err != nil {
+					return 0, err
+				}
+				return 1 - rd.Makespan/st.Makespan, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum, err := stats.Summarize(gains)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, stats.Point{X: x, Summary: sum})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ExtRounding (ext4) sweeps the application count and reports the
+// makespan degradation from realizing the rational processor assignment
+// with whole processors.
+func ExtRounding(cfg Config) (*Figure, error) {
+	pl := platformWithProcessors(256)
+	fig := &Figure{
+		ID: "ext4", Title: "Cost of whole-processor realization",
+		XLabel: "#Applications", YLabel: "Makespan ratio (integer / rational)",
+	}
+	s := stats.Series{Name: "DominantMinRatio"}
+	for _, x := range []float64{4, 8, 16, 32, 64, 128, 256} {
+		degr, err := replicated(cfg, func(rng *solve.RNG) (float64, error) {
+			apps, err := genApps(workload.GenNPBSynth, int(x), rng)
+			if err != nil {
+				return 0, err
+			}
+			sc, err := sched.DominantMinRatio.Schedule(pl, apps, rng)
+			if err != nil {
+				return 0, err
+			}
+			ri, err := sched.RoundProcessors(pl, apps, sc)
+			if err != nil {
+				return 0, err
+			}
+			return ri.Degradation, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := stats.Summarize(degr)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, stats.Point{X: x, Summary: sum})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// ExtPipelineDepth (ext5) sweeps the in-situ pipelining depth and
+// reports the sustainable batch period (normalized per batch).
+func ExtPipelineDepth(cfg Config) (*Figure, error) {
+	pl := platformWithProcessors(64)
+	fig := &Figure{
+		ID: "ext5", Title: "In-situ pipelining depth vs sustainable batch period",
+		XLabel: "Depth (batches co-scheduled)", YLabel: "Sustainable period",
+	}
+	s := stats.Series{Name: "DominantMinRatio"}
+	for _, depth := range []float64{1, 2, 3, 4, 6, 8} {
+		periods, err := replicated(cfg, func(rng *solve.RNG) (float64, error) {
+			apps, err := genAppsFixedSeq(workload.GenNPBSynth, 6, 0.08, rng)
+			if err != nil {
+				return 0, err
+			}
+			p, err := pipeline.NewPlan(pipeline.Config{
+				Platform: pl, Analyses: apps,
+				Heuristic: sched.DominantMinRatio, Depth: int(depth),
+			})
+			if err != nil {
+				return 0, err
+			}
+			return p.SustainablePeriod, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := stats.Summarize(periods)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, stats.Point{X: depth, Summary: sum})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// replicated runs body once per replicate with independent streams and
+// collects the results.
+func replicated(cfg Config, body func(rng *solve.RNG) (float64, error)) ([]float64, error) {
+	master := solve.NewRNG(cfg.Seed)
+	out := make([]float64, 0, cfg.replicates())
+	for r := 0; r < cfg.replicates(); r++ {
+		v, err := body(solve.NewRNG(master.Uint64()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replicate %d: %w", r, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Extensions maps extension numbers to drivers (IDs "ext1"…"ext5").
+var Extensions = map[int]func(Config) (*Figure, error){
+	1: ExtPartitioning,
+	2: ExtLocalSearch,
+	3: ExtRedistribution,
+	4: ExtRounding,
+	5: ExtPipelineDepth,
+}

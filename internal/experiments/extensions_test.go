@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtensionsRegistryComplete(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		if _, ok := Extensions[n]; !ok {
+			t.Fatalf("extension %d missing", n)
+		}
+	}
+	if len(Extensions) != 5 {
+		t.Fatalf("%d extensions registered", len(Extensions))
+	}
+}
+
+func TestAllExtensionsRun(t *testing.T) {
+	cfg := Config{Replicates: 1, Seed: 5}
+	for n, run := range Extensions {
+		f, err := run(cfg)
+		if err != nil {
+			t.Fatalf("ext%d: %v", n, err)
+		}
+		if len(f.Series) == 0 {
+			t.Fatalf("ext%d produced no series", n)
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("ext%d series %s empty", n, s.Name)
+			}
+			for _, p := range s.Points {
+				if math.IsNaN(p.Summary.Mean) {
+					t.Fatalf("ext%d series %s has NaN", n, s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestExtLocalSearchNeverWorse(t *testing.T) {
+	f, err := ExtLocalSearch(Config{Replicates: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := f.SeriesByName("DominantMinRatio")
+	ls := f.SeriesByName("LocalSearch")
+	for i := range warm.Points {
+		if ls.Points[i].Summary.Mean > warm.Points[i].Summary.Mean*(1+1e-9) {
+			t.Fatalf("local search worse at x=%g", warm.Points[i].X)
+		}
+	}
+	// Gains shrink with cache size: first point's improvement exceeds
+	// the last point's.
+	first := 1 - ls.Points[0].Summary.Mean/warm.Points[0].Summary.Mean
+	last := 1 - ls.Points[len(ls.Points)-1].Summary.Mean/warm.Points[len(warm.Points)-1].Summary.Mean
+	if first <= last {
+		t.Fatalf("local search gains should shrink with LLC size: %v vs %v", first, last)
+	}
+}
+
+func TestExtRedistributionShape(t *testing.T) {
+	f, err := ExtRedistribution(Config{Replicates: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := f.SeriesByName("Fair")
+	dmr := f.SeriesByName("DominantMinRatio")
+	// DMR gains ~0 everywhere (equal finish); Fair gains grow with n.
+	for _, p := range dmr.Points {
+		if p.Summary.Mean > 1e-6 {
+			t.Fatalf("DMR redistribution gain %v at n=%g should be ~0", p.Summary.Mean, p.X)
+		}
+	}
+	if fair.Points[len(fair.Points)-1].Summary.Mean <= fair.Points[0].Summary.Mean {
+		t.Fatal("Fair redistribution gain should grow with n")
+	}
+}
+
+func TestExtRoundingDegradationGrowsWithN(t *testing.T) {
+	f, err := ExtRounding(Config{Replicates: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	for _, p := range s.Points {
+		if p.Summary.Mean < 1-1e-9 {
+			t.Fatalf("rounding cannot beat the rational optimum: %v at n=%g", p.Summary.Mean, p.X)
+		}
+	}
+	if s.Points[len(s.Points)-1].Summary.Mean <= s.Points[0].Summary.Mean {
+		t.Fatal("degradation should grow as shares approach one processor")
+	}
+}
+
+func TestExtPipelineDepthMonotone(t *testing.T) {
+	f, err := ExtPipelineDepth(Config{Replicates: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Summary.Mean > s.Points[i-1].Summary.Mean*(1+1e-9) {
+			t.Fatalf("sustainable period rose from depth %g to %g", s.Points[i-1].X, s.Points[i].X)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure1 compares the six dominant-partition heuristics against
+// AllProcCache on NPB-SYNTH, sweeping the application count on 256
+// processors. The paper reports a ~85% gain over AllProcCache from ~50
+// applications on, with all six variants indistinguishable.
+func Figure1(cfg Config) (*Figure, error) {
+	hs := append([]sched.Heuristic{sched.AllProcCache}, sched.DominantHeuristics...)
+	series, err := sweep(cfg, hs, appCounts(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		apps, err := genApps(workload.GenNPBSynth, int(x), rng)
+		return platformWithProcessors(256), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig1", Title: "Comparison of the six dominant partition heuristics",
+		XLabel: "#Applications", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// Figure2 zooms on the heuristic differences by sweeping the reference
+// miss rate with a small (1 GB) LLC on NPB-SYNTH with 16 applications.
+// Differences appear only for miss rates above ~0.1; DominantMinRatio and
+// DominantRevMaxRatio overlap as best, DominantMaxRatio and
+// DominantRevMinRatio as worst.
+func Figure2(cfg Config) (*Figure, error) {
+	series, err := sweep(cfg, sched.DominantHeuristics, missRates(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		pl := platformWithProcessors(256)
+		pl.CacheSize = 1e9
+		apps, err := genApps(workload.GenNPBSynth, 16, rng)
+		if err != nil {
+			return pl, nil, err
+		}
+		return pl, workload.WithMissRate(apps, x), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig2", Title: "Impact of cache miss rate using a 1GB LLC",
+		XLabel: "Cache miss rate", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// Figure3 sweeps the application count on NPB-SYNTH with the Section 6.3
+// comparison set (AllProcCache, DominantMinRatio, RandomPart, Fair,
+// ZeroCache) on 256 processors.
+func Figure3(cfg Config) (*Figure, error) {
+	series, err := sweep(cfg, comparisonHeuristics, appCounts(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		apps, err := genApps(workload.GenNPBSynth, int(x), rng)
+		return platformWithProcessors(256), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig3", Title: "Impact of the number of applications (NPB-SYNTH)",
+		XLabel: "#Applications", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// Figure4 sweeps the average number of processors per application: 256
+// processors with n = 256/ratio applications on NPB-SYNTH.
+func Figure4(cfg Config) (*Figure, error) {
+	ratios := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	hs := []sched.Heuristic{sched.DominantMinRatio, sched.RandomPart, sched.Fair, sched.ZeroCache}
+	series, err := sweep(cfg, hs, ratios, func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		n := int(math.Round(256 / x))
+		if n < 1 {
+			n = 1
+		}
+		apps, err := genApps(workload.GenNPBSynth, n, rng)
+		return platformWithProcessors(256), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig4", Title: "Impact of the average number of processors per application",
+		XLabel: "#Processors / #Applications", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// Figure5 sweeps the processor count with 16 NPB-SYNTH applications.
+func Figure5(cfg Config) (*Figure, error) {
+	return processorSweep(cfg, "fig5", workload.GenNPBSynth, 16)
+}
+
+// Figure6 sweeps the (fixed, shared) sequential fraction with 16
+// NPB-SYNTH applications on 256 processors.
+func Figure6(cfg Config) (*Figure, error) {
+	return seqSweep(cfg, "fig6", workload.GenNPBSynth, 16)
+}
+
+// Figure7 reports the processor and cache repartition across applications
+// for DominantMinRatio, Fair and ZeroCache on NPB-SYNTH (error bars =
+// min/max allocation across applications).
+func Figure7(cfg Config) (*Figure, error) {
+	return repartition(cfg, "fig7", workload.GenNPBSynth)
+}
+
+// Figure8 is Figure3 on the RANDOM data set.
+func Figure8(cfg Config) (*Figure, error) {
+	series, err := sweep(cfg, comparisonHeuristics, appCounts(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		apps, err := genApps(workload.GenRandom, int(x), rng)
+		return platformWithProcessors(256), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig8", Title: "Impact of the number of applications (RANDOM)",
+		XLabel: "#Applications", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// Figure9 sweeps processors with 64 NPB-SYNTH applications.
+func Figure9(cfg Config) (*Figure, error) {
+	return processorSweep(cfg, "fig9", workload.GenNPBSynth, 64)
+}
+
+// Figure10 sweeps processors with the six NPB-6 applications.
+func Figure10(cfg Config) (*Figure, error) {
+	return processorSweep(cfg, "fig10", workload.GenNPB6, 6)
+}
+
+// Figure11 sweeps processors with 16 RANDOM applications.
+func Figure11(cfg Config) (*Figure, error) {
+	return processorSweep(cfg, "fig11", workload.GenRandom, 16)
+}
+
+// Figure12 sweeps processors with 64 RANDOM applications.
+func Figure12(cfg Config) (*Figure, error) {
+	return processorSweep(cfg, "fig12", workload.GenRandom, 64)
+}
+
+// Figure13 sweeps the sequential fraction on NPB-6 (6 applications).
+func Figure13(cfg Config) (*Figure, error) {
+	return seqSweep(cfg, "fig13", workload.GenNPB6, 6)
+}
+
+// Figure14 sweeps the sequential fraction with 16 RANDOM applications.
+func Figure14(cfg Config) (*Figure, error) {
+	return seqSweep(cfg, "fig14", workload.GenRandom, 16)
+}
+
+// Figure15 sweeps the cache latency ls with 16 NPB-SYNTH applications and
+// s_i = 0.0001; the paper finds no effect on relative ordering.
+func Figure15(cfg Config) (*Figure, error) {
+	return lsSweep(cfg, "fig15", 16)
+}
+
+// Figure16 is Figure15 with 64 applications.
+func Figure16(cfg Config) (*Figure, error) {
+	return lsSweep(cfg, "fig16", 64)
+}
+
+// Figure17 is the repartition figure on RANDOM.
+func Figure17(cfg Config) (*Figure, error) {
+	return repartition(cfg, "fig17", workload.GenRandom)
+}
+
+// Figure18 compares all nine concurrent heuristics across miss rates on a
+// 1 GB LLC with 16 NPB-SYNTH applications (Appendix A.6).
+func Figure18(cfg Config) (*Figure, error) {
+	hs := append(append([]sched.Heuristic{}, sched.DominantHeuristics...),
+		sched.RandomPart, sched.Fair, sched.ZeroCache)
+	series, err := sweep(cfg, hs, missRates(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		pl := platformWithProcessors(256)
+		pl.CacheSize = 1e9
+		apps, err := genApps(workload.GenNPBSynth, 16, rng)
+		if err != nil {
+			return pl, nil, err
+		}
+		return pl, workload.WithMissRate(apps, x), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig18", Title: "Impact of cache miss rate using a 1GB LLC (all heuristics)",
+		XLabel: "Cache miss rate", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// processorSweep implements the shared shape of Figures 5, 9, 10, 11, 12.
+func processorSweep(cfg Config, id string, gen workload.Generator, n int) (*Figure, error) {
+	series, err := sweep(cfg, comparisonHeuristics, procCounts(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		apps, err := genApps(gen, n, rng)
+		return platformWithProcessors(x), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: fmt.Sprintf("Impact of the number of processors (%v, %d applications)", gen, n),
+		XLabel: "#Processors", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// seqSweep implements the shared shape of Figures 6, 13, 14.
+func seqSweep(cfg Config, id string, gen workload.Generator, n int) (*Figure, error) {
+	series, err := sweep(cfg, comparisonHeuristics, seqFractions(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		apps, err := genAppsFixedSeq(gen, n, x, rng)
+		return platformWithProcessors(256), apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: fmt.Sprintf("Impact of sequential fraction of work (%v, %d applications)", gen, n),
+		XLabel: "Sequential part", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// lsSweep implements Figures 15–16: sweep the small-storage latency with
+// a fixed tiny sequential fraction.
+func lsSweep(cfg Config, id string, n int) (*Figure, error) {
+	series, err := sweep(cfg, comparisonHeuristics, lsValues(), func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error) {
+		pl := platformWithProcessors(256)
+		pl.LatencyS = x
+		apps, err := genAppsFixedSeq(workload.GenNPBSynth, n, 0.0001, rng)
+		return pl, apps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: fmt.Sprintf("Impact of latency ls (NPB-SYNTH, %d applications, s=1e-4)", n),
+		XLabel: "ls value", YLabel: "Makespan", Series: series,
+	}, nil
+}
+
+// repartition implements Figures 7 and 17: for each application count,
+// record the average, minimum and maximum processor share (DMR, Fair,
+// ZeroCache) and cache share (DMR, Fair) allocated to an application,
+// averaged over replicates.
+func repartition(cfg Config, id string, gen workload.Generator) (*Figure, error) {
+	hsProc := []sched.Heuristic{sched.DominantMinRatio, sched.Fair, sched.ZeroCache}
+	hsCache := []sched.Heuristic{sched.DominantMinRatio, sched.Fair}
+	reps := cfg.replicates()
+	master := solve.NewRNG(cfg.Seed)
+	repStreams := make([]uint64, reps)
+	for r := range repStreams {
+		repStreams[r] = master.Uint64()
+	}
+
+	type acc struct{ avg, min, max []float64 }
+	mkAcc := func() *acc { return &acc{} }
+	procAcc := map[sched.Heuristic]*acc{}
+	cacheAcc := map[sched.Heuristic]*acc{}
+	fig := &Figure{
+		ID: id, Title: fmt.Sprintf("Processor and cache repartition (%v)", gen),
+		XLabel: "#Applications", YLabel: "Allocation",
+	}
+	pl := platformWithProcessors(256)
+
+	for _, h := range hsProc {
+		procAcc[h] = mkAcc()
+	}
+	for _, h := range hsCache {
+		cacheAcc[h] = mkAcc()
+	}
+	appendPoint := func(name string, x float64, vals []float64) error {
+		sum, err := stats.Summarize(vals)
+		if err != nil {
+			return err
+		}
+		s := fig.SeriesByName(name)
+		if s == nil {
+			fig.Series = append(fig.Series, stats.Series{Name: name})
+			s = &fig.Series[len(fig.Series)-1]
+		}
+		s.Points = append(s.Points, stats.Point{X: x, Summary: sum})
+		return nil
+	}
+
+	for _, x := range appCounts() {
+		for _, a := range procAcc {
+			a.avg, a.min, a.max = nil, nil, nil
+		}
+		for _, a := range cacheAcc {
+			a.avg, a.min, a.max = nil, nil, nil
+		}
+		for r := 0; r < reps; r++ {
+			rng := solve.NewRNG(repStreams[r])
+			apps, err := genApps(gen, int(x), rng)
+			if err != nil {
+				return nil, err
+			}
+			record := func(h sched.Heuristic, a *acc, get func(sched.Assignment) float64) error {
+				hRNG := solve.NewRNG(repStreams[r] ^ uint64(h+1)*0x9E3779B97F4A7C15)
+				s, err := h.Schedule(pl, apps, hRNG)
+				if err != nil {
+					return err
+				}
+				mn, mx := math.Inf(1), math.Inf(-1)
+				var sum solve.Kahan
+				for _, asg := range s.Assignments {
+					v := get(asg)
+					mn = math.Min(mn, v)
+					mx = math.Max(mx, v)
+					sum.Add(v)
+				}
+				a.avg = append(a.avg, sum.Sum()/float64(len(s.Assignments)))
+				a.min = append(a.min, mn)
+				a.max = append(a.max, mx)
+				return nil
+			}
+			for _, h := range hsProc {
+				if err := record(h, procAcc[h], func(a sched.Assignment) float64 { return a.Processors }); err != nil {
+					return nil, err
+				}
+			}
+			for _, h := range hsCache {
+				if err := record(h, cacheAcc[h], func(a sched.Assignment) float64 { return a.CacheShare }); err != nil {
+					return nil, err
+				}
+			}
+		}
+		type named struct {
+			suffix string
+			vals   []float64
+		}
+		for _, h := range hsProc {
+			a := procAcc[h]
+			for _, nv := range []named{{"procs/avg", a.avg}, {"procs/min", a.min}, {"procs/max", a.max}} {
+				if err := appendPoint(h.String()+"/"+nv.suffix, x, nv.vals); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, h := range hsCache {
+			a := cacheAcc[h]
+			for _, nv := range []named{{"cache/avg", a.avg}, {"cache/min", a.min}, {"cache/max", a.max}} {
+				if err := appendPoint(h.String()+"/"+nv.suffix, x, nv.vals); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Registry maps figure numbers (1–18) to their drivers.
+var Registry = map[int]func(Config) (*Figure, error){
+	1: Figure1, 2: Figure2, 3: Figure3, 4: Figure4, 5: Figure5, 6: Figure6,
+	7: Figure7, 8: Figure8, 9: Figure9, 10: Figure10, 11: Figure11, 12: Figure12,
+	13: Figure13, 14: Figure14, 15: Figure15, 16: Figure16, 17: Figure17, 18: Figure18,
+}
+
+// NormalizationBase returns the series the paper normalizes figure n by,
+// or "" for repartition figures that are plotted raw.
+func NormalizationBase(n int) string {
+	switch n {
+	case 1:
+		return sched.AllProcCache.String()
+	case 2, 4, 9, 12, 18:
+		return sched.DominantMinRatio.String()
+	case 3, 5, 6, 8, 10, 11, 13, 14, 15, 16:
+		return sched.AllProcCache.String()
+	default: // 7, 17: raw allocations
+		return ""
+	}
+}

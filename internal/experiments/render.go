@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the figure as CSV: one row per (series, x) pair with the
+// full summary, matching what the paper's plotting scripts consumed.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "mean", "stddev", "min", "max", "n"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name,
+				formatFloat(p.X),
+				formatFloat(p.Summary.Mean),
+				formatFloat(p.Summary.Stddev),
+				formatFloat(p.Summary.Min),
+				formatFloat(p.Summary.Max),
+				strconv.Itoa(p.Summary.N),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// RenderTable renders the figure as a fixed-width ASCII table, one row
+// per x value and one column per series (means only), for terminal
+// inspection.
+func (f *Figure) RenderTable(w io.Writer) error {
+	// Collect the union of x coordinates in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for i := range f.Series {
+			if p, ok := f.Series[i].At(x); ok {
+				row = append(row, trimFloat(p.Summary.Mean))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s = s + " "
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+// RenderASCIIPlot draws a crude line plot of the figure's series means
+// (height rows tall) so shapes can be eyeballed without leaving the
+// terminal. Each series is drawn with its own glyph.
+func (f *Figure) RenderASCIIPlot(w io.Writer, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("experiments: plot area %dx%d too small", width, height)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Summary.Mean), math.Max(ymax, p.Summary.Mean)
+		}
+	}
+	if xmin >= xmax {
+		xmax = xmin + 1
+	}
+	if ymin >= ymax {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := "ox+*#@%&~^"
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((p.Summary.Mean - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "x: %s ∈ [%s, %s]   y: %s ∈ [%s, %s]\n",
+		f.XLabel, trimFloat(xmin), trimFloat(xmax), f.YLabel, trimFloat(ymin), trimFloat(ymax)); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+func refPlatform() Platform { return TaihuLight() }
+
+func refApp() Application {
+	return Application{
+		Name: "CG", Work: 5.70e10, AccessFreq: 5.35e-01,
+		RefMissRate: 6.59e-04, RefCacheSize: 40e6,
+	}
+}
+
+func TestTaihuLightParameters(t *testing.T) {
+	pl := TaihuLight()
+	if pl.Processors != 256 || pl.CacheSize != 32000e6 || pl.LatencyS != 0.17 || pl.LatencyL != 1 || pl.Alpha != 0.5 {
+		t.Fatalf("reference platform drifted: %+v", pl)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Latency ratio of the paper: ll/ls ≈ 5.88.
+	if r := pl.LatencyL / pl.LatencyS; math.Abs(r-5.88) > 0.01 {
+		t.Fatalf("latency ratio %v, want ≈5.88", r)
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Platform)
+	}{
+		{"zero processors", func(p *Platform) { p.Processors = 0 }},
+		{"negative processors", func(p *Platform) { p.Processors = -1 }},
+		{"zero cache", func(p *Platform) { p.CacheSize = 0 }},
+		{"negative ls", func(p *Platform) { p.LatencyS = -0.1 }},
+		{"negative ll", func(p *Platform) { p.LatencyL = -2 }},
+		{"zero alpha", func(p *Platform) { p.Alpha = 0 }},
+		{"NaN alpha", func(p *Platform) { p.Alpha = math.NaN() }},
+	}
+	for _, c := range cases {
+		pl := refPlatform()
+		c.mut(&pl)
+		if pl.Validate() == nil {
+			t.Errorf("%s: Validate accepted invalid platform", c.name)
+		}
+	}
+}
+
+func TestApplicationValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Application)
+	}{
+		{"zero work", func(a *Application) { a.Work = 0 }},
+		{"negative seq", func(a *Application) { a.SeqFraction = -0.1 }},
+		{"seq above one", func(a *Application) { a.SeqFraction = 1.5 }},
+		{"negative freq", func(a *Application) { a.AccessFreq = -1 }},
+		{"miss above one", func(a *Application) { a.RefMissRate = 1.2 }},
+		{"negative miss", func(a *Application) { a.RefMissRate = -0.2 }},
+		{"zero ref cache", func(a *Application) { a.RefCacheSize = 0 }},
+	}
+	for _, c := range cases {
+		a := refApp()
+		c.mut(&a)
+		if a.Validate() == nil {
+			t.Errorf("%s: Validate accepted invalid application", c.name)
+		}
+	}
+	if err := refApp().Validate(); err != nil {
+		t.Fatalf("valid app rejected: %v", err)
+	}
+}
+
+func TestMissRatePowerLaw(t *testing.T) {
+	a := refApp()
+	// At the reference size, miss rate equals the reference rate.
+	if m := a.MissRate(a.RefCacheSize, 0.5); math.Abs(m-a.RefMissRate) > 1e-15 {
+		t.Fatalf("miss at C0 = %v, want %v", m, a.RefMissRate)
+	}
+	// Quadrupling the cache with α = 0.5 halves the miss rate.
+	if m := a.MissRate(4*a.RefCacheSize, 0.5); math.Abs(m-a.RefMissRate/2) > 1e-15 {
+		t.Fatalf("miss at 4·C0 = %v, want %v", m, a.RefMissRate/2)
+	}
+	// Shrinking the cache raises the rate, clamped at 1.
+	if m := a.MissRate(1, 0.5); m != 1 {
+		t.Fatalf("tiny cache should clamp to 1, got %v", m)
+	}
+	if m := a.MissRate(0, 0.5); m != 1 {
+		t.Fatalf("zero cache should miss always, got %v", m)
+	}
+	if m := a.MissRate(-5, 0.5); m != 1 {
+		t.Fatalf("negative cache should miss always, got %v", m)
+	}
+}
+
+func TestDMatchesPaperFormula(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	want := a.RefMissRate * math.Pow(40e6/pl.CacheSize, pl.Alpha)
+	if d := a.D(pl); math.Abs(d-want) > 1e-18 {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+}
+
+func TestFlopsAmdahl(t *testing.T) {
+	a := refApp()
+	a.SeqFraction = 0.25
+	// On one processor the whole work runs.
+	if f := a.Flops(1); math.Abs(f-a.Work) > 1e-6*a.Work {
+		t.Fatalf("Flops(1) = %v, want %v", f, a.Work)
+	}
+	// Infinite processors leave the sequential part.
+	if f := a.Flops(1e18); math.Abs(f-0.25*a.Work) > 1e-3*a.Work {
+		t.Fatalf("Flops(inf) = %v, want %v", f, 0.25*a.Work)
+	}
+	// Perfectly parallel halves with doubled processors.
+	a.SeqFraction = 0
+	if f := a.Flops(2); math.Abs(f-a.Work/2) > 1e-9*a.Work {
+		t.Fatalf("Flops(2) = %v, want %v", f, a.Work/2)
+	}
+}
+
+func TestExePerfectlyParallelScaling(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	e1 := a.Exe(pl, 1, 0.1)
+	e4 := a.Exe(pl, 4, 0.1)
+	if math.Abs(e1/4-e4) > 1e-9*e1 {
+		t.Fatalf("perfectly parallel app should scale linearly: %v vs %v", e1/4, e4)
+	}
+}
+
+func TestExeZeroProcessors(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	if !math.IsInf(a.Exe(pl, 0, 0.5), 1) {
+		t.Fatal("zero processors should give infinite time")
+	}
+}
+
+func TestExeNoCacheEqualsFullMissCost(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	want := a.Work * (1 + a.AccessFreq*(pl.LatencyS+pl.LatencyL))
+	if e := a.Exe(pl, 1, 0); math.Abs(e-want) > 1e-9*want {
+		t.Fatalf("Exe(1, 0) = %v, want %v", e, want)
+	}
+}
+
+func TestExeFootprintCap(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	a.Footprint = pl.CacheSize / 10 // a_i = Cs/10
+	capped := a.Exe(pl, 1, 0.5)     // x beyond footprint
+	atCap := a.Exe(pl, 1, 0.1)      // x exactly at footprint
+	if math.Abs(capped-atCap) > 1e-9*atCap {
+		t.Fatalf("cache beyond footprint should not help: %v vs %v", capped, atCap)
+	}
+	below := a.Exe(pl, 1, 0.05)
+	if below <= atCap {
+		t.Fatalf("less cache should be slower: %v <= %v", below, atCap)
+	}
+}
+
+func TestExeUselessFractionBehavesLikeZero(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	a.RefMissRate = 0.9
+	a.RefCacheSize = pl.CacheSize // d_i = 0.9, threshold 0.81
+	th := a.MinUsefulFraction(pl)
+	if math.Abs(th-0.81) > 1e-12 {
+		t.Fatalf("threshold %v, want 0.81", th)
+	}
+	if e0, eHalf := a.Exe(pl, 1, 0), a.Exe(pl, 1, th/2); math.Abs(e0-eHalf) > 1e-9*e0 {
+		t.Fatalf("fraction below threshold should behave like none: %v vs %v", e0, eHalf)
+	}
+}
+
+func TestMaxUsefulFraction(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	if f := a.MaxUsefulFraction(pl); f != 1 {
+		t.Fatalf("unbounded footprint should give 1, got %v", f)
+	}
+	a.Footprint = pl.CacheSize / 4
+	if f := a.MaxUsefulFraction(pl); math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("footprint cap %v, want 0.25", f)
+	}
+	a.Footprint = 10 * pl.CacheSize
+	if f := a.MaxUsefulFraction(pl); f != 1 {
+		t.Fatalf("huge footprint should clamp to 1, got %v", f)
+	}
+}
+
+func TestDominanceWeightAndRatio(t *testing.T) {
+	pl := refPlatform()
+	a := refApp()
+	d := a.D(pl)
+	wantW := math.Pow(a.Work*a.AccessFreq*d, 1/(pl.Alpha+1))
+	if w := a.DominanceWeight(pl); math.Abs(w-wantW) > 1e-9*wantW {
+		t.Fatalf("weight %v, want %v", w, wantW)
+	}
+	wantR := wantW / math.Pow(d, 1/pl.Alpha)
+	if r := a.DominanceRatio(pl); math.Abs(r-wantR) > 1e-9*wantR {
+		t.Fatalf("ratio %v, want %v", r, wantR)
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	pl := refPlatform()
+	if err := ValidateAll(pl, nil); err != ErrEmptySet {
+		t.Fatalf("empty set: got %v", err)
+	}
+	bad := refApp()
+	bad.Work = -1
+	if err := ValidateAll(pl, []Application{refApp(), bad}); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+	if err := ValidateAll(pl, []Application{refApp()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: execution time is non-increasing in both processors and cache
+// fraction — the monotonicity the whole optimization relies on.
+func TestExeMonotonicityProperty(t *testing.T) {
+	pl := refPlatform()
+	f := func(seed uint64) bool {
+		r := solve.NewRNG(seed)
+		a := Application{
+			Name: "q", Work: r.LogUniform(1e8, 1e12),
+			SeqFraction: r.Float64() * 0.3, AccessFreq: r.Float64(),
+			RefMissRate: r.Float64(), RefCacheSize: 40e6,
+		}
+		p1 := 1 + r.Float64()*100
+		p2 := p1 + r.Float64()*100
+		x1 := r.Float64()
+		x2 := x1 + (1-x1)*r.Float64()
+		e11 := a.Exe(pl, p1, x1)
+		if a.Exe(pl, p2, x1) > e11*(1+1e-12) {
+			return false
+		}
+		if a.Exe(pl, p1, x2) > e11*(1+1e-12) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MissRate is always in [0, 1].
+func TestMissRateRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := solve.NewRNG(seed)
+		a := refApp()
+		a.RefMissRate = r.Float64()
+		m := a.MissRate(r.LogUniform(1, 1e12), 0.3+r.Float64()*0.4)
+		return m >= 0 && m <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectlyParallel(t *testing.T) {
+	a := refApp()
+	if !a.PerfectlyParallel() {
+		t.Fatal("zero sequential fraction should be perfectly parallel")
+	}
+	a.SeqFraction = 0.01
+	if a.PerfectlyParallel() {
+		t.Fatal("nonzero sequential fraction is not perfectly parallel")
+	}
+}

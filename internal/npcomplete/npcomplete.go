@@ -1,0 +1,246 @@
+// Package npcomplete mechanizes the NP-completeness argument of Theorem
+// 1: the polynomial reduction from Knapsack to the decision problem
+// CoSchedCache-Dec. It provides an exact Knapsack solver (dynamic
+// programming over sizes), the instance transformation used in the proof,
+// and both directions of the solution mapping, so the construction can be
+// checked computationally on concrete instances (see the package tests).
+package npcomplete
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// KnapsackInstance is the source problem I1: n objects with positive
+// integer sizes and values, a size budget U and a value target V.
+type KnapsackInstance struct {
+	Sizes  []int
+	Values []int
+	U      int // size budget
+	V      int // value target
+}
+
+// Validate reports the first structural problem with the instance.
+func (k KnapsackInstance) Validate() error {
+	if len(k.Sizes) != len(k.Values) {
+		return fmt.Errorf("npcomplete: %d sizes but %d values", len(k.Sizes), len(k.Values))
+	}
+	if len(k.Sizes) == 0 {
+		return fmt.Errorf("npcomplete: empty instance")
+	}
+	for i := range k.Sizes {
+		if k.Sizes[i] <= 0 || k.Values[i] <= 0 {
+			return fmt.Errorf("npcomplete: object %d has non-positive size or value", i)
+		}
+	}
+	if k.U < 0 || k.V < 0 {
+		return fmt.Errorf("npcomplete: negative bounds U=%d V=%d", k.U, k.V)
+	}
+	return nil
+}
+
+// SolveKnapsack answers the decision problem exactly: is there a subset
+// with total size ≤ U and total value ≥ V? It returns a witness subset
+// (indices) when the answer is yes. Complexity O(n·U) time and space —
+// pseudo-polynomial, as expected for an NP-complete problem.
+func SolveKnapsack(k KnapsackInstance) (bool, []int, error) {
+	if err := k.Validate(); err != nil {
+		return false, nil, err
+	}
+	n := len(k.Sizes)
+	// best[u] = max value achievable with total size exactly ≤ u.
+	best := make([]int, k.U+1)
+	choice := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		choice[i] = make([]bool, k.U+1)
+		for u := k.U; u >= k.Sizes[i]; u-- {
+			if cand := best[u-k.Sizes[i]] + k.Values[i]; cand > best[u] {
+				best[u] = cand
+				choice[i][u] = true
+			}
+		}
+	}
+	if best[k.U] < k.V {
+		return false, nil, nil
+	}
+	// Reconstruct a witness.
+	var witness []int
+	u := k.U
+	for i := n - 1; i >= 0; i-- {
+		if choice[i][u] {
+			witness = append(witness, i)
+			u -= k.Sizes[i]
+		}
+	}
+	// Reverse into ascending order.
+	for a, b := 0, len(witness)-1; a < b; a, b = a+1, b-1 {
+		witness[a], witness[b] = witness[b], witness[a]
+	}
+	return true, witness, nil
+}
+
+// Reduction holds the CoSchedCache-Dec instance produced from a Knapsack
+// instance by the Theorem 1 construction, along with the intermediate
+// constants needed to verify it.
+type Reduction struct {
+	Source KnapsackInstance
+	Alpha  float64
+
+	N       int       // max(n, 2U+1)
+	Epsilon float64   // 1/(N(N+1))
+	Eta     float64   // 1 - 1/N
+	D       []float64 // d_i = (u_i·η/U)^α
+	E       []float64 // e_i = (d_i^{1/α} + ε)^α
+	WF      []float64 // w_i·f_i = v_i / (1 - d_i/e_i)
+	Z       []float64 // z_i = w_i f_i ll
+	A       float64   // Σ w_i (1 + f_i ls)
+	PK      float64   // p·K bound
+}
+
+// Reduce applies the construction of Theorem 1 with power-law exponent
+// alpha and platform latencies ls, ll (the proof works for any fixed
+// positive values; the paper uses the generic ones).
+func Reduce(k KnapsackInstance, alpha, ls, ll float64) (*Reduction, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha <= 0 || ls < 0 || ll <= 0 {
+		return nil, fmt.Errorf("npcomplete: need alpha > 0, ls >= 0, ll > 0")
+	}
+	n := len(k.Sizes)
+	N := n
+	if m := 2*k.U + 1; m > N {
+		N = m
+	}
+	r := &Reduction{
+		Source:  k,
+		Alpha:   alpha,
+		N:       N,
+		Epsilon: 1 / (float64(N) * float64(N+1)),
+		Eta:     1 - 1/float64(N),
+		D:       make([]float64, n),
+		E:       make([]float64, n),
+		WF:      make([]float64, n),
+		Z:       make([]float64, n),
+	}
+	var sumZ float64
+	for i := 0; i < n; i++ {
+		ui := float64(k.Sizes[i])
+		r.D[i] = math.Pow(ui*r.Eta/float64(k.U), alpha)
+		r.E[i] = math.Pow(math.Pow(r.D[i], 1/alpha)+r.Epsilon, alpha)
+		r.WF[i] = float64(k.Values[i]) / (1 - r.D[i]/r.E[i])
+		// The proof fixes only the product w_i·f_i; we pick f_i = 1 so
+		// w_i = WF[i], hence A = Σ w_i(1 + f_i·ls) = Σ WF[i]·(1 + ls)
+		// and z_i = w_i·f_i·ll = WF[i]·ll.
+		r.Z[i] = r.WF[i] * ll
+		r.A += r.WF[i] * (1 + ls)
+		sumZ += r.Z[i]
+	}
+	r.PK = r.A + sumZ - float64(k.V)*ll
+	return r, nil
+}
+
+// Applications materializes the reduced instance as model.Applications on
+// the given platform: application i has w_i = WF[i], f_i = 1, footprint
+// a_i = e_i^{1/α}·Cs and reference miss rate chosen so d_i matches the
+// construction (m0 at C0 = Cs equals d_i).
+func (r *Reduction) Applications(pl model.Platform) []model.Application {
+	apps := make([]model.Application, len(r.D))
+	for i := range apps {
+		apps[i] = model.Application{
+			Name:         fmt.Sprintf("reduced-%d", i),
+			Work:         r.WF[i],
+			AccessFreq:   1,
+			RefMissRate:  r.D[i], // measured at C0 = Cs ⇒ d_i = RefMissRate
+			RefCacheSize: pl.CacheSize,
+			Footprint:    math.Pow(r.E[i], 1/r.Alpha) * pl.CacheSize,
+		}
+	}
+	return apps
+}
+
+// ForwardMap converts a Knapsack witness subset into the cache fractions
+// of the proof's forward direction: x_i = e_i^{1/α} for i in the subset,
+// 0 otherwise.
+func (r *Reduction) ForwardMap(subset []int) []float64 {
+	x := make([]float64, len(r.D))
+	for _, i := range subset {
+		x[i] = math.Pow(r.E[i], 1/r.Alpha)
+	}
+	return x
+}
+
+// ObjectiveAPlusB evaluates A + B = Σ w_i(1 + f_i[ls + ll·min(1, d_i/x_i^α)])
+// for cache fractions x under latencies ls, ll (with f_i = 1). Theorem 1
+// accepts iff this is at most PK.
+func (r *Reduction) ObjectiveAPlusB(x []float64, ls, ll float64) float64 {
+	var total float64
+	for i := range r.D {
+		miss := 1.0
+		if x[i] > 0 {
+			miss = math.Min(1, r.D[i]/math.Pow(x[i], r.Alpha))
+		}
+		total += r.WF[i] * (1 + ls + ll*miss)
+	}
+	return total
+}
+
+// CheckForward verifies the proof's forward direction on a concrete
+// witness: the mapped fractions are feasible (Σx ≤ 1, each within
+// (d_i^{1/α}, e_i^{1/α}]) and achieve the bound.
+func (r *Reduction) CheckForward(subset []int, ls, ll float64) error {
+	x := r.ForwardMap(subset)
+	var sum float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		lo := math.Pow(r.D[i], 1/r.Alpha)
+		hi := math.Pow(r.E[i], 1/r.Alpha)
+		if xi <= lo || xi > hi+1e-12 {
+			return fmt.Errorf("npcomplete: x[%d]=%g outside (%g, %g]", i, xi, lo, hi)
+		}
+		sum += xi
+	}
+	if sum > 1+1e-12 {
+		return fmt.Errorf("npcomplete: Σx = %g > 1", sum)
+	}
+	if got := r.ObjectiveAPlusB(x, ls, ll); got > r.PK+1e-6*math.Abs(r.PK) {
+		return fmt.Errorf("npcomplete: objective %g exceeds bound pK = %g", got, r.PK)
+	}
+	return nil
+}
+
+// BackwardMap extracts the nonzero subset from cache fractions.
+func BackwardMap(x []float64) []int {
+	var subset []int
+	for i, xi := range x {
+		if xi > 0 {
+			subset = append(subset, i)
+		}
+	}
+	return subset
+}
+
+// CheckBackward verifies the reverse direction: a feasible fraction
+// vector achieving the bound yields a Knapsack witness.
+func (r *Reduction) CheckBackward(x []float64, ls, ll float64) error {
+	if got := r.ObjectiveAPlusB(x, ls, ll); got > r.PK+1e-6*math.Abs(r.PK) {
+		return fmt.Errorf("npcomplete: objective %g exceeds bound", got)
+	}
+	subset := BackwardMap(x)
+	var size, value float64
+	for _, i := range subset {
+		size += float64(r.Source.Sizes[i])
+		value += float64(r.Source.Values[i])
+	}
+	if size > float64(r.Source.U)+0.5 {
+		return fmt.Errorf("npcomplete: witness size %g exceeds U=%d", size, r.Source.U)
+	}
+	if value < float64(r.Source.V) {
+		return fmt.Errorf("npcomplete: witness value %g below V=%d", value, r.Source.V)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package npcomplete
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+func TestKnapsackValidation(t *testing.T) {
+	if _, _, err := SolveKnapsack(KnapsackInstance{}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	bad := KnapsackInstance{Sizes: []int{1, 2}, Values: []int{3}, U: 2, V: 1}
+	if _, _, err := SolveKnapsack(bad); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	neg := KnapsackInstance{Sizes: []int{-1}, Values: []int{3}, U: 2, V: 1}
+	if _, _, err := SolveKnapsack(neg); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestKnapsackKnownInstances(t *testing.T) {
+	cases := []struct {
+		k    KnapsackInstance
+		want bool
+	}{
+		{KnapsackInstance{Sizes: []int{2, 3, 4}, Values: []int{3, 4, 5}, U: 5, V: 7}, true},   // {0,1}
+		{KnapsackInstance{Sizes: []int{2, 3, 4}, Values: []int{3, 4, 5}, U: 5, V: 8}, false},  // best at U=5 is 7
+		{KnapsackInstance{Sizes: []int{1, 1, 1}, Values: []int{1, 1, 1}, U: 3, V: 3}, true},   // take all
+		{KnapsackInstance{Sizes: []int{5}, Values: []int{10}, U: 4, V: 1}, false},             // cannot fit
+		{KnapsackInstance{Sizes: []int{5}, Values: []int{10}, U: 5, V: 10}, true},             // exact fit
+		{KnapsackInstance{Sizes: []int{3, 3, 3}, Values: []int{5, 5, 5}, U: 6, V: 10}, true},  // two of three
+		{KnapsackInstance{Sizes: []int{3, 3, 3}, Values: []int{5, 5, 5}, U: 6, V: 11}, false}, // can't reach 11
+	}
+	for i, c := range cases {
+		ok, witness, err := SolveKnapsack(c.k)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if ok != c.want {
+			t.Fatalf("case %d: got %v, want %v", i, ok, c.want)
+		}
+		if ok {
+			var size, value int
+			for _, idx := range witness {
+				size += c.k.Sizes[idx]
+				value += c.k.Values[idx]
+			}
+			if size > c.k.U || value < c.k.V {
+				t.Fatalf("case %d: invalid witness %v (size %d, value %d)", i, witness, size, value)
+			}
+		}
+	}
+}
+
+// Property: the DP agrees with brute-force subset enumeration on small
+// random instances.
+func TestKnapsackAgainstBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := solve.NewRNG(seed)
+		n := 1 + r.Intn(10)
+		k := KnapsackInstance{U: 1 + r.Intn(20), V: 1 + r.Intn(30)}
+		for i := 0; i < n; i++ {
+			k.Sizes = append(k.Sizes, 1+r.Intn(8))
+			k.Values = append(k.Values, 1+r.Intn(10))
+		}
+		got, _, err := SolveKnapsack(k)
+		if err != nil {
+			return false
+		}
+		want := false
+		for mask := 0; mask < 1<<n; mask++ {
+			size, value := 0, 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					size += k.Sizes[i]
+					value += k.Values[i]
+				}
+			}
+			if size <= k.U && value >= k.V {
+				want = true
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2}, Values: []int{3}, U: 4, V: 3}
+	if _, err := Reduce(k, 0, 0.17, 1); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := Reduce(k, 0.5, -1, 1); err == nil {
+		t.Fatal("negative ls accepted")
+	}
+	if _, err := Reduce(KnapsackInstance{}, 0.5, 0.17, 1); err == nil {
+		t.Fatal("invalid knapsack accepted")
+	}
+}
+
+func TestReductionConstants(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 4, V: 6}
+	r, err := Reduce(k, 0.5, 0.17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 2*4+1 {
+		t.Fatalf("N = %d, want 9", r.N)
+	}
+	if math.Abs(r.Epsilon-1.0/(9*10)) > 1e-15 {
+		t.Fatalf("epsilon %v", r.Epsilon)
+	}
+	if math.Abs(r.Eta-(1-1.0/9)) > 1e-15 {
+		t.Fatalf("eta %v", r.Eta)
+	}
+	for i := range k.Sizes {
+		wantD := math.Pow(float64(k.Sizes[i])*r.Eta/4, 0.5)
+		if math.Abs(r.D[i]-wantD) > 1e-12 {
+			t.Fatalf("d[%d] = %v, want %v", i, r.D[i], wantD)
+		}
+		if r.E[i] <= r.D[i] {
+			t.Fatalf("e[%d] = %v not above d = %v", i, r.E[i], r.D[i])
+		}
+		if r.WF[i] <= 0 {
+			t.Fatalf("wf[%d] = %v", i, r.WF[i])
+		}
+	}
+}
+
+// The heart of Theorem 1, checked computationally: the Knapsack instance
+// is a yes-instance if and only if the forward-mapped fraction vector
+// achieves the CoSchedCache bound.
+func TestReductionForwardDirection(t *testing.T) {
+	const ls, ll = 0.17, 1.0
+	yes := KnapsackInstance{Sizes: []int{2, 3, 4}, Values: []int{3, 4, 5}, U: 5, V: 7}
+	ok, witness, err := SolveKnapsack(yes)
+	if err != nil || !ok {
+		t.Fatalf("expected yes-instance: %v %v", ok, err)
+	}
+	r, err := Reduce(yes, 0.5, ls, ll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckForward(witness, ls, ll); err != nil {
+		t.Fatalf("forward direction failed: %v", err)
+	}
+}
+
+func TestReductionBackwardDirection(t *testing.T) {
+	const ls, ll = 0.17, 1.0
+	yes := KnapsackInstance{Sizes: []int{2, 3, 4}, Values: []int{3, 4, 5}, U: 5, V: 7}
+	ok, witness, err := SolveKnapsack(yes)
+	if err != nil || !ok {
+		t.Fatal("setup failed")
+	}
+	r, err := Reduce(yes, 0.5, ls, ll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := r.ForwardMap(witness)
+	if err := r.CheckBackward(x, ls, ll); err != nil {
+		t.Fatalf("backward direction failed: %v", err)
+	}
+}
+
+// Property: on random yes-instances the full cycle holds — solve, map
+// forward, verify feasibility + bound, map back, recover a witness.
+func TestReductionRoundTripProperty(t *testing.T) {
+	const ls, ll = 0.17, 1.0
+	f := func(seed uint64) bool {
+		r := solve.NewRNG(seed)
+		n := 1 + r.Intn(6)
+		k := KnapsackInstance{U: 1 + r.Intn(10)}
+		for i := 0; i < n; i++ {
+			k.Sizes = append(k.Sizes, 1+r.Intn(5))
+			k.Values = append(k.Values, 1+r.Intn(8))
+		}
+		// Choose V achievable half the time.
+		k.V = 1 + r.Intn(12)
+		ok, witness, err := SolveKnapsack(k)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true // nothing to round-trip
+		}
+		red, err := Reduce(k, 0.5, ls, ll)
+		if err != nil {
+			return false
+		}
+		if err := red.CheckForward(witness, ls, ll); err != nil {
+			return false
+		}
+		x := red.ForwardMap(witness)
+		return red.CheckBackward(x, ls, ll) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplicationsMaterialization(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 4, V: 6}
+	r, err := Reduce(k, 0.5, 0.17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := model.TaihuLight()
+	apps := r.Applications(pl)
+	if len(apps) != 2 {
+		t.Fatalf("%d applications", len(apps))
+	}
+	for i, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("app %d invalid: %v", i, err)
+		}
+		// d_i of the materialized app equals the construction's d_i.
+		if got := a.D(pl); math.Abs(got-r.D[i]) > 1e-12 {
+			t.Fatalf("app %d: D = %v, want %v", i, got, r.D[i])
+		}
+		// Footprint cap corresponds to e_i.
+		wantCap := math.Pow(r.E[i], 1/0.5)
+		if got := a.MaxUsefulFraction(pl); math.Abs(got-math.Min(1, wantCap)) > 1e-12 {
+			t.Fatalf("app %d: cap %v, want %v", i, got, wantCap)
+		}
+	}
+}
+
+func TestBackwardMap(t *testing.T) {
+	subset := BackwardMap([]float64{0, 0.2, 0, 0.3})
+	if len(subset) != 2 || subset[0] != 1 || subset[1] != 3 {
+		t.Fatalf("subset %v", subset)
+	}
+}

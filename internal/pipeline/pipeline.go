@@ -1,0 +1,203 @@
+// Package pipeline applies the co-scheduler to the scenario that
+// motivates the paper's introduction: in-situ analysis of a periodic
+// simulation (the HACC workflow of Sewell et al.). A main simulation
+// emits a data batch every period; a fleet of analysis applications must
+// process each batch on a dedicated node and finish before its output is
+// needed, otherwise batches queue up and data spills to the parallel
+// filesystem.
+//
+// The package answers the operational questions: what is the shortest
+// sustainable batch period for a given fleet and node, how much does
+// batch pipelining (co-scheduling k consecutive batches together) help,
+// and what happens — lateness, backlog — when batches arrive faster than
+// the fleet can drain them.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+)
+
+// Config describes a periodic in-situ workload.
+type Config struct {
+	Platform model.Platform
+	// Analyses is the per-batch application fleet.
+	Analyses []model.Application
+	// Heuristic chooses the co-scheduling policy (DominantMinRatio is
+	// the sensible default).
+	Heuristic sched.Heuristic
+	// Depth is the pipelining depth: Depth consecutive batches are
+	// co-scheduled together (their fleets merged into one schedule).
+	// Depth 1 (or 0, treated as 1) processes batches one at a time.
+	Depth int
+	// RNG seeds randomized heuristics; may be nil.
+	RNG *solve.RNG
+}
+
+func (c Config) depth() int {
+	if c.Depth < 1 {
+		return 1
+	}
+	return c.Depth
+}
+
+// Plan is the steady-state answer for a configuration.
+type Plan struct {
+	// Schedule co-schedules depth × len(Analyses) application
+	// instances; instance i·len(Analyses)+j is batch-offset i of
+	// analysis j.
+	Schedule *sched.Schedule
+	// BatchLatency is the completion time of one super-batch (depth
+	// batches processed together).
+	BatchLatency float64
+	// SustainablePeriod is the minimal batch interarrival the fleet
+	// keeps up with: BatchLatency / depth.
+	SustainablePeriod float64
+	// Depth echoes the pipelining depth used.
+	Depth int
+}
+
+// NewPlan computes the steady-state plan for cfg.
+func NewPlan(cfg Config) (*Plan, error) {
+	if len(cfg.Analyses) == 0 {
+		return nil, fmt.Errorf("pipeline: no analyses")
+	}
+	d := cfg.depth()
+	merged := make([]model.Application, 0, d*len(cfg.Analyses))
+	for b := 0; b < d; b++ {
+		for _, a := range cfg.Analyses {
+			inst := a
+			inst.Name = fmt.Sprintf("%s#b%d", a.Name, b)
+			merged = append(merged, inst)
+		}
+	}
+	s, err := cfg.Heuristic.Schedule(cfg.Platform, merged, cfg.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scheduling depth-%d super-batch: %w", d, err)
+	}
+	return &Plan{
+		Schedule:          s,
+		BatchLatency:      s.Makespan,
+		SustainablePeriod: s.Makespan / float64(d),
+		Depth:             d,
+	}, nil
+}
+
+// BestDepth searches depths 1…maxDepth and returns the plan with the
+// smallest sustainable period. Deeper pipelines amortize Amdahl
+// sequential fractions across more concurrent work but increase batch
+// latency; the sweet spot depends on the fleet.
+func BestDepth(cfg Config, maxDepth int) (*Plan, error) {
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("pipeline: maxDepth must be >= 1, got %d", maxDepth)
+	}
+	var best *Plan
+	for d := 1; d <= maxDepth; d++ {
+		c := cfg
+		c.Depth = d
+		p, err := NewPlan(c)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || p.SustainablePeriod < best.SustainablePeriod {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// BatchStats summarizes a simulated run of the pipeline.
+type BatchStats struct {
+	Batches     int
+	MaxLateness float64 // worst completion-past-deadline, 0 if none
+	MaxBacklog  int     // deepest queue of waiting batches
+	MeanLatency float64 // mean arrival-to-completion time
+	Sustainable bool    // no lateness against deadline = period
+}
+
+// SimulateArrivals plays out `batches` periodic arrivals with the given
+// interarrival period against the plan. Batches are processed
+// super-batch by super-batch (depth arrivals are accumulated before the
+// merged schedule starts), FIFO, one super-batch at a time on the node.
+// Each batch's deadline is its arrival plus (2·depth − 1) periods: up to
+// depth−1 periods waiting for its super-batch to fill, plus the depth
+// periods the node needs to process it in steady state. At exactly the
+// sustainable period this bound is tight for the first batch of every
+// super-batch.
+func (p *Plan) SimulateArrivals(period float64, batches int) (*BatchStats, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("pipeline: period must be positive, got %g", period)
+	}
+	if batches < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one batch, got %d", batches)
+	}
+	st := &BatchStats{Batches: batches, Sustainable: true}
+	var nodeFree float64 // when the node finishes its current super-batch
+	var latSum solve.Kahan
+	for b := 0; b < batches; b += p.Depth {
+		last := b + p.Depth - 1
+		if last >= batches {
+			last = batches - 1
+		}
+		ready := float64(last) * period // all batches of the super-batch arrived
+		start := math.Max(ready, nodeFree)
+		finish := start + p.BatchLatency
+		nodeFree = finish
+		// Backlog when this super-batch starts: arrivals before start
+		// minus batches fully processed.
+		arrived := int(math.Floor(start/period)) + 1
+		if arrived > batches {
+			arrived = batches
+		}
+		backlog := arrived - b
+		if backlog > st.MaxBacklog {
+			st.MaxBacklog = backlog
+		}
+		for i := b; i <= last; i++ {
+			arrival := float64(i) * period
+			latSum.Add(finish - arrival)
+			deadline := arrival + period*float64(2*p.Depth-1)
+			if late := finish - deadline; late > st.MaxLateness {
+				st.MaxLateness = late
+			}
+		}
+	}
+	if st.MaxLateness > 1e-9*p.BatchLatency {
+		st.Sustainable = false
+	} else {
+		st.MaxLateness = 0
+	}
+	st.MeanLatency = latSum.Sum() / float64(batches)
+	return st, nil
+}
+
+// MinSustainablePeriod verifies SustainablePeriod by simulation: it
+// returns the smallest period (within rtol) for which simulating
+// `batches` arrivals is sustainable, found by bisection between
+// SustainablePeriod/2 and 2×SustainablePeriod.
+func (p *Plan) MinSustainablePeriod(batches int, rtol float64) (float64, error) {
+	lo, hi := p.SustainablePeriod/2, p.SustainablePeriod*2
+	ok := func(period float64) bool {
+		st, err := p.SimulateArrivals(period, batches)
+		return err == nil && st.Sustainable
+	}
+	if ok(lo) {
+		return lo, nil
+	}
+	if !ok(hi) {
+		return 0, fmt.Errorf("pipeline: not sustainable even at twice the analytic period")
+	}
+	for hi-lo > rtol*hi {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+func testConfig(n int, seq float64) Config {
+	apps, err := workload.Generate(workload.Config{
+		Generator: workload.GenNPBSynth, N: n, Seq: seq, SeqFixed: true,
+	}, solve.NewRNG(123))
+	if err != nil {
+		panic(err)
+	}
+	pl := model.TaihuLight()
+	pl.Processors = 64
+	return Config{Platform: pl, Analyses: apps, Heuristic: sched.DominantMinRatio}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(Config{Platform: model.TaihuLight()}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+func TestNewPlanDepthOne(t *testing.T) {
+	cfg := testConfig(6, 0.05)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth != 1 {
+		t.Fatalf("depth %d", p.Depth)
+	}
+	if p.SustainablePeriod != p.BatchLatency {
+		t.Fatal("depth-1 period must equal batch latency")
+	}
+	if len(p.Schedule.Assignments) != 6 {
+		t.Fatalf("%d assignments", len(p.Schedule.Assignments))
+	}
+}
+
+func TestDeeperPipelineImprovesThroughput(t *testing.T) {
+	cfg := testConfig(4, 0.1) // large sequential fractions: packing helps
+	p1, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Depth = 4
+	p4, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.SustainablePeriod >= p1.SustainablePeriod {
+		t.Fatalf("depth 4 period %v not below depth 1 %v", p4.SustainablePeriod, p1.SustainablePeriod)
+	}
+	// But latency grows.
+	if p4.BatchLatency <= p1.BatchLatency {
+		t.Fatalf("depth 4 latency %v should exceed depth 1 %v", p4.BatchLatency, p1.BatchLatency)
+	}
+	// The merged schedule covers depth × fleet instances and the input
+	// fleet itself is untouched.
+	if got := len(p4.Schedule.Assignments); got != 4*len(cfg.Analyses) {
+		t.Fatalf("depth-4 schedule has %d assignments", got)
+	}
+	for _, a := range cfg.Analyses {
+		if strings.Contains(a.Name, "#b") {
+			t.Fatal("NewPlan mutated the input fleet")
+		}
+	}
+}
+
+func TestBestDepth(t *testing.T) {
+	cfg := testConfig(4, 0.1)
+	best, err := BestDepth(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best must be at least as good as both endpoints.
+	for _, d := range []int{1, 6} {
+		c := cfg
+		c.Depth = d
+		p, err := NewPlan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.SustainablePeriod > p.SustainablePeriod*(1+1e-12) {
+			t.Fatalf("BestDepth (%v at depth %d) beaten by depth %d (%v)",
+				best.SustainablePeriod, best.Depth, d, p.SustainablePeriod)
+		}
+	}
+	if _, err := BestDepth(cfg, 0); err == nil {
+		t.Fatal("maxDepth 0 accepted")
+	}
+}
+
+func TestSimulateArrivalsSustainable(t *testing.T) {
+	cfg := testConfig(5, 0.05)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.SimulateArrivals(p.SustainablePeriod*1.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sustainable || st.MaxLateness != 0 {
+		t.Fatalf("5%% slack should be sustainable: %+v", st)
+	}
+	if st.MaxBacklog > p.Depth {
+		t.Fatalf("backlog %d beyond depth", st.MaxBacklog)
+	}
+}
+
+func TestSimulateArrivalsOverload(t *testing.T) {
+	cfg := testConfig(5, 0.05)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.SimulateArrivals(p.SustainablePeriod*0.7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sustainable {
+		t.Fatal("30%% overload reported sustainable")
+	}
+	if st.MaxLateness <= 0 {
+		t.Fatal("overload without lateness")
+	}
+	if st.MaxBacklog < 2 {
+		t.Fatalf("overload should build a queue, backlog %d", st.MaxBacklog)
+	}
+	// Mean latency under overload grows beyond the batch latency.
+	if st.MeanLatency <= p.BatchLatency {
+		t.Fatalf("overloaded latency %v not above batch latency %v", st.MeanLatency, p.BatchLatency)
+	}
+}
+
+func TestSimulateArrivalsValidation(t *testing.T) {
+	cfg := testConfig(3, 0.05)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SimulateArrivals(0, 10); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := p.SimulateArrivals(1, 0); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+}
+
+func TestMinSustainablePeriodAgreesWithAnalytic(t *testing.T) {
+	cfg := testConfig(5, 0.05)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := p.MinSustainablePeriod(60, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(min-p.SustainablePeriod) > 1e-3*p.SustainablePeriod {
+		t.Fatalf("simulated minimum %v vs analytic %v", min, p.SustainablePeriod)
+	}
+}
+
+// Property: for any fleet and depth, simulating exactly at the
+// sustainable period (with a hair of slack) never misses a deadline.
+func TestSustainablePeriodProperty(t *testing.T) {
+	f := func(seed uint64, nPick, dPick uint8) bool {
+		n := 1 + int(nPick)%6
+		d := 1 + int(dPick)%4
+		apps, err := workload.Generate(workload.Config{
+			Generator: workload.GenNPBSynth, N: n, Seq: 0.05, SeqFixed: true,
+		}, solve.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		pl := model.TaihuLight()
+		pl.Processors = 64
+		p, err := NewPlan(Config{Platform: pl, Analyses: apps, Heuristic: sched.DominantMinRatio, Depth: d})
+		if err != nil {
+			return false
+		}
+		st, err := p.SimulateArrivals(p.SustainablePeriod*(1+1e-9), 3*d+5)
+		return err == nil && st.Sustainable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// Edge cases the main suites do not reach: single applications,
+// fractional platforms, footprint-capped workloads and degenerate
+// parameters.
+
+func TestSingleApplicationAllHeuristics(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps(0.05)[:1]
+	for _, h := range ExtendedHeuristics {
+		s, err := h.Schedule(pl, apps, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := s.Validate(pl, apps); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		// Alone, every concurrent policy gives the app the whole
+		// machine; the makespan equals the solo run.
+		want := apps[0].Exe(pl, pl.Processors, s.Assignments[0].CacheShare)
+		if math.Abs(s.Makespan-want) > 1e-6*want {
+			t.Fatalf("%v: makespan %v, solo %v", h, s.Makespan, want)
+		}
+	}
+}
+
+func TestFractionalProcessorPlatform(t *testing.T) {
+	// Rational platforms are legal (e.g. 2.5 "processors" of a shared
+	// node slice).
+	pl := refPlatform()
+	pl.Processors = 2.5
+	apps := npbApps(0.05)[:2]
+	s, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(pl, apps); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, a := range s.Assignments {
+		sum += a.Processors
+	}
+	if sum > 2.5*(1+1e-9) {
+		t.Fatalf("budget exceeded: %v", sum)
+	}
+}
+
+func TestFootprintCappedApplications(t *testing.T) {
+	// Applications whose footprint is below their Lemma-4 share: the
+	// schedule stays feasible and the model caps the benefit.
+	pl := refPlatform()
+	apps := npbApps(0.05)
+	for i := range apps {
+		apps[i].Footprint = pl.CacheSize / 20 // at most 5% useful each
+	}
+	s, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(pl, apps); err != nil {
+		t.Fatal(err)
+	}
+	// Granting a share above the footprint is at worst harmless: Exe at
+	// the granted share equals Exe at the cap.
+	for i, a := range apps {
+		atShare := a.Exe(pl, s.Assignments[i].Processors, s.Assignments[i].CacheShare)
+		atCap := a.Exe(pl, s.Assignments[i].Processors, math.Min(s.Assignments[i].CacheShare, 0.05))
+		if math.Abs(atShare-atCap) > 1e-9*atCap {
+			t.Fatalf("app %d: share beyond footprint changed Exe: %v vs %v", i, atShare, atCap)
+		}
+	}
+}
+
+func TestEqualizerSingleApp(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps(0.1)[:1]
+	procs, K, err := EqualizeAmdahl(pl, apps, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(procs[0]-pl.Processors) > 1e-6*pl.Processors {
+		t.Fatalf("solo app should get the machine: %v", procs[0])
+	}
+	want := apps[0].Exe(pl, pl.Processors, 1)
+	if math.Abs(K-want) > 1e-9*want {
+		t.Fatalf("K %v, want %v", K, want)
+	}
+}
+
+func TestZeroAccessFrequency(t *testing.T) {
+	// Pure-compute applications (f_i = 0): the cache is irrelevant and
+	// Fair's frequency-proportional split degenerates to zero shares.
+	pl := refPlatform()
+	apps := npbApps(0.05)
+	for i := range apps {
+		apps[i].AccessFreq = 0
+	}
+	for _, h := range []Heuristic{Fair, DominantMinRatio, ZeroCache, SharedCache} {
+		s, err := h.Schedule(pl, apps, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := s.Validate(pl, apps); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+	}
+}
+
+func TestManyMoreAppsThanProcessors(t *testing.T) {
+	pl := refPlatform()
+	pl.Processors = 8
+	apps, err := workload.Generate(workload.Config{Generator: workload.GenNPBSynth, N: 64}, solve.NewRNG(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Heuristic{DominantMinRatio, Fair, ZeroCache} {
+		s, err := h.Schedule(pl, apps, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := s.Validate(pl, apps); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+	}
+}
+
+func TestExtremeLatencies(t *testing.T) {
+	pl := refPlatform()
+	pl.LatencyS = 0 // free cache hits
+	apps := npbApps(0.05)
+	s, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(pl, apps); err != nil {
+		t.Fatal(err)
+	}
+	pl.LatencyL = 0 // free misses: the cache is worthless but legal
+	s2, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan > s.Makespan {
+		t.Fatal("free misses cannot be slower than costly ones")
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// equalizeTol is the relative bisection tolerance on the makespan K.
+const equalizeTol = 1e-12
+
+// ProcessorsLemma2 assigns processors per Lemma 2 for perfectly parallel
+// applications: p_i = p · Exe^seq_i(x_i) / Σ_j Exe^seq_j(x_j), which makes
+// all applications finish simultaneously at (Σ_j Exe^seq_j(x_j))/p.
+func ProcessorsLemma2(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64) {
+	seq := make([]float64, len(apps))
+	var total solve.Kahan
+	for i, a := range apps {
+		seq[i] = a.ExeSeq(pl, shares[i])
+		total.Add(seq[i])
+	}
+	sum := total.Sum()
+	procs := make([]float64, len(apps))
+	if sum == 0 {
+		return procs, 0
+	}
+	for i := range procs {
+		procs[i] = pl.Processors * seq[i] / sum
+	}
+	return procs, sum / pl.Processors
+}
+
+// EqualizeAmdahl finds the common completion time K and processor counts
+// p_i for general Amdahl applications with fixed cache shares (Section
+// 5). Each application's execution time is (s_i + (1-s_i)/p_i)·c_i with
+// c_i = w_i·CostPerOp(x_i); setting them all equal to K and using the
+// full budget Σp_i = p gives
+//
+//	Σ_i (1-s_i) / (K/c_i - s_i) = p,
+//
+// whose left side is strictly decreasing in K, solved by bisection.
+// The bracket is [K_lo, K_hi] with K_lo the finish time of the slowest
+// app granted all p processors (no schedule can beat it) and K_hi the
+// largest single-processor time (p_i = 1 is always feasible for n ≤ p).
+func EqualizeAmdahl(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64, error) {
+	n := len(apps)
+	if n == 0 {
+		return nil, 0, ErrInfeasible
+	}
+	c := make([]float64, n)
+	allSeqZero := true
+	for i, a := range apps {
+		c[i] = a.Work * a.CostPerOp(pl, shares[i])
+		if a.SeqFraction != 0 {
+			allSeqZero = false
+		}
+	}
+	if allSeqZero {
+		procs, K := ProcessorsLemma2(pl, apps, shares)
+		return procs, K, nil
+	}
+
+	demand := func(K float64) float64 {
+		var sum solve.Kahan
+		for i, a := range apps {
+			s := a.SeqFraction
+			den := K/c[i] - s
+			if den <= 0 {
+				return math.Inf(1)
+			}
+			sum.Add((1 - s) / den)
+		}
+		return sum.Sum()
+	}
+
+	var lo, hi float64
+	for i, a := range apps {
+		lo = math.Max(lo, c[i]*(a.SeqFraction+(1-a.SeqFraction)/pl.Processors))
+		hi = math.Max(hi, c[i])
+	}
+	if demand(hi) > pl.Processors {
+		// More total single-processor demand than processors: stretch
+		// the bracket until feasible (happens when n > p).
+		for demand(hi) > pl.Processors {
+			hi *= 2
+			if math.IsInf(hi, 1) {
+				return nil, 0, fmt.Errorf("sched: equalizer bracket diverged")
+			}
+		}
+	}
+	if lo >= hi {
+		hi = lo * (1 + 1e-9)
+	}
+	K, err := solve.BisectDecreasing(demand, pl.Processors, lo, hi, equalizeTol)
+	if err != nil && err != solve.ErrNoConverge {
+		// demand(lo) may already be below p when the bracket's lower
+		// end is loose; the makespan is then lo itself (the slowest
+		// application pinned at full machine speed).
+		if demand(lo) <= pl.Processors {
+			K = lo
+		} else {
+			return nil, 0, fmt.Errorf("sched: equalizer failed: %w", err)
+		}
+	}
+	procs := make([]float64, n)
+	for i, a := range apps {
+		s := a.SeqFraction
+		den := K/c[i] - s
+		if den <= 0 {
+			procs[i] = pl.Processors // degenerate: app pinned at K ≈ its own floor
+			continue
+		}
+		procs[i] = (1 - s) / den
+	}
+	rescale(procs, pl.Processors)
+	return procs, K, nil
+}
+
+// rescale scales procs down proportionally if their sum exceeds the
+// budget (bisection slack), leaving feasibility exact.
+func rescale(procs []float64, budget float64) {
+	sum := solve.Sum(procs)
+	if sum > budget {
+		f := budget / sum
+		for i := range procs {
+			procs[i] *= f
+		}
+	}
+}

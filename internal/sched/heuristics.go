@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Heuristic names one of the ten scheduling policies evaluated in the
+// paper.
+type Heuristic int
+
+const (
+	// DominantRandom: Algorithm 1 with the Random choice policy.
+	DominantRandom Heuristic = iota
+	// DominantMinRatio: Algorithm 1 evicting the smallest dominance
+	// ratio first — the paper's reference heuristic.
+	DominantMinRatio
+	// DominantMaxRatio: Algorithm 1 evicting the largest ratio first.
+	DominantMaxRatio
+	// DominantRevRandom: Algorithm 2 with Random.
+	DominantRevRandom
+	// DominantRevMinRatio: Algorithm 2 admitting the smallest ratio first.
+	DominantRevMinRatio
+	// DominantRevMaxRatio: Algorithm 2 admitting the largest ratio
+	// first; ties DominantMinRatio as best in the paper.
+	DominantRevMaxRatio
+	// Fair gives every application p/n processors and a cache share
+	// proportional to its access frequency.
+	Fair
+	// ZeroCache gives nobody cache and equalizes completion times
+	// ("0cache" in the paper).
+	ZeroCache
+	// RandomPart puts a uniformly random subset in cache, computes
+	// shares with the dominant-partition closed form, and equalizes.
+	RandomPart
+	// AllProcCache runs applications sequentially, each with the whole
+	// machine and the whole cache (the no-co-scheduling baseline).
+	AllProcCache
+	// SharedCache co-schedules on an UNPARTITIONED LLC: occupancies
+	// follow access pressure instead of a deliberate split (extension;
+	// quantifies what partitioning itself buys).
+	SharedCache
+	// LocalSearch refines DominantMinRatio by Amdahl-aware membership
+	// hill-climbing (extension; the paper's named future work).
+	LocalSearch
+)
+
+// Heuristics lists the paper's ten policies in presentation order.
+// The extensions SharedCache and LocalSearch are kept out of this list so
+// the reproduced figures contain exactly the paper's series; see
+// ExtendedHeuristics.
+var Heuristics = []Heuristic{
+	DominantRandom, DominantMinRatio, DominantMaxRatio,
+	DominantRevRandom, DominantRevMinRatio, DominantRevMaxRatio,
+	Fair, ZeroCache, RandomPart, AllProcCache,
+}
+
+// ExtendedHeuristics lists every policy including the extensions.
+var ExtendedHeuristics = append(append([]Heuristic{}, Heuristics...), SharedCache, LocalSearch)
+
+// DominantHeuristics lists the six dominant-partition variants compared
+// in Figure 1.
+var DominantHeuristics = []Heuristic{
+	DominantRandom, DominantMinRatio, DominantMaxRatio,
+	DominantRevRandom, DominantRevMinRatio, DominantRevMaxRatio,
+}
+
+// String implements fmt.Stringer using the paper's small-caps names.
+func (h Heuristic) String() string {
+	switch h {
+	case DominantRandom:
+		return "DominantRandom"
+	case DominantMinRatio:
+		return "DominantMinRatio"
+	case DominantMaxRatio:
+		return "DominantMaxRatio"
+	case DominantRevRandom:
+		return "DominantRevRandom"
+	case DominantRevMinRatio:
+		return "DominantRevMinRatio"
+	case DominantRevMaxRatio:
+		return "DominantRevMaxRatio"
+	case Fair:
+		return "Fair"
+	case ZeroCache:
+		return "ZeroCache"
+	case RandomPart:
+		return "RandomPart"
+	case AllProcCache:
+		return "AllProcCache"
+	case SharedCache:
+		return "SharedCache"
+	case LocalSearch:
+		return "LocalSearch"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// ParseHeuristic resolves a case-sensitive heuristic name as produced by
+// String.
+func ParseHeuristic(name string) (Heuristic, error) {
+	for _, h := range ExtendedHeuristics {
+		if h.String() == name {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown heuristic %q", name)
+}
+
+// Schedule computes a complete schedule with heuristic h. rng drives the
+// randomized policies (DominantRandom, DominantRevRandom, RandomPart) and
+// may be nil for deterministic ones.
+func (h Heuristic) Schedule(pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+	if err := model.ValidateAll(pl, apps); err != nil {
+		return nil, err
+	}
+	switch h {
+	case DominantRandom, DominantMinRatio, DominantMaxRatio,
+		DominantRevRandom, DominantRevMinRatio, DominantRevMaxRatio:
+		return dominantSchedule(pl, apps, h, rng)
+	case Fair:
+		return fairSchedule(pl, apps)
+	case ZeroCache:
+		return sharesSchedule(pl, apps, make([]float64, len(apps)))
+	case RandomPart:
+		return randomPartSchedule(pl, apps, rng)
+	case AllProcCache:
+		return allProcCacheSchedule(pl, apps)
+	case SharedCache:
+		return SharedCacheSchedule(pl, apps)
+	case LocalSearch:
+		return LocalSearchSchedule(pl, apps, LocalSearchOptions{}, rng)
+	default:
+		return nil, fmt.Errorf("sched: unknown heuristic %v", h)
+	}
+}
+
+// choiceFor maps a heuristic to its core.Choice.
+func choiceFor(h Heuristic, rng *solve.RNG) (core.Choice, bool, error) {
+	switch h {
+	case DominantRandom:
+		return core.ChooseRandom(requireRNG(rng)), false, nil
+	case DominantMinRatio:
+		return core.ChooseMinRatio, false, nil
+	case DominantMaxRatio:
+		return core.ChooseMaxRatio, false, nil
+	case DominantRevRandom:
+		return core.ChooseRandom(requireRNG(rng)), true, nil
+	case DominantRevMinRatio:
+		return core.ChooseMinRatio, true, nil
+	case DominantRevMaxRatio:
+		return core.ChooseMaxRatio, true, nil
+	}
+	return nil, false, fmt.Errorf("sched: %v is not a dominant-partition heuristic", h)
+}
+
+func requireRNG(rng *solve.RNG) *solve.RNG {
+	if rng == nil {
+		// Deterministic fallback keeps the API total; callers that care
+		// about replicate independence pass their own stream.
+		return solve.NewRNG(0)
+	}
+	return rng
+}
+
+// dominantSchedule: build a dominant partition on the perfectly parallel
+// proxy of the applications (Section 5 temporarily assumes s_i = 0 to
+// pick the partition), take the closed-form cache shares, then equalize
+// completion times for the true Amdahl profiles.
+func dominantSchedule(pl model.Platform, apps []model.Application, h Heuristic, rng *solve.RNG) (*Schedule, error) {
+	choice, reverse, err := choiceFor(h, rng)
+	if err != nil {
+		return nil, err
+	}
+	proxy := make([]model.Application, len(apps))
+	for i, a := range apps {
+		a.SeqFraction = 0
+		proxy[i] = a
+	}
+	part, err := core.BuildDominant(pl, proxy, reverse, choice)
+	if err != nil {
+		return nil, err
+	}
+	return sharesSchedule(pl, apps, part.Shares())
+}
+
+// sharesSchedule completes a schedule from fixed cache shares by
+// equalizing completion times.
+func sharesSchedule(pl model.Platform, apps []model.Application, shares []float64) (*Schedule, error) {
+	procs, _, err := EqualizeAmdahl(pl, apps, shares)
+	if err != nil {
+		return nil, err
+	}
+	asg := make([]Assignment, len(apps))
+	for i := range apps {
+		asg[i] = Assignment{Processors: procs[i], CacheShare: shares[i]}
+	}
+	return &Schedule{Assignments: asg, Makespan: maxFinish(pl, apps, asg)}, nil
+}
+
+// fairSchedule: p_i = p/n and x_i = f_i / Σf_j (Section 6.3).
+func fairSchedule(pl model.Platform, apps []model.Application) (*Schedule, error) {
+	n := float64(len(apps))
+	var fsum solve.Kahan
+	for _, a := range apps {
+		fsum.Add(a.AccessFreq)
+	}
+	total := fsum.Sum()
+	asg := make([]Assignment, len(apps))
+	for i, a := range apps {
+		x := 0.0
+		if total > 0 {
+			x = a.AccessFreq / total
+		}
+		asg[i] = Assignment{Processors: pl.Processors / n, CacheShare: x}
+	}
+	s := &Schedule{Assignments: asg, Makespan: maxFinish(pl, apps, asg)}
+	return s, nil
+}
+
+// randomPartSchedule: uniformly random membership, closed-form shares on
+// the members, equalized processors (Section 6.3).
+func randomPartSchedule(pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+	r := requireRNG(rng)
+	members := make([]bool, len(apps))
+	for i := range members {
+		members[i] = r.Intn(2) == 1
+	}
+	part, err := core.NewPartition(pl, apps, members)
+	if err != nil {
+		return nil, err
+	}
+	return sharesSchedule(pl, apps, part.Shares())
+}
+
+// allProcCacheSchedule: applications run one after another, each on the
+// whole machine with the whole cache.
+func allProcCacheSchedule(pl model.Platform, apps []model.Application) (*Schedule, error) {
+	asg := make([]Assignment, len(apps))
+	var total solve.Kahan
+	for i, a := range apps {
+		asg[i] = Assignment{Processors: pl.Processors, CacheShare: 1}
+		total.Add(a.Exe(pl, pl.Processors, 1))
+	}
+	return &Schedule{Assignments: asg, Makespan: total.Sum(), Sequential: true}, nil
+}
+
+// SortedByRatio returns application indices sorted by increasing
+// dominance ratio, a convenience for analyses and tests.
+func SortedByRatio(pl model.Platform, apps []model.Application) []int {
+	idx := make([]int, len(apps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return apps[idx[a]].DominanceRatio(pl) < apps[idx[b]].DominanceRatio(pl)
+	})
+	return idx
+}

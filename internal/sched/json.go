@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+// scheduleJSON is the stable on-disk form of a schedule, carrying enough
+// context (heuristic, platform, application names) to audit the decision
+// later.
+type scheduleJSON struct {
+	Heuristic   string           `json:"heuristic,omitempty"`
+	Platform    platformJSON     `json:"platform"`
+	Assignments []assignmentJSON `json:"assignments"`
+	Makespan    float64          `json:"makespan"`
+	Sequential  bool             `json:"sequential,omitempty"`
+}
+
+type platformJSON struct {
+	Processors float64 `json:"processors"`
+	CacheSize  float64 `json:"cacheSize"`
+	LatencyS   float64 `json:"ls"`
+	LatencyL   float64 `json:"ll"`
+	Alpha      float64 `json:"alpha"`
+}
+
+type assignmentJSON struct {
+	App        string  `json:"app"`
+	Processors float64 `json:"processors"`
+	CacheShare float64 `json:"cacheShare"`
+}
+
+// WriteJSON serializes the schedule with its context. The heuristic name
+// may be empty for hand-built schedules.
+func WriteJSON(w io.Writer, heuristic string, pl model.Platform, apps []model.Application, s *Schedule) error {
+	if len(apps) != len(s.Assignments) {
+		return fmt.Errorf("sched: %d applications for %d assignments", len(apps), len(s.Assignments))
+	}
+	out := scheduleJSON{
+		Heuristic: heuristic,
+		Platform: platformJSON{
+			Processors: pl.Processors, CacheSize: pl.CacheSize,
+			LatencyS: pl.LatencyS, LatencyL: pl.LatencyL, Alpha: pl.Alpha,
+		},
+		Makespan:   s.Makespan,
+		Sequential: s.Sequential,
+	}
+	for i, a := range s.Assignments {
+		out.Assignments = append(out.Assignments, assignmentJSON{
+			App: apps[i].Name, Processors: a.Processors, CacheShare: a.CacheShare,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a schedule previously written with WriteJSON. It
+// returns the heuristic name, the platform and the schedule; application
+// identities are returned as names in appNames, in assignment order.
+func ReadJSON(r io.Reader) (heuristic string, pl model.Platform, appNames []string, s *Schedule, err error) {
+	var in scheduleJSON
+	if err = json.NewDecoder(r).Decode(&in); err != nil {
+		return "", model.Platform{}, nil, nil, fmt.Errorf("sched: parsing schedule JSON: %w", err)
+	}
+	pl = model.Platform{
+		Processors: in.Platform.Processors, CacheSize: in.Platform.CacheSize,
+		LatencyS: in.Platform.LatencyS, LatencyL: in.Platform.LatencyL, Alpha: in.Platform.Alpha,
+	}
+	s = &Schedule{Makespan: in.Makespan, Sequential: in.Sequential}
+	for _, a := range in.Assignments {
+		appNames = append(appNames, a.App)
+		s.Assignments = append(s.Assignments, Assignment{Processors: a.Processors, CacheShare: a.CacheShare})
+	}
+	return in.Heuristic, pl, appNames, s, nil
+}

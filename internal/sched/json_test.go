@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps(0.05)
+	s, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "DominantMinRatio", pl, apps, s); err != nil {
+		t.Fatal(err)
+	}
+	h, pl2, names, s2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != "DominantMinRatio" {
+		t.Fatalf("heuristic %q", h)
+	}
+	if pl2 != pl {
+		t.Fatalf("platform drifted: %+v vs %+v", pl2, pl)
+	}
+	if len(names) != len(apps) {
+		t.Fatalf("%d names", len(names))
+	}
+	for i, a := range apps {
+		if names[i] != a.Name {
+			t.Fatalf("name %d: %q vs %q", i, names[i], a.Name)
+		}
+		if s2.Assignments[i] != s.Assignments[i] {
+			t.Fatalf("assignment %d drifted", i)
+		}
+	}
+	if math.Abs(s2.Makespan-s.Makespan) > 0 {
+		t.Fatalf("makespan %v vs %v", s2.Makespan, s.Makespan)
+	}
+	// The deserialized schedule still validates against the originals.
+	if err := s2.Validate(pl2, apps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteJSONLengthMismatch(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps(0)
+	s := &Schedule{Assignments: make([]Assignment, 2)}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "", pl, apps, s); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, _, _, _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJSONSequentialFlag(t *testing.T) {
+	pl := refPlatform()
+	apps := npbApps(0.05)
+	s, err := AllProcCache.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "AllProcCache", pl, apps, s); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, s2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Sequential {
+		t.Fatal("sequential flag lost")
+	}
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// The paper deliberately relaxes processor counts to rationals ("they can
+// be shared across applications through multi-threading") to expose the
+// problem's intrinsic complexity. Deployments without multi-threaded
+// sharing need whole processors; this file rounds a rational schedule to
+// integers and quantifies the cost, mirroring what internal/cat does for
+// cache ways.
+
+// IntegerSchedule is a rational schedule realized with whole processors.
+type IntegerSchedule struct {
+	Processors []int // per-application integer processor counts
+	CacheShare []float64
+	Makespan   float64 // recomputed with the integer counts
+	// Degradation is Makespan divided by the rational schedule's
+	// makespan (≥ 1 up to float noise, assuming the rational schedule
+	// was equal-finish).
+	Degradation float64
+}
+
+// RoundProcessors converts schedule s to whole processors with the
+// largest-remainder method under two rules: an application with positive
+// rational share never rounds to zero processors (it could never finish),
+// and the total never exceeds the platform's (integral) processor count.
+// It requires n ≤ p, since each application needs at least one processor.
+func RoundProcessors(pl model.Platform, apps []model.Application, s *Schedule) (*IntegerSchedule, error) {
+	if err := s.Validate(pl, apps); err != nil {
+		return nil, err
+	}
+	if s.Sequential {
+		return nil, fmt.Errorf("sched: sequential schedules already use whole machines")
+	}
+	n := len(apps)
+	budget := int(math.Floor(pl.Processors))
+	if n > budget {
+		return nil, fmt.Errorf("sched: %d applications cannot each get a whole processor out of %d", n, budget)
+	}
+	counts := make([]int, n)
+	used := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, n)
+	for i, asg := range s.Assignments {
+		w := int(math.Floor(asg.Processors))
+		if w == 0 {
+			w = 1
+		}
+		counts[i] = w
+		used += w
+		rems = append(rems, rem{i, asg.Processors - math.Floor(asg.Processors)})
+	}
+	if used > budget {
+		// Forced minimums overshot: reclaim from the largest counts.
+		for used > budget {
+			big := -1
+			for i := range counts {
+				if counts[i] > 1 && (big < 0 || counts[i] > counts[big]) {
+					big = i
+				}
+			}
+			if big < 0 {
+				return nil, fmt.Errorf("sched: cannot fit %d mandatory processors into %d", used, budget)
+			}
+			counts[big]--
+			used--
+		}
+	} else {
+		// Hand out the leftovers by largest remainder, deterministic
+		// tie-break on index.
+		for used < budget {
+			best := -1
+			for i := range rems {
+				if counts[rems[i].idx] == 0 {
+					continue
+				}
+				if best < 0 || rems[i].frac > rems[best].frac ||
+					(rems[i].frac == rems[best].frac && rems[i].idx < rems[best].idx) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			counts[rems[best].idx]++
+			rems[best].frac = -1 // one extra each round-robin pass
+			used++
+			// Refill fractions once everyone got their extra.
+			all := true
+			for i := range rems {
+				if rems[i].frac >= 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				for i := range rems {
+					rems[i].frac = 0
+				}
+			}
+		}
+	}
+
+	out := &IntegerSchedule{
+		Processors: counts,
+		CacheShare: make([]float64, n),
+	}
+	var mk float64
+	for i, a := range apps {
+		out.CacheShare[i] = s.Assignments[i].CacheShare
+		mk = math.Max(mk, a.Exe(pl, float64(counts[i]), out.CacheShare[i]))
+	}
+	out.Makespan = mk
+	if s.Makespan > 0 {
+		out.Degradation = mk / s.Makespan
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// RenderGantt draws an ASCII timeline of the execution: one row per
+// application showing its active interval (start → finish), bar length
+// proportional to duration, annotated with processors and cache share.
+// For concurrent schedules every bar starts at 0; for sequential
+// (AllProcCache) schedules bars stack one after another.
+func RenderGantt(w io.Writer, pl model.Platform, apps []model.Application, s *sched.Schedule, res *Result, width int) error {
+	if width < 20 {
+		return fmt.Errorf("sim: gantt width %d too small", width)
+	}
+	if len(res.FinishTimes) != len(apps) {
+		return fmt.Errorf("sim: result covers %d apps, schedule %d", len(res.FinishTimes), len(apps))
+	}
+	span := res.Makespan
+	if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+		return fmt.Errorf("sim: cannot render makespan %v", span)
+	}
+	nameW := 4
+	for _, a := range apps {
+		if len(a.Name) > nameW {
+			nameW = len(a.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s |%s| procs  cache\n", nameW, "app", center("time →", width)); err != nil {
+		return err
+	}
+	for i, a := range apps {
+		start := 0.0
+		if s.Sequential && i > 0 {
+			start = res.FinishTimes[i-1]
+		}
+		finish := res.FinishTimes[i]
+		c0 := int(math.Round(start / span * float64(width)))
+		c1 := int(math.Round(finish / span * float64(width)))
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > width {
+			c1 = width
+		}
+		bar := strings.Repeat(" ", c0) + strings.Repeat("█", c1-c0) + strings.Repeat(" ", width-c1)
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %6.2f %6.4f\n",
+			nameW, a.Name, bar, s.Assignments[i].Processors, s.Assignments[i].CacheShare); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%.4g\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", span))), span)
+	return err
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestRenderGanttConcurrent(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(2, 5, 0.05)
+	s, err := sched.DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, pl, apps, s, res, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one row per app + time axis.
+	if len(lines) != len(apps)+2 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Equal-finish schedule: every bar spans the full width.
+	for _, ln := range lines[1 : len(apps)+1] {
+		if !strings.Contains(ln, "████") {
+			t.Fatalf("missing bar in %q", ln)
+		}
+	}
+}
+
+func TestRenderGanttSequentialStacksBars(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(3, 4, 0.05)
+	s, err := sched.AllProcCache.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, pl, apps, s, res, 60); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")[1 : len(apps)+1]
+	// Later bars start where earlier ones ended: the first bar begins at
+	// the left edge, the last one must not.
+	first := rows[0][strings.Index(rows[0], "|")+1:]
+	last := rows[len(rows)-1][strings.Index(rows[len(rows)-1], "|")+1:]
+	if !strings.HasPrefix(first, "█") {
+		t.Fatalf("first bar should start at 0: %q", first)
+	}
+	if strings.HasPrefix(last, "█") {
+		t.Fatalf("last sequential bar should not start at 0: %q", last)
+	}
+}
+
+func TestRenderGanttValidation(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(5, 3, 0.05)
+	s, err := sched.Fair.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, pl, apps, s, res, 5); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+	bad := &Result{FinishTimes: []float64{1}, Makespan: 1}
+	if err := RenderGantt(&buf, pl, apps, s, bad, 40); err == nil {
+		t.Fatal("mismatched result accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+func refPlatform() model.Platform { return model.TaihuLight() }
+
+func synthApps(seed uint64, n int, seq float64) []model.Application {
+	apps, err := workload.Generate(workload.Config{
+		Generator: workload.GenNPBSynth, N: n, Seq: seq, SeqFixed: true,
+	}, solve.NewRNG(seed))
+	if err != nil {
+		panic(err)
+	}
+	return apps
+}
+
+func TestStaticMatchesAnalyticModel(t *testing.T) {
+	pl := refPlatform()
+	for _, h := range sched.Heuristics {
+		apps := synthApps(4, 20, 0.06)
+		s, err := h.Schedule(pl, apps, solve.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(pl, apps, s, Static)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if math.Abs(res.Makespan-s.Makespan) > 1e-6*s.Makespan {
+			t.Fatalf("%v: simulated %v vs analytic %v", h, res.Makespan, s.Makespan)
+		}
+		want := s.FinishTimes(pl, apps)
+		for i := range apps {
+			if math.Abs(res.FinishTimes[i]-want[i]) > 1e-6*want[i] {
+				t.Fatalf("%v app %d: %v vs %v", h, i, res.FinishTimes[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSequentialExecutionAccumulates(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(5, 6, 0.03)
+	s, err := sched.AllProcCache.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.FinishTimes); i++ {
+		if res.FinishTimes[i] <= res.FinishTimes[i-1] {
+			t.Fatal("sequential finish times not strictly increasing")
+		}
+	}
+	if len(res.Events) != len(apps) {
+		t.Fatalf("%d events for %d apps", len(res.Events), len(apps))
+	}
+}
+
+func TestEventsOrderedAndComplete(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(6, 15, 0.05)
+	s, err := sched.Fair.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != len(apps) {
+		t.Fatalf("%d events", len(res.Events))
+	}
+	seen := make([]bool, len(apps))
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Time < res.Events[i-1].Time {
+			t.Fatal("events out of order")
+		}
+	}
+	for _, e := range res.Events {
+		if seen[e.App] {
+			t.Fatalf("app %d completed twice", e.App)
+		}
+		seen[e.App] = true
+	}
+}
+
+func TestRedistributeNeverSlower(t *testing.T) {
+	pl := refPlatform()
+	for seed := uint64(0); seed < 10; seed++ {
+		apps := synthApps(seed, 12, 0.08)
+		// Fair schedules have unequal finish times, so redistribution
+		// has something to exploit.
+		s, err := sched.Fair.Schedule(pl, apps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Execute(pl, apps, s, Static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := Execute(pl, apps, s, Redistribute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Makespan > st.Makespan*(1+1e-9) {
+			t.Fatalf("seed %d: redistribution slower (%v > %v)", seed, rd.Makespan, st.Makespan)
+		}
+	}
+}
+
+func TestRedistributeImprovesUnequalFinish(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(3, 12, 0.08)
+	s, err := sched.Fair.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := Execute(pl, apps, s, Static)
+	rd, _ := Execute(pl, apps, s, Redistribute)
+	if rd.Makespan >= st.Makespan {
+		t.Fatalf("redistribution did not help a Fair schedule: %v vs %v", rd.Makespan, st.Makespan)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(7, 10, 0.05)
+	s, err := sched.DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(pl, apps, s, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.ProcessorTime / (pl.Processors * res.Makespan)
+	if util <= 0 || util > 1+1e-9 {
+		t.Fatalf("utilization %v outside (0, 1]", util)
+	}
+	// Equal-finish schedules keep every allotted processor busy to the
+	// end: utilization ≈ Σp_i / p.
+	var allotted float64
+	for _, a := range s.Assignments {
+		allotted += a.Processors
+	}
+	if want := allotted / pl.Processors; math.Abs(util-want) > 1e-6 {
+		t.Fatalf("utilization %v, want %v", util, want)
+	}
+}
+
+func TestExecuteRejectsInvalidSchedule(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(8, 4, 0.05)
+	s := &sched.Schedule{Assignments: make([]sched.Assignment, 2)}
+	if _, err := Execute(pl, apps, s, Static); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	pl := refPlatform()
+	apps := synthApps(9, 3, 0.05)
+	// All-zero processors: nobody can finish.
+	s := &sched.Schedule{Assignments: make([]sched.Assignment, 3)}
+	if _, err := Execute(pl, apps, s, Static); err == nil {
+		t.Fatal("deadlocked schedule accepted")
+	}
+}
+
+// Property: the DES agrees with the analytic model for every heuristic,
+// workload size and sequential fraction.
+func TestStaticAgreesWithModelProperty(t *testing.T) {
+	pl := refPlatform()
+	f := func(seed uint64, hPick, nPick uint8) bool {
+		h := sched.Heuristics[int(hPick)%len(sched.Heuristics)]
+		n := 1 + int(nPick)%30
+		apps := synthApps(seed, n, float64(seed%16)/100)
+		s, err := h.Schedule(pl, apps, solve.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		res, err := Execute(pl, apps, s, Static)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Makespan-s.Makespan) <= 1e-6*s.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || Redistribute.String() != "redistribute" {
+		t.Fatal("policy names drifted")
+	}
+}

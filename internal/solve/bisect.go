@@ -1,0 +1,125 @@
+package solve
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when the supplied interval does not bracket a
+// root (f(lo) and f(hi) have the same sign).
+var ErrNoBracket = errors.New("solve: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConverge = errors.New("solve: iteration limit reached before convergence")
+
+// defaultMaxIter bounds bisection steps. 200 halvings shrink any
+// representable interval below one ulp, so hitting the bound indicates a
+// pathological (NaN-producing) objective rather than slow convergence.
+const defaultMaxIter = 200
+
+// Bisect finds x in [lo, hi] with f(x) = 0 to within relative tolerance
+// rtol, assuming f is continuous and f(lo), f(hi) have opposite signs.
+// It is robust against non-finite f values inside the interval (they are
+// treated as sign carriers via copysign on the midpoint side that remains
+// bracketed).
+func Bisect(f func(float64) float64, lo, hi, rtol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < defaultMaxIter; i++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			// Interval collapsed to adjacent floats.
+			return mid, nil
+		}
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fmid) == math.Signbit(flo) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= rtol*math.Max(math.Abs(lo), math.Abs(hi)) {
+			return lo + (hi-lo)/2, nil
+		}
+	}
+	return lo + (hi-lo)/2, ErrNoConverge
+}
+
+// BisectDecreasing solves f(x) = target for a continuous strictly
+// decreasing f on [lo, hi]. It is a convenience wrapper used by the
+// makespan equalizer, where f(K) = Σ (1-s_i)/(K/c_i - s_i) is decreasing
+// in K.
+func BisectDecreasing(f func(float64) float64, target, lo, hi, rtol float64) (float64, error) {
+	return Bisect(func(x float64) float64 { return f(x) - target }, lo, hi, rtol)
+}
+
+// GoldenSection minimizes a unimodal f on [lo, hi] to within absolute
+// tolerance atol on x, returning the located minimizer.
+func GoldenSection(f func(float64) float64, lo, hi, atol float64) float64 {
+	const invPhi = 0.6180339887498949  // 1/φ
+	const invPhi2 = 0.3819660112501051 // 1/φ²
+	a, b := lo, hi
+	h := b - a
+	c := a + invPhi2*h
+	d := a + invPhi*h
+	fc, fd := f(c), f(d)
+	for b-a > atol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			h = b - a
+			c = a + invPhi2*h
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			h = b - a
+			d = a + invPhi*h
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Kahan accumulates float64 values with compensated (Kahan-Babuška)
+// summation. The zero value is an empty sum. It keeps experiment
+// aggregates stable when summing tens of thousands of makespans spanning
+// several orders of magnitude.
+type Kahan struct {
+	sum, c float64
+}
+
+// Add accumulates v.
+func (k *Kahan) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }
+
+// Sum computes the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k Kahan
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}

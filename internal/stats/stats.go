@@ -1,0 +1,153 @@
+// Package stats provides the summary statistics and series containers
+// used by the experiment harness: mean, standard deviation, extrema,
+// quantiles, confidence intervals and series normalization.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/solve"
+)
+
+// ErrEmpty is returned by statistics that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary condenses a sample into the moments and extrema the paper's
+// error-bar plots use.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var sum solve.Kahan
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		sum.Add(x)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	mean := sum.Sum() / float64(len(xs))
+	var sq solve.Kahan
+	for _, x := range xs {
+		d := x - mean
+		sq.Add(d * d)
+	}
+	sd := 0.0
+	if len(xs) > 1 {
+		sd = math.Sqrt(sq.Sum() / float64(len(xs)-1))
+	}
+	return Summary{N: len(xs), Mean: mean, Stddev: sd, Min: mn, Max: mx}, nil
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return solve.Sum(xs) / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the common default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	h := q * float64(len(s)-1)
+	i := int(math.Floor(h))
+	if i >= len(s)-1 {
+		return s[len(s)-1], nil
+	}
+	frac := h - float64(i)
+	return s[i] + frac*(s[i+1]-s[i]), nil
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean of xs (1.96·s/√n), or 0 for samples of size < 2.
+func CI95(xs []float64) float64 {
+	s, err := Summarize(xs)
+	if err != nil || s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// Point is one aggregated measurement at a sweep position.
+type Point struct {
+	X       float64 // sweep coordinate (n, p, s_i, ls, miss rate, …)
+	Summary Summary
+}
+
+// Series is a named sequence of points, one heuristic's curve in a
+// figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the point with coordinate x, or false when absent.
+func (s *Series) At(x float64) (Point, bool) {
+	for _, pt := range s.Points {
+		if pt.X == x {
+			return pt, true
+		}
+	}
+	return Point{}, false
+}
+
+// Normalize returns a copy of s with every mean/min/max divided by the
+// matching-coordinate mean of base (the paper normalizes every figure to
+// either AllProcCache or DominantMinRatio). Points whose coordinate is
+// missing from base, or whose base mean is zero, are dropped.
+func (s *Series) Normalize(base *Series) *Series {
+	out := &Series{Name: s.Name}
+	for _, pt := range s.Points {
+		b, ok := base.At(pt.X)
+		if !ok || b.Summary.Mean == 0 {
+			continue
+		}
+		d := b.Summary.Mean
+		pt.Summary.Mean /= d
+		pt.Summary.Stddev /= d
+		pt.Summary.Min /= d
+		pt.Summary.Max /= d
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive samples; zero or
+// negative entries yield NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logs solve.Kahan
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logs.Add(math.Log(x))
+	}
+	return math.Exp(logs.Sum() / float64(len(xs)))
+}

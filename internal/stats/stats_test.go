@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 42 || s.Stddev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("extrema %v %v", s.Min, s.Max)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Q(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	got, _ := Quantile([]float64{0, 10}, 0.3)
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("interpolated quantile %v, want 3", got)
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	if _, err := Quantile(unsorted, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if unsorted[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if ci := CI95([]float64{5}); ci != 0 {
+		t.Fatalf("single-sample CI %v", ci)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s, _ := Summarize(xs)
+	want := 1.96 * s.Stddev / math.Sqrt(10)
+	if ci := CI95(xs); math.Abs(ci-want) > 1e-12 {
+		t.Fatalf("CI %v, want %v", ci, want)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Name: "a", Points: []Point{{X: 1, Summary: Summary{Mean: 10}}, {X: 2, Summary: Summary{Mean: 20}}}}
+	if p, ok := s.At(2); !ok || p.Summary.Mean != 20 {
+		t.Fatal("At(2) failed")
+	}
+	if _, ok := s.At(3); ok {
+		t.Fatal("At(3) found a ghost")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	base := Series{Name: "base", Points: []Point{
+		{X: 1, Summary: Summary{Mean: 10}},
+		{X: 2, Summary: Summary{Mean: 20}},
+	}}
+	s := Series{Name: "s", Points: []Point{
+		{X: 1, Summary: Summary{Mean: 5, Min: 4, Max: 6, Stddev: 1}},
+		{X: 2, Summary: Summary{Mean: 10, Min: 9, Max: 11, Stddev: 2}},
+		{X: 3, Summary: Summary{Mean: 99}}, // no base point: dropped
+	}}
+	n := s.Normalize(&base)
+	if len(n.Points) != 2 {
+		t.Fatalf("%d points survived", len(n.Points))
+	}
+	if n.Points[0].Summary.Mean != 0.5 || n.Points[1].Summary.Mean != 0.5 {
+		t.Fatalf("normalized means %+v", n.Points)
+	}
+	if n.Points[0].Summary.Min != 0.4 || n.Points[0].Summary.Max != 0.6 {
+		t.Fatal("extrema not normalized")
+	}
+	// Base series unchanged.
+	if base.Points[0].Summary.Mean != 10 {
+		t.Fatal("Normalize mutated base")
+	}
+}
+
+func TestNormalizeZeroBaseDropped(t *testing.T) {
+	base := Series{Name: "base", Points: []Point{{X: 1, Summary: Summary{Mean: 0}}}}
+	s := Series{Name: "s", Points: []Point{{X: 1, Summary: Summary{Mean: 5}}}}
+	if n := s.Normalize(&base); len(n.Points) != 0 {
+		t.Fatal("zero-base point not dropped")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("geomean %v", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("invalid inputs should give NaN")
+	}
+}
+
+// Property: Summarize invariants Min ≤ Mean ≤ Max and Stddev ≥ 0.
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(seed uint64, nPick uint8) bool {
+		r := solve.NewRNG(seed)
+		n := 1 + int(nPick)%100
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 1e6
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0 && s.N == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := solve.NewRNG(seed)
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace generates synthetic memory-access traces with
+// controllable locality, the input to the cache simulator in
+// internal/cachesim. The generators substitute for the PEBIL binary
+// instrumentation the paper's authors used to characterize the NPB
+// applications: each generator produces an address stream whose
+// miss-rate-versus-cache-size curve exhibits the qualitative behaviour
+// (power-law decay) the paper's model assumes, so the measurement
+// pipeline (trace → cache sweep → power-law fit) can be exercised end to
+// end without proprietary binaries or hardware counters.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/solve"
+)
+
+// Access is one memory reference: a byte address and whether it writes.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Generator produces a stream of memory accesses. Next returns the
+// subsequent access; generators are infinite streams, so there is no
+// end-of-trace condition.
+type Generator interface {
+	// Next returns the next access in the stream.
+	Next() Access
+	// Footprint returns the total bytes the stream touches (its
+	// working-set size); generators with unbounded footprints return 0.
+	Footprint() uint64
+	// Name identifies the generator class in reports.
+	Name() string
+}
+
+// Sequential streams linearly through a buffer of size bytes with the
+// given stride, wrapping at the end — the classic streaming access
+// pattern (miss rate governed by stride/linesize once footprint exceeds
+// the cache).
+type Sequential struct {
+	Base   uint64
+	Size   uint64
+	Stride uint64
+	pos    uint64
+}
+
+// NewSequential returns a sequential generator over size bytes with the
+// given stride (must be > 0).
+func NewSequential(size, stride uint64) (*Sequential, error) {
+	if size == 0 || stride == 0 {
+		return nil, fmt.Errorf("trace: sequential generator needs size > 0 and stride > 0 (got %d, %d)", size, stride)
+	}
+	return &Sequential{Size: size, Stride: stride}, nil
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() Access {
+	a := Access{Addr: s.Base + s.pos}
+	s.pos += s.Stride
+	if s.pos >= s.Size {
+		s.pos = 0
+	}
+	return a
+}
+
+// Footprint implements Generator.
+func (s *Sequential) Footprint() uint64 { return s.Size }
+
+// Name implements Generator.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Uniform draws addresses uniformly over a footprint — the worst case
+// for caching, whose miss curve is m(C) ≈ 1 - C/footprint.
+type Uniform struct {
+	Base uint64
+	Size uint64
+	Line uint64
+	rng  *solve.RNG
+}
+
+// NewUniform returns a uniform-random generator over size bytes aligned
+// to line-sized blocks.
+func NewUniform(size, line uint64, rng *solve.RNG) (*Uniform, error) {
+	if size == 0 || line == 0 || size < line {
+		return nil, fmt.Errorf("trace: uniform generator needs size >= line > 0 (got %d, %d)", size, line)
+	}
+	return &Uniform{Size: size, Line: line, rng: rng}, nil
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() Access {
+	blocks := u.Size / u.Line
+	b := uint64(u.rng.Intn(int(blocks)))
+	return Access{Addr: u.Base + b*u.Line}
+}
+
+// Footprint implements Generator.
+func (u *Uniform) Footprint() uint64 { return u.Size }
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Zipf draws line-granular addresses with Zipfian popularity: rank-k
+// blocks are accessed with probability ∝ k^(-S). Zipfian reuse is what
+// produces power-law miss curves — the empirical basis of the paper's
+// Eq. 1 — because caching the top-C/L blocks captures a Σk^-s prefix of
+// the mass.
+type Zipf struct {
+	Base uint64
+	Size uint64
+	Line uint64
+	S    float64
+	rng  *solve.RNG
+	// cdf caches the normalized cumulative distribution over block
+	// ranks so each sample is a binary search rather than an O(n) scan.
+	cdf []float64
+	// perm maps popularity rank to block index so hot blocks are
+	// scattered over the footprint rather than clustered at its start.
+	perm []int
+}
+
+// NewZipf returns a Zipfian generator over size bytes, line-sized blocks
+// and exponent s > 0.
+func NewZipf(size, line uint64, s float64, rng *solve.RNG) (*Zipf, error) {
+	if size == 0 || line == 0 || size < line {
+		return nil, fmt.Errorf("trace: zipf generator needs size >= line > 0 (got %d, %d)", size, line)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("trace: zipf exponent must be > 0, got %g", s)
+	}
+	blocks := int(size / line)
+	z := &Zipf{Size: size, Line: line, S: s, rng: rng}
+	z.cdf = make([]float64, blocks)
+	var cum solve.Kahan
+	for k := 1; k <= blocks; k++ {
+		cum.Add(math.Pow(float64(k), -s))
+		z.cdf[k-1] = cum.Sum()
+	}
+	norm := z.cdf[blocks-1]
+	for i := range z.cdf {
+		z.cdf[i] /= norm
+	}
+	z.perm = rng.Perm(blocks)
+	return z, nil
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() Access {
+	u := z.rng.Float64()
+	// Binary search the CDF for the sampled rank.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return Access{Addr: z.Base + uint64(z.perm[lo])*z.Line}
+}
+
+// Footprint implements Generator.
+func (z *Zipf) Footprint() uint64 { return z.Size }
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return "zipf" }
+
+// WorkingSet alternates between phases, each with its own hot region and
+// a background of cold uniform accesses — a caricature of iterative HPC
+// solvers (hot stencil + cold streaming). PhaseLen accesses are drawn per
+// phase before the hot region rotates.
+type WorkingSet struct {
+	Base     uint64
+	Size     uint64
+	Line     uint64
+	HotSize  uint64  // bytes of the per-phase hot region
+	HotProb  float64 // probability an access hits the hot region
+	PhaseLen int     // accesses per phase
+	rng      *solve.RNG
+	phase    int
+	count    int
+}
+
+// NewWorkingSet returns a phased working-set generator.
+func NewWorkingSet(size, line, hotSize uint64, hotProb float64, phaseLen int, rng *solve.RNG) (*WorkingSet, error) {
+	if size == 0 || line == 0 || size < line || hotSize == 0 || hotSize > size {
+		return nil, fmt.Errorf("trace: working-set generator needs size >= hotSize >= line > 0 (size %d, hot %d, line %d)", size, hotSize, line)
+	}
+	if hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("trace: hot probability %g outside [0,1]", hotProb)
+	}
+	if phaseLen <= 0 {
+		return nil, fmt.Errorf("trace: phase length must be > 0, got %d", phaseLen)
+	}
+	return &WorkingSet{Size: size, Line: line, HotSize: hotSize, HotProb: hotProb, PhaseLen: phaseLen, rng: rng}, nil
+}
+
+// Next implements Generator.
+func (w *WorkingSet) Next() Access {
+	w.count++
+	if w.count >= w.PhaseLen {
+		w.count = 0
+		w.phase++
+	}
+	hotBlocks := w.HotSize / w.Line
+	allBlocks := w.Size / w.Line
+	var b uint64
+	if w.rng.Float64() < w.HotProb {
+		// Hot region rotates with the phase.
+		start := (uint64(w.phase) * hotBlocks) % allBlocks
+		b = (start + uint64(w.rng.Intn(int(hotBlocks)))) % allBlocks
+	} else {
+		b = uint64(w.rng.Intn(int(allBlocks)))
+	}
+	return Access{Addr: w.Base + b*w.Line}
+}
+
+// Footprint implements Generator.
+func (w *WorkingSet) Footprint() uint64 { return w.Size }
+
+// Name implements Generator.
+func (w *WorkingSet) Name() string { return "workingset" }

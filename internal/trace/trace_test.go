@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/solve"
+)
+
+func TestSequentialWrapsAndStrides(t *testing.T) {
+	g, err := NewSequential(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 64, 128, 192, 0, 64}
+	for i, w := range want {
+		if a := g.Next(); a.Addr != w {
+			t.Fatalf("access %d at %d, want %d", i, a.Addr, w)
+		}
+	}
+	if g.Footprint() != 256 || g.Name() != "sequential" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0, 8); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewSequential(64, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+func TestUniformStaysInFootprint(t *testing.T) {
+	g, err := NewUniform(1<<16, 64, solve.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Addr >= 1<<16 {
+			t.Fatalf("address %d outside footprint", a.Addr)
+		}
+		if a.Addr%64 != 0 {
+			t.Fatalf("address %d not line aligned", a.Addr)
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	r := solve.NewRNG(1)
+	if _, err := NewUniform(32, 64, r); err == nil {
+		t.Fatal("footprint below line accepted")
+	}
+	if _, err := NewUniform(0, 64, r); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestZipfBiasAndBounds(t *testing.T) {
+	g, err := NewZipf(64*64, 64, 1.0, solve.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		a := g.Next()
+		if a.Addr >= 64*64 || a.Addr%64 != 0 {
+			t.Fatalf("bad address %d", a.Addr)
+		}
+		counts[a.Addr]++
+	}
+	// The most popular block should be much hotter than the median.
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 2*float64(total)/64 {
+		t.Fatalf("zipf skew too weak: max %d of %d over 64 blocks", max, total)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	r := solve.NewRNG(3)
+	if _, err := NewZipf(64, 64, 0, r); err == nil {
+		t.Fatal("zero exponent accepted")
+	}
+	if _, err := NewZipf(32, 64, 1, r); err == nil {
+		t.Fatal("size below line accepted")
+	}
+}
+
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	a, _ := NewZipf(1<<12, 64, 0.8, solve.NewRNG(7))
+	b, _ := NewZipf(1<<12, 64, 0.8, solve.NewRNG(7))
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("zipf streams diverged")
+		}
+	}
+}
+
+func TestWorkingSetPhasesRotate(t *testing.T) {
+	g, err := NewWorkingSet(1<<16, 64, 1<<12, 1.0, 10, solve.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With HotProb = 1 all accesses land in the hot region; after a
+	// phase change the region moves.
+	first := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		first[g.Next().Addr/64] = true
+	}
+	later := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		later[g.Next().Addr/64] = true
+	}
+	if len(later) <= len(first) {
+		t.Fatalf("phases did not rotate: %d vs %d distinct blocks", len(later), len(first))
+	}
+}
+
+func TestWorkingSetValidation(t *testing.T) {
+	r := solve.NewRNG(5)
+	cases := []struct {
+		size, line, hot uint64
+		prob            float64
+		phase           int
+	}{
+		{0, 64, 64, 0.5, 10},
+		{1 << 16, 64, 0, 0.5, 10},
+		{1 << 16, 64, 1 << 17, 0.5, 10},
+		{1 << 16, 64, 1 << 12, -0.1, 10},
+		{1 << 16, 64, 1 << 12, 1.5, 10},
+		{1 << 16, 64, 1 << 12, 0.5, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewWorkingSet(c.size, c.line, c.hot, c.prob, c.phase, r); err == nil {
+			t.Fatalf("case %d accepted invalid config", i)
+		}
+	}
+}
+
+// Property: all generators stay within their declared footprint.
+func TestGeneratorsRespectFootprint(t *testing.T) {
+	f := func(seed uint64, pick uint8) bool {
+		r := solve.NewRNG(seed)
+		var g Generator
+		var err error
+		switch pick % 4 {
+		case 0:
+			g, err = NewSequential(1<<14, 64)
+		case 1:
+			g, err = NewUniform(1<<14, 64, r)
+		case 2:
+			g, err = NewZipf(1<<14, 64, 0.9, r)
+		default:
+			g, err = NewWorkingSet(1<<14, 64, 1<<10, 0.8, 100, r)
+		}
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			if a := g.Next(); a.Addr >= g.Footprint() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/trace"
+)
+
+// zipfFactory returns a deterministic Zipf generator factory.
+func zipfFactory(footprint uint64, s float64, seed uint64) func() trace.Generator {
+	return func() trace.Generator {
+		g, err := trace.NewZipf(footprint, 64, s, solve.NewRNG(seed))
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+}
+
+func sweepSizes() []uint64 {
+	return []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+}
+
+func TestCharacterizeProducesValidApp(t *testing.T) {
+	ta, fit, err := Characterize("zipfy", zipfFactory(16<<20, 0.9, 3), sweepSizes(), 64, 8,
+		1e10, 0.05, 0.5, 30000, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.App.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha <= 0 {
+		t.Fatalf("fitted alpha %v", fit.Alpha)
+	}
+	if fit.R2 < 0.8 {
+		t.Fatalf("zipf trace should be near power-law: R² = %v", fit.R2)
+	}
+	if ta.App.Footprint != float64(16<<20) {
+		t.Fatalf("footprint %v", ta.App.Footprint)
+	}
+}
+
+func TestCharacterizeErrorsPropagate(t *testing.T) {
+	if _, _, err := Characterize("bad", zipfFactory(16<<20, 0.9, 3),
+		[]uint64{1 << 20}, 64, 8, 1e10, 0, 0.5, 10, 10); err == nil {
+		t.Fatal("single sweep point should fail the fit")
+	}
+}
+
+// The headline validation: for Zipfian applications the model's predicted
+// miss rate at the CAT-granted fraction tracks the simulator's measured
+// rate.
+func TestModelTracksSimulator(t *testing.T) {
+	var apps []TracedApp
+	for i, s := range []float64{0.7, 0.9, 1.1} {
+		ta, _, err := Characterize(
+			"app"+string(rune('A'+i)),
+			zipfFactory(16<<20, s, uint64(10+i)),
+			sweepSizes(), 64, 8,
+			1e10, 0.02, 0.5, 30000, 60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, ta)
+	}
+	pl := model.Platform{
+		Processors: 16,
+		CacheSize:  8 << 20, // the shared LLC being partitioned
+		LatencyS:   0.17,
+		LatencyL:   1,
+		Alpha:      0.5,
+	}
+	cs, err := Run(pl, apps, sched.DominantMinRatio, 8<<20, 64, 16, 200000, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) == 0 {
+		t.Fatal("no application received cache; validation vacuous")
+	}
+	for _, c := range cs {
+		if c.MeasuredMiss < 0 || c.MeasuredMiss > 1 {
+			t.Fatalf("%s: measured miss %v", c.Name, c.MeasuredMiss)
+		}
+		if c.AbsError > 0.25 {
+			t.Fatalf("%s: model %.3f vs simulator %.3f (error %.3f too large)",
+				c.Name, c.PredictedMiss, c.MeasuredMiss, c.AbsError)
+		}
+	}
+	if mae := MeanAbsError(cs); mae > 0.15 {
+		t.Fatalf("mean absolute error %v too large", mae)
+	}
+}
+
+func TestRunSchedulingErrorsPropagate(t *testing.T) {
+	pl := model.Platform{} // invalid
+	if _, err := Run(pl, nil, sched.Fair, 1<<20, 64, 8, 10, 10); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if !math.IsNaN(MeanAbsError(nil)) {
+		t.Fatal("empty MAE should be NaN")
+	}
+	cs := []Comparison{{AbsError: 0.1}, {AbsError: 0.3}}
+	if mae := MeanAbsError(cs); math.Abs(mae-0.2) > 1e-12 {
+		t.Fatalf("MAE %v", mae)
+	}
+}

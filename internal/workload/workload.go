@@ -1,0 +1,174 @@
+// Package workload provides the application sets used in the paper's
+// evaluation (Section 6.1 and Appendix A): the six NAS Parallel
+// Benchmark applications of Tables 1–2 and the synthetic generators
+// NPB-6, NPB-SYNTH and RANDOM built from them.
+//
+// Table 2 values were obtained by the authors by instrumenting the NPB
+// CLASS=A binaries with PEBIL on 16 cores of an Intel Xeon E5-2690 and
+// measuring the miss rate with a 40 MB cache. Those published numbers are
+// embedded verbatim here; see internal/cachesim for the rebuilt
+// measurement pipeline that substitutes for PEBIL.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// RefCacheSize is the cache size (40 MB) at which Table 2's miss rates
+// were measured.
+const RefCacheSize = 40e6
+
+// NPB returns the six applications of Table 2 with their published
+// parameters: work w_i (operations), access frequency f_i (accesses per
+// operation) and miss rate at a 40 MB cache. Sequential fractions are
+// zero (the paper sets them per experiment) and footprints unbounded
+// (the ai = +∞ regime of Sections 4–5).
+func NPB() []model.Application {
+	mk := func(name string, w, f, m40 float64) model.Application {
+		return model.Application{
+			Name:         name,
+			Work:         w,
+			AccessFreq:   f,
+			RefMissRate:  m40,
+			RefCacheSize: RefCacheSize,
+		}
+	}
+	return []model.Application{
+		mk("CG", 5.70e10, 5.35e-01, 6.59e-04),
+		mk("BT", 2.10e11, 8.29e-01, 7.31e-03),
+		mk("LU", 1.52e11, 7.50e-01, 1.51e-03),
+		mk("SP", 1.38e11, 7.62e-01, 1.51e-02),
+		mk("MG", 1.23e10, 5.40e-01, 2.62e-02),
+		mk("FT", 1.65e10, 5.82e-01, 1.78e-02),
+	}
+}
+
+// Descriptions returns Table 1: a one-line description per NPB
+// application, keyed by name.
+func Descriptions() map[string]string {
+	return map[string]string{
+		"CG": "Uses conjugate gradients method to solve a large sparse symmetric positive definite system of linear equations",
+		"BT": "Solves multiple, independent systems of block tridiagonal equations with a predefined block size",
+		"LU": "Solves regular sparse upper and lower triangular systems",
+		"SP": "Solves multiple, independent systems of scalar pentadiagonal equations",
+		"MG": "Performs a multi-grid solve on a sequence of meshes",
+		"FT": "Performs discrete 3D fast Fourier Transform",
+	}
+}
+
+// Bounds of the synthetic generators (Section 6.1 and Appendix A).
+const (
+	WorkMin = 1e8  // lower bound on w_i
+	WorkMax = 1e12 // upper bound on w_i
+	SeqMin  = 0.01 // lower bound on s_i (Section 6.1: "between 1% and 15%")
+	SeqMax  = 0.15 // upper bound on s_i
+	FreqMin = 1e-1 // RANDOM: lower bound on f_i
+	FreqMax = 9e-1 // RANDOM: upper bound on f_i
+	MissMin = 9e-4 // RANDOM: lower bound on m_i(40MB) ("1E-02 to 9E-04")
+	MissMax = 1e-2 // RANDOM: upper bound on m_i(40MB)
+)
+
+// Generator names one of the three data sets of Appendix A.
+type Generator int
+
+const (
+	// GenNPB6 cycles through the six Table 2 applications unchanged
+	// (NPB-6).
+	GenNPB6 Generator = iota
+	// GenNPBSynth keeps each base application's f_i and miss rate but
+	// redraws the work w_i uniformly in [1e8, 1e12] (NPB-SYNTH, the
+	// data set used in the body of the paper).
+	GenNPBSynth
+	// GenRandom redraws work, access frequency and miss rate (RANDOM).
+	GenRandom
+)
+
+// String implements fmt.Stringer.
+func (g Generator) String() string {
+	switch g {
+	case GenNPB6:
+		return "NPB-6"
+	case GenNPBSynth:
+		return "NPB-SYNTH"
+	case GenRandom:
+		return "RANDOM"
+	default:
+		return fmt.Sprintf("Generator(%d)", int(g))
+	}
+}
+
+// Config parameterizes workload generation.
+type Config struct {
+	Generator Generator
+	N         int     // number of applications to produce
+	SeqLo     float64 // sequential fraction lower bound (defaults to SeqMin when both bounds are zero and Sequential is false)
+	SeqHi     float64 // sequential fraction upper bound
+	Seq       float64 // fixed sequential fraction, used when SeqFixed is true
+	SeqFixed  bool    // if true, every app gets Seq instead of a random draw
+}
+
+// Generate produces cfg.N applications with rng. Base profiles cycle
+// through the NPB six in order, as in the authors' simulator, so the mix
+// of access behaviours is stable as N grows.
+func Generate(cfg Config, rng *solve.RNG) ([]model.Application, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: need N > 0, got %d", cfg.N)
+	}
+	lo, hi := cfg.SeqLo, cfg.SeqHi
+	if !cfg.SeqFixed && lo == 0 && hi == 0 {
+		lo, hi = SeqMin, SeqMax
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("workload: sequential bounds inverted: [%g, %g]", lo, hi)
+	}
+	base := NPB()
+	apps := make([]model.Application, cfg.N)
+	for i := range apps {
+		a := base[i%len(base)]
+		a.Name = fmt.Sprintf("%s-%d", a.Name, i)
+		switch cfg.Generator {
+		case GenNPB6:
+			// Table 2 values unchanged.
+		case GenNPBSynth:
+			a.Work = rng.UniformRange(WorkMin, WorkMax)
+		case GenRandom:
+			a.Work = rng.UniformRange(WorkMin, WorkMax)
+			a.AccessFreq = rng.UniformRange(FreqMin, FreqMax)
+			a.RefMissRate = rng.UniformRange(MissMin, MissMax)
+		default:
+			return nil, fmt.Errorf("workload: unknown generator %v", cfg.Generator)
+		}
+		if cfg.SeqFixed {
+			a.SeqFraction = cfg.Seq
+		} else {
+			a.SeqFraction = rng.UniformRange(lo, hi)
+		}
+		apps[i] = a
+	}
+	return apps, nil
+}
+
+// PerfectlyParallel returns a copy of apps with every sequential fraction
+// forced to zero, the regime of the Section 4 theory.
+func PerfectlyParallel(apps []model.Application) []model.Application {
+	out := make([]model.Application, len(apps))
+	for i, a := range apps {
+		a.SeqFraction = 0
+		out[i] = a
+	}
+	return out
+}
+
+// WithMissRate returns a copy of apps with every reference miss rate set
+// to m (used by the Figure 2/18 miss-rate sweeps).
+func WithMissRate(apps []model.Application, m float64) []model.Application {
+	out := make([]model.Application, len(apps))
+	for i, a := range apps {
+		a.RefMissRate = m
+		out[i] = a
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+func TestNPBTable2Values(t *testing.T) {
+	apps := NPB()
+	if len(apps) != 6 {
+		t.Fatalf("NPB has %d apps", len(apps))
+	}
+	want := map[string][3]float64{
+		"CG": {5.70e10, 5.35e-01, 6.59e-04},
+		"BT": {2.10e11, 8.29e-01, 7.31e-03},
+		"LU": {1.52e11, 7.50e-01, 1.51e-03},
+		"SP": {1.38e11, 7.62e-01, 1.51e-02},
+		"MG": {1.23e10, 5.40e-01, 2.62e-02},
+		"FT": {1.65e10, 5.82e-01, 1.78e-02},
+	}
+	for _, a := range apps {
+		w, ok := want[a.Name]
+		if !ok {
+			t.Fatalf("unexpected app %q", a.Name)
+		}
+		if a.Work != w[0] || a.AccessFreq != w[1] || a.RefMissRate != w[2] {
+			t.Fatalf("%s drifted from Table 2: %+v", a.Name, a)
+		}
+		if a.RefCacheSize != RefCacheSize {
+			t.Fatalf("%s reference cache %v", a.Name, a.RefCacheSize)
+		}
+		if a.SeqFraction != 0 || a.Footprint != 0 {
+			t.Fatalf("%s should default to perfectly parallel, unbounded footprint", a.Name)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDescriptionsCoverAllApps(t *testing.T) {
+	d := Descriptions()
+	for _, a := range NPB() {
+		if _, ok := d[a.Name]; !ok {
+			t.Fatalf("no description for %s", a.Name)
+		}
+	}
+	if len(d) != 6 {
+		t.Fatalf("descriptions for %d apps", len(d))
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	if GenNPB6.String() != "NPB-6" || GenNPBSynth.String() != "NPB-SYNTH" || GenRandom.String() != "RANDOM" {
+		t.Fatal("generator names drifted")
+	}
+	if !strings.Contains(Generator(99).String(), "99") {
+		t.Fatal("unknown generator should render its code")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := solve.NewRNG(1)
+	if _, err := Generate(Config{Generator: GenNPB6, N: 0}, rng); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqLo: 0.5, SeqHi: 0.1}, rng); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := Generate(Config{Generator: Generator(42), N: 4}, rng); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestGenerateNPB6KeepsTable2(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenNPB6, N: 12}, solve.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NPB()
+	for i, a := range apps {
+		b := base[i%6]
+		if a.Work != b.Work || a.AccessFreq != b.AccessFreq || a.RefMissRate != b.RefMissRate {
+			t.Fatalf("NPB-6 app %d modified base values", i)
+		}
+		if a.SeqFraction < SeqMin || a.SeqFraction > SeqMax {
+			t.Fatalf("seq fraction %v outside defaults", a.SeqFraction)
+		}
+	}
+}
+
+func TestGenerateNPBSynthVariesOnlyWork(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenNPBSynth, N: 60}, solve.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NPB()
+	workVaried := false
+	for i, a := range apps {
+		b := base[i%6]
+		if a.AccessFreq != b.AccessFreq || a.RefMissRate != b.RefMissRate {
+			t.Fatalf("NPB-SYNTH app %d modified f or miss rate", i)
+		}
+		if a.Work < WorkMin || a.Work > WorkMax {
+			t.Fatalf("work %v outside bounds", a.Work)
+		}
+		if a.Work != b.Work {
+			workVaried = true
+		}
+	}
+	if !workVaried {
+		t.Fatal("NPB-SYNTH never varied work")
+	}
+}
+
+func TestGenerateRandomBounds(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenRandom, N: 100}, solve.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range apps {
+		if a.Work < WorkMin || a.Work > WorkMax {
+			t.Fatalf("app %d work %v", i, a.Work)
+		}
+		if a.AccessFreq < FreqMin || a.AccessFreq > FreqMax {
+			t.Fatalf("app %d freq %v", i, a.AccessFreq)
+		}
+		if a.RefMissRate < MissMin || a.RefMissRate > MissMax {
+			t.Fatalf("app %d miss %v", i, a.RefMissRate)
+		}
+	}
+}
+
+func TestGenerateFixedSeq(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenNPBSynth, N: 10, Seq: 0.123, SeqFixed: true}, solve.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		if a.SeqFraction != 0.123 {
+			t.Fatalf("fixed seq not applied: %v", a.SeqFraction)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Generator: GenRandom, N: 20}, solve.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Generator: GenRandom, N: 20}, solve.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateUniqueNames(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenNPB6, N: 18}, solve.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestPerfectlyParallelHelper(t *testing.T) {
+	apps, err := Generate(Config{Generator: GenNPB6, N: 6}, solve.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PerfectlyParallel(apps)
+	for i := range pp {
+		if pp[i].SeqFraction != 0 {
+			t.Fatal("helper left a sequential fraction")
+		}
+		if apps[i].SeqFraction == 0 {
+			t.Fatal("original mutated")
+		}
+	}
+}
+
+func TestWithMissRateHelper(t *testing.T) {
+	apps := NPB()
+	out := WithMissRate(apps, 0.42)
+	for i := range out {
+		if out[i].RefMissRate != 0.42 {
+			t.Fatal("miss rate not applied")
+		}
+	}
+	if apps[0].RefMissRate == 0.42 {
+		t.Fatal("original mutated")
+	}
+}
+
+// Property: every generated application validates, for all generators and
+// sizes.
+func TestGeneratedAppsAlwaysValid(t *testing.T) {
+	pl := model.TaihuLight()
+	f := func(seed uint64, genPick, nPick uint8) bool {
+		gen := Generator(int(genPick) % 3)
+		n := 1 + int(nPick)%64
+		apps, err := Generate(Config{Generator: gen, N: n}, solve.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		return model.ValidateAll(pl, apps) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sanity: miss rates of Table 2 stay in the paper's quoted 1e-4..1e-1
+// decade range at the 40MB reference.
+func TestTable2MissRateRange(t *testing.T) {
+	for _, a := range NPB() {
+		if a.RefMissRate < 1e-4 || a.RefMissRate > 1e-1 {
+			t.Fatalf("%s miss rate %v outside the paper's stated range", a.Name, a.RefMissRate)
+		}
+		_ = math.Log10(a.RefMissRate)
+	}
+}
