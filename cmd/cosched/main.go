@@ -7,12 +7,28 @@
 //
 //	cosched [flags]
 //	cosched -apps apps.json -heuristic DominantMinRatio -ways 20
+//	cosched -portfolio -workers 8
+//	cosched -batch scenarios.json -workers 8
 //
 // Without -apps the built-in NPB workload of the paper's Table 2 is used.
 // The JSON application format is an array of objects:
 //
 //	[{"name": "CG", "work": 5.7e10, "seq": 0.05, "freq": 0.535,
 //	  "missRate": 6.59e-4, "refCache": 4e7, "footprint": 0}, ...]
+//
+// With -portfolio every heuristic is raced concurrently on a bounded
+// worker pool and the best schedule wins; the ranking is printed and the
+// winner feeds the remaining output sections (-ways, -int, -sim, -json).
+//
+// With -batch the input is an array of scenarios served in one
+// invocation ('-' reads stdin); the per-scenario portfolio reports are
+// written as JSON. Scenario fields "platform", "heuristics" and "seed"
+// are optional and default to the flag values:
+//
+//	[{"platform": {"processors": 256, "cacheSize": 32e9, "ls": 0.17,
+//	   "ll": 1, "alpha": 0.5},
+//	  "apps": [...], "heuristics": ["DominantMinRatio", "Fair"],
+//	  "seed": 42}, ...]
 package main
 
 import (
@@ -20,11 +36,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"repro/internal/cat"
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -67,6 +86,9 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.String("json", "", "write the schedule as JSON to this file ('-' for stdout)")
 		integer   = fs.Bool("int", false, "also round to whole processors and report the cost")
 		local     = fs.Bool("localsearch", false, "refine with Amdahl-aware membership local search")
+		port      = fs.Bool("portfolio", false, "race every heuristic concurrently and keep the best schedule")
+		workers   = fs.Int("workers", 0, "worker pool size for -portfolio/-batch (0 = GOMAXPROCS)")
+		batch     = fs.String("batch", "", "JSON file of scenarios to serve in one invocation ('-' for stdin)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,11 +101,15 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	h, err := sched.ParseHeuristic(*heuristic)
-	if err != nil {
-		return err
+	if *local && *port {
+		return fmt.Errorf("-localsearch cannot be combined with -portfolio: LocalSearch is already one of the raced heuristics")
 	}
 	pl := model.Platform{Processors: *procs, CacheSize: *cache, LatencyS: *ls, LatencyL: *ll, Alpha: *alpha}
+	engine := portfolio.New(portfolio.Config{Workers: *workers, Cache: portfolio.NewCache()})
+
+	if *batch != "" {
+		return runBatch(engine, *batch, pl, *seed, out)
+	}
 
 	apps, err := loadApps(*appsPath)
 	if err != nil {
@@ -95,11 +121,33 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	s, err := h.Schedule(pl, apps, solve.NewRNG(*seed))
+	// Validate -heuristic even in portfolio mode, so a typo is an error
+	// rather than silently shadowed by the race over all heuristics.
+	h, err := sched.ParseHeuristic(*heuristic)
 	if err != nil {
 		return err
 	}
-	label := h.String()
+	var s *sched.Schedule
+	var label string
+	if *port {
+		rep, err := engine.Evaluate(portfolio.Scenario{Platform: pl, Apps: apps, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeRanking(out, rep); err != nil {
+			return err
+		}
+		best := rep.BestResult()
+		if best == nil {
+			return fmt.Errorf("no heuristic produced a feasible schedule")
+		}
+		s, label = best.Schedule, best.Heuristic.String()
+	} else {
+		if s, err = h.Schedule(pl, apps, solve.NewRNG(*seed)); err != nil {
+			return err
+		}
+		label = h.String()
+	}
 	if *local {
 		refined, err := sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, solve.NewRNG(*seed))
 		if err != nil {
@@ -188,6 +236,153 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeRanking prints the portfolio outcome ordered by makespan, best
+// first, with each heuristic's slowdown relative to the winner. Failed
+// heuristics and NaN makespans (which the engine never selects as best)
+// sort last and carry no ratio.
+func writeRanking(out io.Writer, rep *portfolio.Report) error {
+	unrankable := func(r portfolio.Result) bool {
+		return r.Err != nil || math.IsNaN(r.Schedule.Makespan)
+	}
+	order := make([]int, len(rep.Results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := rep.Results[order[a]], rep.Results[order[b]]
+		switch {
+		case unrankable(ra):
+			return false
+		case unrankable(rb):
+			return true
+		}
+		return ra.Schedule.Makespan < rb.Schedule.Makespan
+	})
+	best := rep.BestSchedule()
+	fmt.Fprintf(out, "portfolio: %d heuristics raced\n", len(rep.Results))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\theuristic\tmakespan\tvs best")
+	for rank, i := range order {
+		r := rep.Results[i]
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(tw, "-\t%v\terror: %v\t\n", r.Heuristic, r.Err)
+		case best == nil || math.IsNaN(r.Schedule.Makespan):
+			fmt.Fprintf(tw, "-\t%v\t%.6g\t\n", r.Heuristic, r.Schedule.Makespan)
+		default:
+			fmt.Fprintf(tw, "%d\t%v\t%.6g\t×%.4f\n", rank+1, r.Heuristic, r.Schedule.Makespan, r.Schedule.Makespan/best.Makespan)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// Batch-mode JSON shapes: the input scenarios and the output reports.
+type scenarioJSON struct {
+	Platform   *platformJSON `json:"platform,omitempty"`
+	Apps       []appJSON     `json:"apps"`
+	Heuristics []string      `json:"heuristics,omitempty"`
+	Seed       *uint64       `json:"seed,omitempty"`
+}
+
+type platformJSON struct {
+	Processors float64 `json:"processors"`
+	CacheSize  float64 `json:"cacheSize"`
+	LatencyS   float64 `json:"ls"`
+	LatencyL   float64 `json:"ll"`
+	Alpha      float64 `json:"alpha"`
+}
+
+type resultJSON struct {
+	Heuristic string  `json:"heuristic"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	FromCache bool    `json:"fromCache,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+type reportJSON struct {
+	Best     string       `json:"best,omitempty"`
+	Makespan float64      `json:"makespan,omitempty"`
+	Results  []resultJSON `json:"results,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// runBatch serves every scenario of the batch file through the portfolio
+// engine and writes one JSON report per scenario.
+func runBatch(engine *portfolio.Engine, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer) error {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var in []scenarioJSON
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return fmt.Errorf("parsing batch %s: %w", path, err)
+	}
+	scenarios := make([]portfolio.Scenario, len(in))
+	for i, sj := range in {
+		sc := portfolio.Scenario{Platform: defaultPl, Seed: defaultSeed}
+		if sj.Platform != nil {
+			sc.Platform = model.Platform{
+				Processors: sj.Platform.Processors, CacheSize: sj.Platform.CacheSize,
+				LatencyS: sj.Platform.LatencyS, LatencyL: sj.Platform.LatencyL, Alpha: sj.Platform.Alpha,
+			}
+		}
+		if sj.Seed != nil {
+			sc.Seed = *sj.Seed
+		}
+		for _, a := range sj.Apps {
+			sc.Apps = append(sc.Apps, model.Application{
+				Name: a.Name, Work: a.Work, SeqFraction: a.Seq, AccessFreq: a.Freq,
+				RefMissRate: a.MissRate, RefCacheSize: a.RefCache, Footprint: a.Footprint,
+			})
+		}
+		for _, name := range sj.Heuristics {
+			h, err := sched.ParseHeuristic(name)
+			if err != nil {
+				return fmt.Errorf("batch scenario %d: %w", i, err)
+			}
+			sc.Heuristics = append(sc.Heuristics, h)
+		}
+		scenarios[i] = sc
+	}
+
+	reports := engine.EvaluateBatch(scenarios)
+	outReps := make([]reportJSON, len(reports))
+	for i, rep := range reports {
+		if rep.Err != nil {
+			outReps[i] = reportJSON{Error: rep.Err.Error()}
+			continue
+		}
+		rj := reportJSON{}
+		if best := rep.BestResult(); best != nil {
+			rj.Best = best.Heuristic.String()
+			rj.Makespan = best.Schedule.Makespan
+		}
+		for _, r := range rep.Results {
+			res := resultJSON{Heuristic: r.Heuristic.String(), FromCache: r.FromCache}
+			if r.Err != nil {
+				res.Error = r.Err.Error()
+			} else {
+				res.Makespan = r.Schedule.Makespan
+			}
+			rj.Results = append(rj.Results, res)
+		}
+		outReps[i] = rj
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outReps)
 }
 
 // loadApps reads the JSON fleet at path, or returns the built-in NPB

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -130,5 +131,109 @@ func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-nope"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunPortfolio(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-portfolio", "-workers", "4", "-seq", "0.05", "-ways", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"12 heuristics raced", "rank", "vs best", "makespan:", "CAT realization on 20 ways"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("portfolio output missing %q:\n%s", want, s)
+		}
+	}
+	// AllProcCache can never beat the co-scheduling policies on NPB, so
+	// it must not be the heuristic the downstream sections ran with.
+	if strings.Contains(s, "heuristic: AllProcCache") {
+		t.Fatalf("portfolio picked the sequential baseline as best:\n%s", s)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	batchPath := filepath.Join(dir, "batch.json")
+	batch := `[
+		{"apps": [
+			{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7},
+			{"name": "b", "work": 2e10, "seq": 0.02, "freq": 0.7, "missRate": 5e-3, "refCache": 4e7}
+		], "heuristics": ["DominantMinRatio", "Fair"], "seed": 7},
+		{"apps": [
+			{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7},
+			{"name": "b", "work": 2e10, "seq": 0.02, "freq": 0.7, "missRate": 5e-3, "refCache": 4e7}
+		], "heuristics": ["DominantMinRatio", "Fair"], "seed": 8},
+		{"platform": {"processors": -1}, "apps": []}
+	]`
+	if err := os.WriteFile(batchPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-batch", batchPath, "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		Best    string `json:"best"`
+		Results []struct {
+			Heuristic string  `json:"heuristic"`
+			Makespan  float64 `json:"makespan"`
+			FromCache bool    `json:"fromCache"`
+		} `json:"results"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("batch output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports for 3 scenarios", len(reports))
+	}
+	if reports[0].Best != "DominantMinRatio" || len(reports[0].Results) != 2 {
+		t.Fatalf("unexpected first report: %+v", reports[0])
+	}
+	// Scenarios 1 and 2 differ only in seed; their deterministic
+	// heuristics must agree, and exactly one evaluation per heuristic
+	// must have come from the memoization cache.
+	fromCache := 0
+	for hi := range reports[0].Results {
+		if reports[0].Results[hi].Makespan != reports[1].Results[hi].Makespan {
+			t.Fatalf("deterministic heuristic diverged across identical scenarios")
+		}
+		for _, rep := range reports[:2] {
+			if rep.Results[hi].FromCache {
+				fromCache++
+			}
+		}
+	}
+	if fromCache != 2 {
+		t.Fatalf("%d cached evaluations, want 2 (one per heuristic)", fromCache)
+	}
+	if reports[2].Error == "" {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestRunPortfolioFlagConflicts(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-portfolio", "-localsearch"}, &out); err == nil {
+		t.Fatal("-portfolio -localsearch combination accepted")
+	}
+	if err := run([]string{"-portfolio", "-heuristic", "Bogus"}, &out); err == nil {
+		t.Fatal("-portfolio with unknown -heuristic accepted")
+	}
+}
+
+func TestRunBatchBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-batch", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("missing batch file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"heuristics": ["Bogus"], "apps": []}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-batch", bad}, &out); err == nil {
+		t.Fatal("unknown heuristic in batch accepted")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/portfolio"
 )
 
 func main() {
@@ -36,16 +37,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.Int("fig", 0, "figure number to regenerate (1-18)")
-		ext    = fs.Int("ext", 0, "extension experiment to run (1-5, studies beyond the paper)")
-		all    = fs.Bool("all", false, "regenerate every figure")
-		allExt = fs.Bool("all-ext", false, "run every extension experiment")
-		tables = fs.Bool("tables", false, "print Tables 1 and 2")
-		reps   = fs.Int("reps", 50, "replicates per configuration (paper: 50)")
-		seed   = fs.Uint64("seed", 0x5EED, "master seed")
-		out    = fs.String("out", "results", "output directory for CSV files")
-		raw    = fs.Bool("raw", false, "print raw makespans instead of the paper's normalization")
-		plot   = fs.Bool("plot", false, "also draw an ASCII plot per figure")
+		fig     = fs.Int("fig", 0, "figure number to regenerate (1-18)")
+		ext     = fs.Int("ext", 0, "extension experiment to run (1-5, studies beyond the paper)")
+		all     = fs.Bool("all", false, "regenerate every figure")
+		allExt  = fs.Bool("all-ext", false, "run every extension experiment")
+		tables  = fs.Bool("tables", false, "print Tables 1 and 2")
+		reps    = fs.Int("reps", 50, "replicates per configuration (paper: 50)")
+		seed    = fs.Uint64("seed", 0x5EED, "master seed")
+		out     = fs.String("out", "results", "output directory for CSV files")
+		raw     = fs.Bool("raw", false, "print raw makespans instead of the paper's normalization")
+		plot    = fs.Bool("plot", false, "also draw an ASCII plot per figure")
+		workers = fs.Int("workers", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +63,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	cfg := experiments.Config{Replicates: *reps, Seed: *seed}
+	// One engine for the whole invocation: every figure shares the
+	// worker pool. No cache — sweep cells never repeat a workload, so
+	// memoizing would only grow memory for zero hits.
+	engine := portfolio.New(portfolio.Config{Workers: *workers})
+	cfg := experiments.Config{Replicates: *reps, Seed: *seed, Engine: engine}
 	type job struct {
 		n     int
 		isExt bool

@@ -17,6 +17,8 @@
 //     Schedule method produces a complete assignment.
 //   - Schedule holds the resulting {(p_i, x_i)} with validation and
 //     per-application finish times.
+//   - PortfolioEngine races every heuristic concurrently and serves the
+//     best schedule per scenario.
 //
 // Quick start:
 //
@@ -26,6 +28,35 @@
 //	if err != nil { ... }
 //	fmt.Println(s.Makespan)
 //
+// # Portfolio scheduling
+//
+// No single heuristic wins on every workload, so the portfolio engine
+// evaluates all of them — concurrently, on a bounded worker pool — and
+// picks the winner:
+//
+//	eng := repro.NewPortfolio(0) // 0 = one worker per CPU
+//	rep, err := eng.Evaluate(repro.PortfolioScenario{
+//		Platform: pl, Apps: apps, Seed: 42,
+//	})
+//	if err != nil { ... }
+//	best := rep.BestResult() // full per-heuristic report in rep.Results
+//
+// Worker-pool sizing: heuristic evaluation is CPU-bound, so the default
+// of GOMAXPROCS workers saturates the machine; smaller pools bound the
+// engine's share of it when co-resident with other work. All Evaluate
+// and EvaluateBatch calls on one engine share its pool, and results are
+// bit-for-bit identical for any pool size (each heuristic's randomness
+// is derived from the scenario seed and its position, never from
+// execution order).
+//
+// Cache semantics: NewPortfolio equips the engine with a sharded,
+// mutex-striped memoization cache keyed by a canonical hash of
+// (platform, applications, heuristic, seed); the seed is ignored for
+// deterministic heuristics, so repeated workloads hit regardless of
+// seed. Cached schedules are shared between callers — treat them as
+// immutable. Concurrent identical requests collapse into one
+// computation.
+//
 // For the evaluation harness reproducing the paper's figures, see
 // cmd/experiments; for CAT way-mask realization of fractional shares, see
 // the CATPartition helper.
@@ -34,6 +65,7 @@ package repro
 import (
 	"repro/internal/cat"
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -136,6 +168,44 @@ func SimulateRedistribute(pl Platform, apps []Application, s *Schedule) (*Simula
 // workloads with heterogeneous sequential fractions and tight caches.
 func LocalSearchSchedule(pl Platform, apps []Application, rng *solve.RNG) (*Schedule, error) {
 	return sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, rng)
+}
+
+// PortfolioEngine evaluates many heuristics and scenarios concurrently
+// on a bounded worker pool; see portfolio.Engine.
+type PortfolioEngine = portfolio.Engine
+
+// PortfolioScenario is one scheduling problem for the portfolio engine;
+// see portfolio.Scenario.
+type PortfolioScenario = portfolio.Scenario
+
+// PortfolioReport is the per-heuristic outcome of one scenario; see
+// portfolio.Report.
+type PortfolioReport = portfolio.Report
+
+// PortfolioResult is one heuristic's outcome; see portfolio.Result.
+type PortfolioResult = portfolio.Result
+
+// NewPortfolio returns a portfolio engine with the given worker-pool
+// size (values < 1 mean GOMAXPROCS) and a fresh memoization cache. See
+// the package documentation for sizing and cache semantics.
+func NewPortfolio(workers int) *PortfolioEngine {
+	return portfolio.New(portfolio.Config{Workers: workers, Cache: portfolio.NewCache()})
+}
+
+// BestSchedule races every heuristic (the paper's ten plus the
+// extensions) on a transient engine and returns the winning schedule
+// with the full report. It is the one-shot convenience over
+// NewPortfolio + Evaluate.
+func BestSchedule(pl Platform, apps []Application, seed uint64) (*Schedule, *PortfolioReport, error) {
+	rep, err := NewPortfolio(0).Evaluate(PortfolioScenario{Platform: pl, Apps: apps, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	best := rep.BestResult()
+	if best == nil {
+		return nil, rep, sched.ErrInfeasible
+	}
+	return best.Schedule, rep, nil
 }
 
 // IntegerSchedule realizes a rational schedule with whole processors; see

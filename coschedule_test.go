@@ -32,6 +32,51 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadePortfolio(t *testing.T) {
+	pl := TaihuLight()
+	apps := NPB()
+	for i := range apps {
+		apps[i].SeqFraction = 0.05
+	}
+	best, rep, err := BestSchedule(pl, apps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Validate(pl, apps); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(Heuristics)+2 {
+		t.Fatalf("%d results, want the ten policies plus two extensions", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			t.Fatalf("%v failed: %v", r.Heuristic, r.Err)
+		}
+		if best.Makespan > r.Schedule.Makespan {
+			t.Fatalf("best %v worse than %v's %v", best.Makespan, r.Heuristic, r.Schedule.Makespan)
+		}
+	}
+
+	// A persistent engine memoizes: re-evaluating the same scenario is
+	// served from cache.
+	eng := NewPortfolio(2)
+	if _, err := eng.Evaluate(PortfolioScenario{Platform: pl, Apps: apps, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := eng.Evaluate(PortfolioScenario{Platform: pl, Apps: apps, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep2.Results {
+		if !r.FromCache {
+			t.Fatalf("%v recomputed on identical scenario", r.Heuristic)
+		}
+	}
+	if st := eng.CacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("unexpected cache stats %+v", st)
+	}
+}
+
 func TestFacadeParseHeuristic(t *testing.T) {
 	h, err := ParseHeuristic("DominantRevMaxRatio")
 	if err != nil || h != DominantRevMaxRatio {

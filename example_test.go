@@ -31,6 +31,30 @@ func Example() {
 	// FT 1.40 0.0870
 }
 
+// No single heuristic wins everywhere, so the portfolio engine races
+// all of them concurrently and serves the best schedule; the report
+// carries every heuristic's outcome for audit.
+func ExampleBestSchedule() {
+	pl := repro.TaihuLight()
+	apps := repro.NPB()
+	for i := range apps {
+		apps[i].SeqFraction = 0.05
+	}
+	best, rep, err := repro.BestSchedule(pl, apps, 42)
+	if err != nil {
+		panic(err)
+	}
+	reference, err := repro.DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d heuristics raced\n", len(rep.Results))
+	fmt.Printf("portfolio no worse than the reference heuristic: %v\n", best.Makespan <= reference.Makespan)
+	// Output:
+	// 12 heuristics raced
+	// portfolio no worse than the reference heuristic: true
+}
+
 // Cache fractions become Intel CAT capacity bitmasks through
 // CATPartition; masks are contiguous and disjoint as the hardware
 // requires.

@@ -12,10 +12,9 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/solve"
 	"repro/internal/stats"
@@ -31,6 +30,13 @@ type Config struct {
 	// derives an independent substream, so results are reproducible and
 	// insensitive to execution order.
 	Seed uint64
+	// Workers bounds the number of heuristic evaluations in flight at
+	// once (0 means GOMAXPROCS). Ignored when Engine is set.
+	Workers int
+	// Engine optionally supplies a shared portfolio engine, so several
+	// experiments can pool workers. Nil means a private engine per
+	// experiment.
+	Engine *portfolio.Engine
 }
 
 // DefaultConfig matches the paper's protocol.
@@ -41,6 +47,16 @@ func (c Config) replicates() int {
 		return 50
 	}
 	return c.Replicates
+}
+
+// engine returns the portfolio engine experiments run on. No
+// memoization cache: every sweep cell is a distinct workload, so a
+// cache would only accumulate entries without ever hitting.
+func (c Config) engine() *portfolio.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return portfolio.New(portfolio.Config{Workers: c.Workers})
 }
 
 // Figure is the aggregated output of one experiment: one series per
@@ -87,82 +103,51 @@ func (f *Figure) Normalized(base string) (*Figure, error) {
 // stream (paired comparison, as in the authors' simulator), so curves
 // differ only through the swept parameter.
 //
-// Cells (x, replicate) are independent, so they run on a bounded worker
-// pool; results land in preallocated slots, keeping output bit-identical
-// to the sequential order regardless of scheduling.
+// Every (x, replicate) cell becomes one portfolio scenario; the engine
+// parallelizes across heuristics × scenarios on its bounded worker
+// pool. Heuristic-internal randomness derives from the replicate stream
+// and the heuristic's position (the engine's substream rule matches the
+// historical serial loop), so results are bit-identical to sequential
+// execution regardless of worker count.
 func sweep(cfg Config, hs []sched.Heuristic, xs []float64,
 	build func(x float64, rng *solve.RNG) (model.Platform, []model.Application, error),
 ) ([]stats.Series, error) {
 	reps := cfg.replicates()
-	master := solve.NewRNG(cfg.Seed)
-	// Pre-split one stream per replicate so every sweep point sees the
-	// same per-replicate randomness.
-	repStreams := make([]uint64, reps)
-	for r := range repStreams {
-		repStreams[r] = master.Uint64()
-	}
+	repStreams := replicateStreams(cfg)
 
-	type cell struct{ xi, r int }
-	// samples[xi][hi][r] = makespan.
-	samples := make([][][]float64, len(xs))
-	for xi := range samples {
-		samples[xi] = make([][]float64, len(hs))
-		for hi := range samples[xi] {
-			samples[xi][hi] = make([]float64, reps)
-		}
-	}
-	cells := make(chan cell)
-	errc := make(chan error, 1)
-	workers := runtime.GOMAXPROCS(0)
-	if total := len(xs) * reps; workers > total {
-		workers = total
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range cells {
-				x := xs[c.xi]
-				wlRNG := solve.NewRNG(repStreams[c.r])
-				pl, apps, err := build(x, wlRNG)
-				if err != nil {
-					sendErr(errc, fmt.Errorf("experiments: build at x=%g: %w", x, err))
-					continue
-				}
-				for hi, h := range hs {
-					// Heuristic-internal randomness gets its own
-					// substream so RandomPart et al. differ across
-					// replicates but not across sweep points.
-					hRNG := solve.NewRNG(repStreams[c.r] ^ (uint64(hi+1) * 0x9E3779B97F4A7C15))
-					s, err := h.Schedule(pl, apps, hRNG)
-					if err != nil {
-						sendErr(errc, fmt.Errorf("experiments: %v at x=%g: %w", h, x, err))
-						break
-					}
-					samples[c.xi][hi][c.r] = s.Makespan
-				}
-			}
-		}()
-	}
-	for xi := range xs {
+	scenarios := make([]portfolio.Scenario, 0, len(xs)*reps)
+	for _, x := range xs {
 		for r := 0; r < reps; r++ {
-			cells <- cell{xi, r}
+			pl, apps, err := build(x, solve.NewRNG(repStreams[r]))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: build at x=%g: %w", x, err)
+			}
+			scenarios = append(scenarios, portfolio.Scenario{
+				Platform: pl, Apps: apps, Heuristics: hs, Seed: repStreams[r],
+			})
 		}
 	}
-	close(cells)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return nil, err
-	default:
-	}
+	reports := cfg.engine().EvaluateBatch(scenarios)
 
 	series := make([]stats.Series, len(hs))
 	for hi, h := range hs {
 		series[hi] = stats.Series{Name: h.String()}
-		for xi, x := range xs {
-			sum, err := stats.Summarize(samples[xi][hi])
+	}
+	vals := make([]float64, reps)
+	for xi, x := range xs {
+		for hi, h := range hs {
+			for r := 0; r < reps; r++ {
+				rep := reports[xi*reps+r]
+				if rep.Err != nil {
+					return nil, rep.Err
+				}
+				res := rep.Results[hi]
+				if res.Err != nil {
+					return nil, fmt.Errorf("experiments: %v at x=%g: %w", h, x, res.Err)
+				}
+				vals[r] = res.Schedule.Makespan
+			}
+			sum, err := stats.Summarize(vals)
 			if err != nil {
 				return nil, err
 			}
@@ -172,12 +157,15 @@ func sweep(cfg Config, hs []sched.Heuristic, xs []float64,
 	return series, nil
 }
 
-// sendErr records the first error; later ones are dropped.
-func sendErr(errc chan error, err error) {
-	select {
-	case errc <- err:
-	default:
+// replicateStreams pre-splits one stream per replicate so every sweep
+// point sees the same per-replicate randomness.
+func replicateStreams(cfg Config) []uint64 {
+	master := solve.NewRNG(cfg.Seed)
+	repStreams := make([]uint64, cfg.replicates())
+	for r := range repStreams {
+		repStreams[r] = master.Uint64()
 	}
+	return repStreams
 }
 
 // Sweep grids used across figures.

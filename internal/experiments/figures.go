@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/solve"
 	"repro/internal/stats"
@@ -246,32 +247,35 @@ func lsSweep(cfg Config, id string, n int) (*Figure, error) {
 // repartition implements Figures 7 and 17: for each application count,
 // record the average, minimum and maximum processor share (DMR, Fair,
 // ZeroCache) and cache share (DMR, Fair) allocated to an application,
-// averaged over replicates.
+// averaged over replicates. Each (x, replicate) cell is one portfolio
+// scenario over the three (deterministic) heuristics; the processor and
+// cache series read the same solved schedules, where the serial loop
+// used to compute DMR and Fair twice.
 func repartition(cfg Config, id string, gen workload.Generator) (*Figure, error) {
-	hsProc := []sched.Heuristic{sched.DominantMinRatio, sched.Fair, sched.ZeroCache}
-	hsCache := []sched.Heuristic{sched.DominantMinRatio, sched.Fair}
+	hs := []sched.Heuristic{sched.DominantMinRatio, sched.Fair, sched.ZeroCache}
+	nProc, nCache := 3, 2 // procs series for all of hs, cache series for DMR and Fair
 	reps := cfg.replicates()
-	master := solve.NewRNG(cfg.Seed)
-	repStreams := make([]uint64, reps)
-	for r := range repStreams {
-		repStreams[r] = master.Uint64()
-	}
+	repStreams := replicateStreams(cfg)
+	pl := platformWithProcessors(256)
+	xs := appCounts()
 
-	type acc struct{ avg, min, max []float64 }
-	mkAcc := func() *acc { return &acc{} }
-	procAcc := map[sched.Heuristic]*acc{}
-	cacheAcc := map[sched.Heuristic]*acc{}
+	scenarios := make([]portfolio.Scenario, 0, len(xs)*reps)
+	for _, x := range xs {
+		for r := 0; r < reps; r++ {
+			apps, err := genApps(gen, int(x), solve.NewRNG(repStreams[r]))
+			if err != nil {
+				return nil, err
+			}
+			scenarios = append(scenarios, portfolio.Scenario{
+				Platform: pl, Apps: apps, Heuristics: hs, Seed: repStreams[r],
+			})
+		}
+	}
+	reports := cfg.engine().EvaluateBatch(scenarios)
+
 	fig := &Figure{
 		ID: id, Title: fmt.Sprintf("Processor and cache repartition (%v)", gen),
 		XLabel: "#Applications", YLabel: "Allocation",
-	}
-	pl := platformWithProcessors(256)
-
-	for _, h := range hsProc {
-		procAcc[h] = mkAcc()
-	}
-	for _, h := range hsCache {
-		cacheAcc[h] = mkAcc()
 	}
 	appendPoint := func(name string, x float64, vals []float64) error {
 		sum, err := stats.Summarize(vals)
@@ -287,65 +291,56 @@ func repartition(cfg Config, id string, gen workload.Generator) (*Figure, error)
 		return nil
 	}
 
-	for _, x := range appCounts() {
-		for _, a := range procAcc {
-			a.avg, a.min, a.max = nil, nil, nil
-		}
-		for _, a := range cacheAcc {
-			a.avg, a.min, a.max = nil, nil, nil
-		}
+	type acc struct{ avg, min, max []float64 }
+	accumulate := func(xi, hi int, get func(sched.Assignment) float64) (*acc, error) {
+		a := &acc{}
 		for r := 0; r < reps; r++ {
-			rng := solve.NewRNG(repStreams[r])
-			apps, err := genApps(gen, int(x), rng)
+			rep := reports[xi*reps+r]
+			if rep.Err != nil {
+				return nil, rep.Err
+			}
+			res := rep.Results[hi]
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			mn, mx := math.Inf(1), math.Inf(-1)
+			var sum solve.Kahan
+			for _, asg := range res.Schedule.Assignments {
+				v := get(asg)
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+				sum.Add(v)
+			}
+			a.avg = append(a.avg, sum.Sum()/float64(len(res.Schedule.Assignments)))
+			a.min = append(a.min, mn)
+			a.max = append(a.max, mx)
+		}
+		return a, nil
+	}
+
+	type named struct {
+		suffix string
+		vals   []float64
+	}
+	for xi, x := range xs {
+		for hi := 0; hi < nProc; hi++ {
+			a, err := accumulate(xi, hi, func(a sched.Assignment) float64 { return a.Processors })
 			if err != nil {
 				return nil, err
 			}
-			record := func(h sched.Heuristic, a *acc, get func(sched.Assignment) float64) error {
-				hRNG := solve.NewRNG(repStreams[r] ^ uint64(h+1)*0x9E3779B97F4A7C15)
-				s, err := h.Schedule(pl, apps, hRNG)
-				if err != nil {
-					return err
-				}
-				mn, mx := math.Inf(1), math.Inf(-1)
-				var sum solve.Kahan
-				for _, asg := range s.Assignments {
-					v := get(asg)
-					mn = math.Min(mn, v)
-					mx = math.Max(mx, v)
-					sum.Add(v)
-				}
-				a.avg = append(a.avg, sum.Sum()/float64(len(s.Assignments)))
-				a.min = append(a.min, mn)
-				a.max = append(a.max, mx)
-				return nil
-			}
-			for _, h := range hsProc {
-				if err := record(h, procAcc[h], func(a sched.Assignment) float64 { return a.Processors }); err != nil {
-					return nil, err
-				}
-			}
-			for _, h := range hsCache {
-				if err := record(h, cacheAcc[h], func(a sched.Assignment) float64 { return a.CacheShare }); err != nil {
-					return nil, err
-				}
-			}
-		}
-		type named struct {
-			suffix string
-			vals   []float64
-		}
-		for _, h := range hsProc {
-			a := procAcc[h]
 			for _, nv := range []named{{"procs/avg", a.avg}, {"procs/min", a.min}, {"procs/max", a.max}} {
-				if err := appendPoint(h.String()+"/"+nv.suffix, x, nv.vals); err != nil {
+				if err := appendPoint(hs[hi].String()+"/"+nv.suffix, x, nv.vals); err != nil {
 					return nil, err
 				}
 			}
 		}
-		for _, h := range hsCache {
-			a := cacheAcc[h]
+		for hi := 0; hi < nCache; hi++ {
+			a, err := accumulate(xi, hi, func(a sched.Assignment) float64 { return a.CacheShare })
+			if err != nil {
+				return nil, err
+			}
 			for _, nv := range []named{{"cache/avg", a.avg}, {"cache/min", a.min}, {"cache/max", a.max}} {
-				if err := appendPoint(h.String()+"/"+nv.suffix, x, nv.vals); err != nil {
+				if err := appendPoint(hs[hi].String()+"/"+nv.suffix, x, nv.vals); err != nil {
 					return nil, err
 				}
 			}

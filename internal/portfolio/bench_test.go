@@ -1,0 +1,79 @@
+package portfolio
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// npbSweepScenarios builds the benchmark workload: the paper's NPB
+// fleet swept across platform sizes and sequential fractions, one full
+// extended-heuristic portfolio per scenario. Memoization is disabled so
+// the benchmark measures scheduling work, not cache lookups.
+func npbSweepScenarios() []Scenario {
+	var out []Scenario
+	rng := solve.NewRNG(0x5EED)
+	for _, p := range []float64{64, 128, 256} {
+		for _, seqf := range []float64{0, 0.05, 0.1} {
+			pl := model.TaihuLight()
+			pl.Processors = p
+			apps := workload.NPB()
+			for i := range apps {
+				apps[i].SeqFraction = seqf
+			}
+			out = append(out, Scenario{Platform: pl, Apps: apps, Seed: rng.Uint64()})
+		}
+	}
+	return out
+}
+
+// BenchmarkPortfolioSweep measures the full-portfolio NPB sweep at
+// several worker counts; workers=1 is the serial baseline the
+// acceptance criterion (≥2× at 4+ workers) compares against. Run via
+// scripts/bench.sh, which computes the speedup and checks it against
+// the committed baseline.
+func BenchmarkPortfolioSweep(b *testing.B) {
+	scenarios := npbSweepScenarios()
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	if counts[3] <= 4 {
+		counts = counts[:3]
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := New(Config{Workers: w})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reports := eng.EvaluateBatch(scenarios)
+				for _, rep := range reports {
+					if rep.Err != nil {
+						b.Fatal(rep.Err)
+					}
+					if rep.Best < 0 {
+						b.Fatal("no feasible schedule")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioMemoized measures the same sweep served entirely
+// from a warm memoization cache: the steady-state cost of re-serving
+// known scenarios.
+func BenchmarkPortfolioMemoized(b *testing.B) {
+	scenarios := npbSweepScenarios()
+	eng := New(Config{Workers: runtime.GOMAXPROCS(0), Cache: NewCache()})
+	eng.EvaluateBatch(scenarios) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range eng.EvaluateBatch(scenarios) {
+			if rep.Err != nil {
+				b.Fatal(rep.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package portfolio
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// numShards stripes the cache's mutexes. 64 shards keep contention
+// negligible at any realistic worker count while costing a few KB.
+const numShards = 64
+
+// Cache memoizes solved (scenario, heuristic) pairs behind a sharded,
+// mutex-striped map. Entries are keyed by a canonical byte encoding of
+// (platform, applications, heuristic, seed) — seed is omitted for
+// deterministic heuristics, so e.g. DominantMinRatio on the same
+// workload hits regardless of the scenario seed. Concurrent requests
+// for the same key collapse into a single computation via a per-entry
+// sync.Once. A Cache must not be copied after first use.
+type Cache struct {
+	shards       [numShards]cacheShard
+	hits, misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once     sync.Once
+	schedule *sched.Schedule
+	err      error
+}
+
+// NewCache returns an empty cache ready for concurrent use.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// CacheStats are the cache's monotonic counters. A "hit" is a request
+// that found its entry already computed (or in flight); a "miss" is a
+// request that triggered the computation.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats snapshots the counters. Hits+Misses equals the number of
+// getOrCompute calls that completed.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// getOrCompute returns the memoized outcome for the pair, computing it
+// at most once across all concurrent callers. fromCache reports whether
+// this caller got a previously requested entry.
+func (c *Cache) getOrCompute(pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64,
+	compute func() (*sched.Schedule, error)) (s *sched.Schedule, err error, fromCache bool) {
+	key := scenarioKey(pl, apps, h, seed)
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	ent, ok := sh.m[key]
+	if !ok {
+		ent = &cacheEntry{}
+		sh.m[key] = ent
+	}
+	sh.mu.Unlock()
+
+	computed := false
+	ent.once.Do(func() {
+		ent.schedule, ent.err = compute()
+		computed = true
+	})
+	if computed {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return ent.schedule, ent.err, !computed
+}
+
+// scenarioKey builds the canonical byte encoding of one (platform,
+// applications, heuristic, seed) cell. Every numeric field contributes
+// its exact bit pattern, and names are length-prefixed, so distinct
+// scenarios cannot collide. The seed participates only for heuristics
+// that actually consume randomness.
+func scenarioKey(pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64) string {
+	n := 8 + 5*8 + 8 + 8 // heuristic + platform + seed + app count
+	for _, a := range apps {
+		n += 8 + len(a.Name) + 6*8
+	}
+	b := make([]byte, 0, n)
+	b = appendU64(b, uint64(h))
+	if !h.Randomized() {
+		seed = 0
+	}
+	b = appendU64(b, seed)
+	b = appendF64(b, pl.Processors, pl.CacheSize, pl.LatencyS, pl.LatencyL, pl.Alpha)
+	b = appendU64(b, uint64(len(apps)))
+	for _, a := range apps {
+		b = appendU64(b, uint64(len(a.Name)))
+		b = append(b, a.Name...)
+		b = appendF64(b, a.Work, a.SeqFraction, a.AccessFreq, a.Footprint, a.RefMissRate, a.RefCacheSize)
+	}
+	return string(b)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// shardOf hashes the key with FNV-1a and folds it onto a shard index.
+func shardOf(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % numShards)
+}

@@ -1,0 +1,241 @@
+// Package portfolio evaluates many scheduling heuristics — and many
+// scenarios — concurrently, and picks the best schedule each scenario
+// admits. It is the paper's comparison methodology turned into an
+// engine: where the study ranks the ten policies of Sections 5–6 across
+// sweeps, the portfolio scheduler runs the whole policy set for every
+// incoming (Platform, Applications) scenario on a bounded worker pool
+// and serves the winner, with a full per-heuristic report for audit.
+//
+// Three properties make it the substrate for scale work:
+//
+//   - Determinism. Every heuristic's randomness is derived from the
+//     scenario seed and the heuristic's position, never from execution
+//     order, so concurrent and serial runs agree bit-for-bit.
+//   - Bounded concurrency. One Engine owns one semaphore; heuristic ×
+//     scenario tasks from any number of Evaluate/EvaluateBatch calls
+//     share it, so callers can fan out freely without oversubscribing
+//     the machine.
+//   - Memoization. Solved (scenario, heuristic) pairs are remembered in
+//     a sharded, mutex-striped cache keyed by a canonical scenario
+//     hash; repeated scenarios cost one map lookup, and concurrent
+//     identical requests collapse into a single computation.
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+)
+
+// seedStride separates per-heuristic RNG substreams. It matches the
+// derivation the experiment sweeps have always used, so portfolio-run
+// figures are bit-identical to the historical serial loops.
+const seedStride = 0x9E3779B97F4A7C15
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds the number of heuristic evaluations in flight at
+	// once. Values < 1 default to GOMAXPROCS. One worker reproduces the
+	// serial evaluation order's results exactly (as does any other
+	// worker count — see the determinism property).
+	Workers int
+	// Cache memoizes solved (scenario, heuristic) pairs. Nil disables
+	// memoization. A Cache may be shared between engines.
+	Cache *Cache
+}
+
+// Engine is a concurrent portfolio scheduler. It is safe for use from
+// multiple goroutines; all evaluations share one worker pool.
+type Engine struct {
+	sem   chan struct{}
+	cache *Cache
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{sem: make(chan struct{}, w), cache: cfg.Cache}
+}
+
+// Workers reports the size of the engine's worker pool.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// CacheStats reports the memoization cache's counters; zero if the
+// engine has no cache.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Scenario is one scheduling problem: a platform, a workload, the set
+// of heuristics to race, and the seed driving the randomized ones.
+type Scenario struct {
+	Platform model.Platform
+	Apps     []model.Application
+	// Heuristics to evaluate, in report order. Nil or empty means the
+	// full extended set (the paper's ten plus SharedCache/LocalSearch).
+	Heuristics []sched.Heuristic
+	// Seed of the scenario's master random stream. Heuristic i draws
+	// from the substream Seed ^ (i+1)·seedStride, so results do not
+	// depend on which worker ran which heuristic when.
+	Seed uint64
+}
+
+func (s *Scenario) heuristics() []sched.Heuristic {
+	if len(s.Heuristics) == 0 {
+		return sched.ExtendedHeuristics
+	}
+	return s.Heuristics
+}
+
+// Result is one heuristic's outcome on one scenario.
+type Result struct {
+	Heuristic sched.Heuristic
+	// Schedule is nil when Err is non-nil. Schedules may be served from
+	// the memoization cache and shared between callers: treat them as
+	// immutable.
+	Schedule *sched.Schedule
+	Err      error
+	// FromCache reports whether the schedule was served from the
+	// memoization cache rather than computed by this call.
+	FromCache bool
+}
+
+// Report is the full outcome of one scenario: one Result per heuristic,
+// in heuristic order, plus the index of the winner.
+type Report struct {
+	Results []Result
+	// Best indexes the feasible Result with the smallest makespan
+	// (ties broken toward the earlier heuristic), or -1 if every
+	// heuristic failed.
+	Best int
+	// Err is set when the scenario itself was invalid (bad platform or
+	// application); Results is then empty.
+	Err error
+}
+
+// BestResult returns the winning result, or nil if none was feasible.
+func (r *Report) BestResult() *Result {
+	if r.Best < 0 || r.Best >= len(r.Results) {
+		return nil
+	}
+	return &r.Results[r.Best]
+}
+
+// BestSchedule returns the winning schedule, or nil if none was
+// feasible. The schedule may be cache-shared: treat it as immutable.
+func (r *Report) BestSchedule() *sched.Schedule {
+	if br := r.BestResult(); br != nil {
+		return br.Schedule
+	}
+	return nil
+}
+
+// Evaluate runs every heuristic of the scenario on the worker pool and
+// reports all outcomes. The returned error is non-nil only for invalid
+// scenarios; per-heuristic failures land in the Report.
+func (e *Engine) Evaluate(s Scenario) (*Report, error) {
+	rep := e.EvaluateBatch([]Scenario{s})[0]
+	return rep, rep.Err
+}
+
+// EvaluateBatch evaluates many scenarios at once, fanning every
+// (scenario, heuristic) pair out to the shared worker pool. The
+// returned slice aligns with scenarios. Scenario-level validation
+// failures are recorded in the corresponding Report's Err.
+//
+// The call spawns at most Workers goroutines regardless of batch size
+// (a full paper sweep is tens of thousands of tasks), and each task
+// additionally holds a slot of the engine-wide semaphore, so concurrent
+// EvaluateBatch calls on one engine still respect the global bound.
+func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
+	type task struct {
+		sc  *Scenario
+		rep *Report
+		hi  int
+		h   sched.Heuristic
+	}
+	reports := make([]*Report, len(scenarios))
+	var tasks []task
+	for si := range scenarios {
+		sc := &scenarios[si]
+		rep := &Report{Best: -1}
+		reports[si] = rep
+		if err := model.ValidateAll(sc.Platform, sc.Apps); err != nil {
+			rep.Err = fmt.Errorf("portfolio: scenario %d: %w", si, err)
+			continue
+		}
+		hs := sc.heuristics()
+		rep.Results = make([]Result, len(hs))
+		for hi := range hs {
+			tasks = append(tasks, task{sc, rep, hi, hs[hi]})
+		}
+	}
+
+	workers := cap(e.sem)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				e.sem <- struct{}{}
+				t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
+				<-e.sem
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	for _, rep := range reports {
+		rep.pickBest()
+	}
+	return reports
+}
+
+// evalOne schedules one heuristic, through the cache when present.
+func (e *Engine) evalOne(sc *Scenario, h sched.Heuristic, hi int) Result {
+	seed := sc.Seed ^ uint64(hi+1)*seedStride
+	if e.cache == nil {
+		s, err := h.Schedule(sc.Platform, sc.Apps, solve.NewRNG(seed))
+		return Result{Heuristic: h, Schedule: s, Err: err}
+	}
+	s, err, fromCache := e.cache.getOrCompute(sc.Platform, sc.Apps, h, seed, func() (*sched.Schedule, error) {
+		return h.Schedule(sc.Platform, sc.Apps, solve.NewRNG(seed))
+	})
+	return Result{Heuristic: h, Schedule: s, Err: err, FromCache: fromCache}
+}
+
+// pickBest selects the feasible result with the smallest makespan,
+// breaking ties toward the earlier heuristic. Results with a NaN
+// makespan are treated as infeasible so they can never shadow a finite
+// schedule.
+func (r *Report) pickBest() {
+	r.Best = -1
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Err != nil || res.Schedule == nil || math.IsNaN(res.Schedule.Makespan) {
+			continue
+		}
+		if r.Best < 0 || res.Schedule.Makespan < r.Results[r.Best].Schedule.Makespan {
+			r.Best = i
+		}
+	}
+}

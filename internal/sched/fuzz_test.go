@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzScheduleJSONRoundTrip feeds arbitrary bytes to ReadJSON and, for
+// every input it accepts, checks that WriteJSON → ReadJSON is a fixed
+// point: the second read reproduces the first bit-for-bit (heuristic,
+// platform, application names, assignments, makespan, sequential flag).
+// encoding/json emits the shortest float representation that re-parses
+// exactly, so any drift here is a schema bug, not float noise.
+func FuzzScheduleJSONRoundTrip(f *testing.F) {
+	// Seed with a genuine schedule produced by the reference heuristic.
+	pl := model.TaihuLight()
+	apps := []model.Application{
+		{Name: "CG", Work: 5.70e10, AccessFreq: 5.35e-01, RefMissRate: 6.59e-04, RefCacheSize: 40e6},
+		{Name: "MG", Work: 1.23e10, AccessFreq: 5.40e-01, RefMissRate: 2.62e-02, RefCacheSize: 40e6},
+	}
+	if s, err := DominantMinRatio.Schedule(pl, apps, nil); err == nil {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, "DominantMinRatio", pl, apps, s); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"makespan": 1e308, "sequential": true, "assignments": [{"app": "α", "processors": -0}]}`))
+	f.Add([]byte(`[1,2`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h1, pl1, names1, s1, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		if len(names1) != len(s1.Assignments) {
+			t.Fatalf("%d names for %d assignments", len(names1), len(s1.Assignments))
+		}
+		fleet := make([]model.Application, len(names1))
+		for i, n := range names1 {
+			fleet[i] = model.Application{Name: n}
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, h1, pl1, fleet, s1); err != nil {
+			t.Fatalf("re-encoding accepted schedule: %v", err)
+		}
+		h2, pl2, names2, s2, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own encoding: %v\n%s", err, buf.Bytes())
+		}
+		if h2 != h1 {
+			t.Fatalf("heuristic drifted: %q -> %q", h1, h2)
+		}
+		if pl2 != pl1 {
+			t.Fatalf("platform drifted: %+v -> %+v", pl1, pl2)
+		}
+		if s2.Makespan != s1.Makespan || s2.Sequential != s1.Sequential {
+			t.Fatalf("schedule header drifted: (%v, %v) -> (%v, %v)",
+				s1.Makespan, s1.Sequential, s2.Makespan, s2.Sequential)
+		}
+		if len(names2) != len(names1) || len(s2.Assignments) != len(s1.Assignments) {
+			t.Fatalf("length drifted: %d/%d -> %d/%d",
+				len(names1), len(s1.Assignments), len(names2), len(s2.Assignments))
+		}
+		for i := range names1 {
+			if names2[i] != names1[i] {
+				t.Fatalf("app %d name drifted: %q -> %q", i, names1[i], names2[i])
+			}
+			if s2.Assignments[i] != s1.Assignments[i] {
+				t.Fatalf("app %d assignment drifted: %+v -> %+v", i, s1.Assignments[i], s2.Assignments[i])
+			}
+		}
+	})
+}

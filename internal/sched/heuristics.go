@@ -101,6 +101,19 @@ func (h Heuristic) String() string {
 	}
 }
 
+// Randomized reports whether the heuristic consumes the random stream:
+// its schedule then depends on the RNG seed, while every other policy is
+// a pure function of (platform, applications). LocalSearch is
+// deterministic even though it accepts an RNG — the stream is only
+// threaded through to its deterministic DominantMinRatio warm start.
+func (h Heuristic) Randomized() bool {
+	switch h {
+	case DominantRandom, DominantRevRandom, RandomPart:
+		return true
+	}
+	return false
+}
+
 // ParseHeuristic resolves a case-sensitive heuristic name as produced by
 // String.
 func ParseHeuristic(name string) (Heuristic, error) {

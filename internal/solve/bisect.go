@@ -38,7 +38,7 @@ func Bisect(f func(float64) float64, lo, hi, rtol float64) (float64, error) {
 		return 0, ErrNoBracket
 	}
 	for i := 0; i < defaultMaxIter; i++ {
-		mid := lo + (hi-lo)/2
+		mid := midpoint(lo, hi)
 		if mid <= lo || mid >= hi {
 			// Interval collapsed to adjacent floats.
 			return mid, nil
@@ -53,10 +53,19 @@ func Bisect(f func(float64) float64, lo, hi, rtol float64) (float64, error) {
 			hi = mid
 		}
 		if hi-lo <= rtol*math.Max(math.Abs(lo), math.Abs(hi)) {
-			return lo + (hi-lo)/2, nil
+			return midpoint(lo, hi), nil
 		}
 	}
-	return lo + (hi-lo)/2, ErrNoConverge
+	return midpoint(lo, hi), ErrNoConverge
+}
+
+// midpoint halves [lo, hi] without overflowing when hi-lo exceeds the
+// float64 range (e.g. lo and hi near opposite extremes).
+func midpoint(lo, hi float64) float64 {
+	if half := (hi - lo) / 2; !math.IsInf(half, 0) {
+		return lo + half
+	}
+	return lo/2 + hi/2
 }
 
 // BisectDecreasing solves f(x) = target for a continuous strictly

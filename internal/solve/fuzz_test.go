@@ -1,0 +1,92 @@
+package solve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBisect drives the root finder with arbitrary intervals,
+// tolerances and root locations for the linear objective f(x) = x-root
+// (continuous and strictly increasing, so the bracket logic is fully
+// determined by where root lies relative to the interval). Invariants:
+//
+//   - no panic, for any input;
+//   - a root outside the interval is reported as ErrNoBracket;
+//   - a bracketed root yields a result inside the interval, within the
+//     requested relative tolerance of the true root.
+func FuzzBisect(f *testing.F) {
+	f.Add(0.0, 1.0, 1e-9, 0.5)
+	f.Add(1.0, 0.0, 1e-9, 0.25)   // reversed interval
+	f.Add(-1e6, 1e6, 1e-12, 42.0) // tight tolerance, wide range
+	f.Add(-1e308, 1e308, 1e-9, 3.0)
+	f.Add(0.0, 1.0, 0.0, 0.75)  // zero tolerance: run to collapse
+	f.Add(0.0, 1.0, -1.0, 0.1)  // negative tolerance
+	f.Add(5.0, 10.0, 1e-9, 1.0) // no bracket
+	f.Add(2.0, 2.0, 1e-9, 2.0)  // degenerate interval, root at endpoint
+	f.Fuzz(func(t *testing.T, lo, hi, rtol, root float64) {
+		for _, v := range []float64{lo, hi, root} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite interval or root")
+			}
+		}
+		obj := func(x float64) float64 { return x - root }
+		got, err := Bisect(obj, lo, hi, rtol)
+		mn, mx := math.Min(lo, hi), math.Max(lo, hi)
+
+		if root < mn || root > mx {
+			if err != ErrNoBracket {
+				t.Fatalf("root %v outside [%v, %v] but err = %v (got %v)", root, mn, mx, err, got)
+			}
+			return
+		}
+		if err != nil && err != ErrNoConverge {
+			t.Fatalf("bracketed root %v in [%v, %v] rejected: %v", root, mn, mx, err)
+		}
+		if got < mn || got > mx || math.IsNaN(got) {
+			t.Fatalf("result %v escapes [%v, %v]", got, mn, mx)
+		}
+		if math.IsNaN(rtol) {
+			return
+		}
+		// The final interval always brackets the root, so the returned
+		// midpoint is within the tolerance-scaled interval width plus a
+		// couple of ulps of interval-collapse slack.
+		scale := math.Max(math.Abs(mn), math.Abs(mx))
+		slack := math.Max(rtol, 0)*scale + 4*ulp(scale)
+		if diff := math.Abs(got - root); diff > slack {
+			t.Fatalf("|%v - %v| = %v exceeds tolerance %v (rtol %v over [%v, %v])",
+				got, root, diff, slack, rtol, mn, mx)
+		}
+	})
+}
+
+// ulp returns the distance from |x| to the next float64.
+func ulp(x float64) float64 {
+	x = math.Abs(x)
+	return math.Nextafter(x, math.Inf(1)) - x
+}
+
+// FuzzBisectDecreasing cross-checks the decreasing-function wrapper used
+// by the makespan equalizer against the same invariants.
+func FuzzBisectDecreasing(f *testing.F) {
+	f.Add(1.0, 100.0, 2.0, 1e-9)
+	f.Add(0.5, 8.0, 1.0, 1e-12)
+	f.Fuzz(func(t *testing.T, lo, hi, target, rtol float64) {
+		for _, v := range []float64{lo, hi, target} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite input")
+			}
+		}
+		if lo <= 0 || hi <= lo {
+			t.Skip("wrapper needs 0 < lo < hi")
+		}
+		// f(x) = 1/x is strictly decreasing on (0, ∞).
+		got, err := BisectDecreasing(func(x float64) float64 { return 1 / x }, target, lo, hi, rtol)
+		if err != nil {
+			return // no bracket or no convergence: nothing to assert
+		}
+		if got < lo || got > hi || math.IsNaN(got) {
+			t.Fatalf("result %v escapes [%v, %v]", got, lo, hi)
+		}
+	})
+}
