@@ -20,10 +20,11 @@
 // worker pool and the best schedule wins; the ranking is printed and the
 // winner feeds the remaining output sections (-ways, -int, -sim, -json).
 //
-// With -batch the input is an array of scenarios served in one
-// invocation ('-' reads stdin); the per-scenario portfolio reports are
-// written as JSON. Scenario fields "platform", "heuristics" and "seed"
-// are optional and default to the flag values:
+// With -batch the input is an array (or NDJSON stream) of scenarios
+// served in one invocation ('-' reads stdin); one NDJSON report line is
+// streamed per scenario, in input order, as each completes — long
+// batches run in bounded memory. Scenario fields "platform",
+// "heuristics" and "seed" are optional and default to the flag values:
 //
 //	[{"platform": {"processors": 256, "cacheSize": 32e9, "ls": 0.17,
 //	   "ll": 1, "alpha": 0.5},
@@ -32,6 +33,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +44,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/cat"
+	"repro/internal/des"
 	"repro/internal/model"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
@@ -50,15 +53,9 @@ import (
 	"repro/internal/workload"
 )
 
-type appJSON struct {
-	Name      string  `json:"name"`
-	Work      float64 `json:"work"`
-	Seq       float64 `json:"seq"`
-	Freq      float64 `json:"freq"`
-	MissRate  float64 `json:"missRate"`
-	RefCache  float64 `json:"refCache"`
-	Footprint float64 `json:"footprint"`
-}
+// The application and platform wire formats are shared with the online
+// simulator's scenario schema (internal/des), so the two CLIs accept
+// the same JSON and cannot drift apart.
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -284,18 +281,10 @@ func writeRanking(out io.Writer, rep *portfolio.Report) error {
 
 // Batch-mode JSON shapes: the input scenarios and the output reports.
 type scenarioJSON struct {
-	Platform   *platformJSON `json:"platform,omitempty"`
-	Apps       []appJSON     `json:"apps"`
-	Heuristics []string      `json:"heuristics,omitempty"`
-	Seed       *uint64       `json:"seed,omitempty"`
-}
-
-type platformJSON struct {
-	Processors float64 `json:"processors"`
-	CacheSize  float64 `json:"cacheSize"`
-	LatencyS   float64 `json:"ls"`
-	LatencyL   float64 `json:"ll"`
-	Alpha      float64 `json:"alpha"`
+	Platform   *des.PlatformSpec `json:"platform,omitempty"`
+	Apps       []des.AppSpec     `json:"apps"`
+	Heuristics []string          `json:"heuristics,omitempty"`
+	Seed       *uint64           `json:"seed,omitempty"`
 }
 
 type resultJSON struct {
@@ -312,77 +301,169 @@ type reportJSON struct {
 	Error    string       `json:"error,omitempty"`
 }
 
-// runBatch serves every scenario of the batch file through the portfolio
-// engine and writes one JSON report per scenario.
+// runBatch serves every scenario of the batch input through the
+// portfolio engine and streams one NDJSON report line per scenario, in
+// input order, as each completes. Decoding, evaluation and output form
+// a bounded pipeline — at most window scenarios are decoded-but-
+// unreported at any moment — so arbitrarily long scenario streams run
+// in bounded memory instead of buffering the whole input array and the
+// whole output array. The input may be a JSON array of scenarios or an
+// NDJSON stream of scenario objects.
+//
+// A malformed scenario or unknown heuristic name aborts the batch at
+// the point it is decoded; reports already streamed stay valid.
 func runBatch(engine *portfolio.Engine, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer) error {
-	var raw []byte
-	var err error
-	if path == "-" {
-		raw, err = io.ReadAll(os.Stdin)
-	} else {
-		raw, err = os.ReadFile(path)
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
 	}
-	if err != nil {
-		return err
+
+	// window bounds both the scenarios in flight (each fans its
+	// heuristics out on the engine's shared semaphore) and the
+	// completed reports waiting for their turn in the ordered output.
+	window := 2 * engine.Workers()
+	pending := make(chan chan *portfolio.Report, window)
+	cancel := make(chan struct{})
+	decodeErr := make(chan error, 1)
+	go func() {
+		defer close(pending)
+		decodeErr <- decodeScenarios(r, path, defaultPl, defaultSeed, func(sc portfolio.Scenario) bool {
+			// Check cancellation before the send: once the consumer
+			// fails it drains pending, so the send stays ready and a
+			// two-way select would pick between the cases at random.
+			select {
+			case <-cancel:
+				return false // output is dead: stop decoding and evaluating
+			default:
+			}
+			done := make(chan *portfolio.Report, 1)
+			select {
+			case pending <- done: // blocks while the window is full
+			case <-cancel:
+				return false
+			}
+			go func() {
+				rep, _ := engine.Evaluate(sc)
+				done <- rep
+			}()
+			return true
+		})
+	}()
+	enc := json.NewEncoder(out)
+	for done := range pending {
+		if err := enc.Encode(reportOf(<-done)); err != nil {
+			// Stop the decoder, then drain what it already emitted so
+			// it can reach the pending-channel close.
+			close(cancel)
+			go func() {
+				for range pending {
+				}
+			}()
+			<-decodeErr
+			return err
+		}
 	}
-	var in []scenarioJSON
-	if err := json.Unmarshal(raw, &in); err != nil {
-		return fmt.Errorf("parsing batch %s: %w", path, err)
+	return <-decodeErr
+}
+
+// decodeScenarios parses the batch input — a JSON array of scenario
+// objects, or a bare NDJSON/whitespace-separated stream of them —
+// invoking emit for each scenario as it is decoded; emit returning
+// false stops the stream early (consumer gone). Heuristic names are
+// resolved during decoding, so a typo stops the stream at the
+// offending scenario.
+func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, defaultSeed uint64, emit func(portfolio.Scenario) bool) error {
+	br := bufio.NewReader(r)
+	array := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("parsing batch %s: %w", path, err)
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		array = b == '['
+		if err := br.UnreadByte(); err != nil {
+			return err
+		}
+		break
 	}
-	scenarios := make([]portfolio.Scenario, len(in))
-	for i, sj := range in {
+	dec := json.NewDecoder(br)
+	if array {
+		if _, err := dec.Token(); err != nil { // consume '['
+			return fmt.Errorf("parsing batch %s: %w", path, err)
+		}
+	}
+	for n := 0; ; n++ {
+		if array && !dec.More() {
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return fmt.Errorf("parsing batch %s: %w", path, err)
+			}
+			switch tok, err := dec.Token(); {
+			case err == io.EOF:
+			case err != nil:
+				return fmt.Errorf("parsing batch %s: trailing data after the scenario array: %v", path, err)
+			default:
+				return fmt.Errorf("parsing batch %s: trailing data after the scenario array (%v)", path, tok)
+			}
+			return nil
+		}
+		var sj scenarioJSON
+		if err := dec.Decode(&sj); err != nil {
+			if !array && err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("parsing batch %s scenario %d: %w", path, n, err)
+		}
 		sc := portfolio.Scenario{Platform: defaultPl, Seed: defaultSeed}
 		if sj.Platform != nil {
-			sc.Platform = model.Platform{
-				Processors: sj.Platform.Processors, CacheSize: sj.Platform.CacheSize,
-				LatencyS: sj.Platform.LatencyS, LatencyL: sj.Platform.LatencyL, Alpha: sj.Platform.Alpha,
-			}
+			sc.Platform = sj.Platform.Platform()
 		}
 		if sj.Seed != nil {
 			sc.Seed = *sj.Seed
 		}
 		for _, a := range sj.Apps {
-			sc.Apps = append(sc.Apps, model.Application{
-				Name: a.Name, Work: a.Work, SeqFraction: a.Seq, AccessFreq: a.Freq,
-				RefMissRate: a.MissRate, RefCacheSize: a.RefCache, Footprint: a.Footprint,
-			})
+			sc.Apps = append(sc.Apps, a.Application())
 		}
 		for _, name := range sj.Heuristics {
 			h, err := sched.ParseHeuristic(name)
 			if err != nil {
-				return fmt.Errorf("batch scenario %d: %w", i, err)
+				return fmt.Errorf("batch scenario %d: %w", n, err)
 			}
 			sc.Heuristics = append(sc.Heuristics, h)
 		}
-		scenarios[i] = sc
+		if !emit(sc) {
+			return nil
+		}
 	}
+}
 
-	reports := engine.EvaluateBatch(scenarios)
-	outReps := make([]reportJSON, len(reports))
-	for i, rep := range reports {
-		if rep.Err != nil {
-			outReps[i] = reportJSON{Error: rep.Err.Error()}
-			continue
-		}
-		rj := reportJSON{}
-		if best := rep.BestResult(); best != nil {
-			rj.Best = best.Heuristic.String()
-			rj.Makespan = best.Schedule.Makespan
-		}
-		for _, r := range rep.Results {
-			res := resultJSON{Heuristic: r.Heuristic.String(), FromCache: r.FromCache}
-			if r.Err != nil {
-				res.Error = r.Err.Error()
-			} else {
-				res.Makespan = r.Schedule.Makespan
-			}
-			rj.Results = append(rj.Results, res)
-		}
-		outReps[i] = rj
+// reportOf converts an engine report to its wire form.
+func reportOf(rep *portfolio.Report) reportJSON {
+	if rep.Err != nil {
+		return reportJSON{Error: rep.Err.Error()}
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(outReps)
+	rj := reportJSON{}
+	if best := rep.BestResult(); best != nil {
+		rj.Best = best.Heuristic.String()
+		rj.Makespan = best.Schedule.Makespan
+	}
+	for _, r := range rep.Results {
+		res := resultJSON{Heuristic: r.Heuristic.String(), FromCache: r.FromCache}
+		if r.Err != nil {
+			res.Error = r.Err.Error()
+		} else {
+			res.Makespan = r.Schedule.Makespan
+		}
+		rj.Results = append(rj.Results, res)
+	}
+	return rj
 }
 
 // loadApps reads the JSON fleet at path, or returns the built-in NPB
@@ -395,16 +476,13 @@ func loadApps(path string) ([]model.Application, error) {
 	if err != nil {
 		return nil, err
 	}
-	var in []appJSON
+	var in []des.AppSpec
 	if err := json.Unmarshal(raw, &in); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	apps := make([]model.Application, 0, len(in))
 	for _, a := range in {
-		apps = append(apps, model.Application{
-			Name: a.Name, Work: a.Work, SeqFraction: a.Seq, AccessFreq: a.Freq,
-			RefMissRate: a.MissRate, RefCacheSize: a.RefCache, Footprint: a.Footprint,
-		})
+		apps = append(apps, a.Application())
 	}
 	return apps, nil
 }

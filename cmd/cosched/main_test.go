@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,18 +174,7 @@ func TestRunBatch(t *testing.T) {
 	if err := run([]string{"-batch", batchPath, "-workers", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	var reports []struct {
-		Best    string `json:"best"`
-		Results []struct {
-			Heuristic string  `json:"heuristic"`
-			Makespan  float64 `json:"makespan"`
-			FromCache bool    `json:"fromCache"`
-		} `json:"results"`
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
-		t.Fatalf("batch output is not JSON: %v\n%s", err, out.String())
-	}
+	reports := decodeReports(t, out.String())
 	if len(reports) != 3 {
 		t.Fatalf("%d reports for 3 scenarios", len(reports))
 	}
@@ -223,6 +213,84 @@ func TestRunPortfolioFlagConflicts(t *testing.T) {
 	}
 }
 
+// batchReport mirrors the NDJSON report line of -batch output.
+type batchReport struct {
+	Best    string `json:"best"`
+	Results []struct {
+		Heuristic string  `json:"heuristic"`
+		Makespan  float64 `json:"makespan"`
+		FromCache bool    `json:"fromCache"`
+	} `json:"results"`
+	Error string `json:"error"`
+}
+
+// decodeReports parses -batch NDJSON output: one report per line.
+func decodeReports(t *testing.T, out string) []batchReport {
+	t.Helper()
+	var reports []batchReport
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var rep batchReport
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("batch output line %d is not JSON: %v\n%s", i, err, line)
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// TestRunBatchNDJSONInput: a bare NDJSON stream of scenario objects is
+// accepted alongside the array form, and reports stream in input order.
+func TestRunBatchNDJSONInput(t *testing.T) {
+	dir := t.TempDir()
+	batchPath := filepath.Join(dir, "batch.ndjson")
+	batch := `{"apps": [{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7}], "heuristics": ["DominantMinRatio"]}
+{"apps": [{"name": "b", "work": 2e10, "seq": 0.02, "freq": 0.7, "missRate": 5e-3, "refCache": 4e7}], "heuristics": ["Fair"]}
+`
+	if err := os.WriteFile(batchPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-batch", batchPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	reports := decodeReports(t, out.String())
+	if len(reports) != 2 {
+		t.Fatalf("%d reports for 2 scenarios", len(reports))
+	}
+	if reports[0].Best != "DominantMinRatio" || reports[1].Best != "Fair" {
+		t.Fatalf("reports out of order: %q then %q", reports[0].Best, reports[1].Best)
+	}
+}
+
+// failWriter errors after its first successful write, standing in for
+// a consumer that goes away mid-stream.
+type failWriter struct{ writes int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, fmt.Errorf("pipe closed")
+	}
+	return len(p), nil
+}
+
+// TestRunBatchOutputFailure: a dying output writer must surface as an
+// error promptly — the decoder stops emitting instead of evaluating
+// the rest of the batch into the void.
+func TestRunBatchOutputFailure(t *testing.T) {
+	dir := t.TempDir()
+	batchPath := filepath.Join(dir, "batch.json")
+	one := `{"apps": [{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7}], "heuristics": ["Fair"]}`
+	batch := "[" + one + "," + one + "," + one + "," + one + "," + one + "]"
+	if err := os.WriteFile(batchPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := &failWriter{}
+	if err := run([]string{"-batch", batchPath, "-workers", "1"}, w); err == nil {
+		t.Fatal("failing writer not reported")
+	}
+}
+
 func TestRunBatchBadInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-batch", "/nonexistent.json"}, &out); err == nil {
@@ -235,5 +303,12 @@ func TestRunBatchBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-batch", bad}, &out); err == nil {
 		t.Fatal("unknown heuristic in batch accepted")
+	}
+	trailing := filepath.Join(dir, "trailing.json")
+	if err := os.WriteFile(trailing, []byte(`[{"apps": [{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7}]}] {"oops": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-batch", trailing}, &out); err == nil {
+		t.Fatal("trailing data after the scenario array accepted")
 	}
 }

@@ -1,0 +1,202 @@
+// Command dessim runs a discrete-event simulation of *online*
+// co-scheduling on a cache-partitioned platform: jobs arrive over
+// virtual time, and an online policy repartitions processors and cache
+// at every arrival and completion (see internal/des).
+//
+// Usage:
+//
+//	dessim [flags]
+//	dessim -scenario scenario.json
+//	dessim -arrivals poisson:rate=0.002,n=64 -policy portfolio -workers 8
+//	dessim -arrivals batch:interval=0,size=6,n=6 -policy norepartition:DominantMinRatio
+//
+// The scenario JSON format is:
+//
+//	{"platform": {"processors": 256, "cacheSize": 32e9, "ls": 0.17,
+//	   "ll": 1, "alpha": 0.5},
+//	 "apps": [{"name": "CG", "work": 5.7e10, "seq": 0.05, "freq": 0.535,
+//	   "missRate": 6.59e-4, "refCache": 4e7}, ...],
+//	 "arrivals": {"process": "poisson", "rate": 0.002, "n": 64},
+//	 "policy": "DominantMinRatio", "duration": 0, "maxResident": 8,
+//	 "seed": 42}
+//
+// Flags override the corresponding scenario fields; without -scenario
+// the built-in NPB template applications are used. Arrival processes:
+// poisson, ipoisson (sinusoidal intensity via thinning), gamma
+// (bursts), batch, replay (explicit times in JSON) and trace (gaps
+// derived from an internal/trace access stream). Policies: any
+// concurrent heuristic name, "portfolio", or "norepartition[:H]".
+//
+// Output is NDJSON on stdout: one line per event (arrival, start,
+// finish, repartition) followed by one summary line ("kind":
+// "summary"). -events=false suppresses the event stream; -gantt draws
+// an ASCII timeline of waits and runs on stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/des"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dessim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("dessim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		scenario = fs.String("scenario", "", "scenario JSON file ('-' reads stdin)")
+		arrivals = fs.String("arrivals", "", `arrival spec, e.g. "poisson:rate=0.002,n=64" (overrides scenario)`)
+		policy   = fs.String("policy", "", `online policy: heuristic name, "portfolio" or "norepartition[:H]" (overrides scenario)`)
+		duration = fs.Float64("duration", -1, "cut off arrivals after this virtual time (-1 keeps scenario value, 0 = no cutoff)")
+		maxRes   = fs.Int("maxresident", -1, "max jobs sharing the node, rest queue FIFO (-1 keeps scenario value, 0 = unlimited)")
+		seed     = fs.Uint64("seed", 0, "seed for arrivals and randomized policies (0 keeps scenario value)")
+		workers  = fs.Int("workers", 0, "portfolio policy worker pool (0 = GOMAXPROCS)")
+		events   = fs.Bool("events", true, "stream one NDJSON line per event")
+		gantt    = fs.Bool("gantt", false, "draw an ASCII wait/run timeline on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sp, err := loadSpec(*scenario)
+	if err != nil {
+		return err
+	}
+	if *arrivals != "" {
+		as, err := des.ParseArrivalSpec(*arrivals)
+		if err != nil {
+			return err
+		}
+		sp.Arrivals = as
+	}
+	if *policy != "" {
+		sp.Policy = *policy
+	}
+	if *duration >= 0 {
+		sp.Duration = *duration
+	}
+	if *maxRes >= 0 {
+		sp.MaxResident = *maxRes
+	}
+	if *seed != 0 {
+		sp.Seed = *seed
+	}
+
+	sc, err := sp.Build(*workers)
+	if err != nil {
+		return err
+	}
+	res, err := des.Simulate(sc)
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(out)
+	if *events {
+		for _, ev := range res.Events {
+			if err := enc.Encode(eventJSON{
+				Seq: ev.Seq, Time: ev.Time, Kind: ev.Kind.String(),
+				Job: ev.Job, Name: ev.Name, Resident: ev.Resident, Queued: ev.Queued,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := enc.Encode(summaryOf(sc, res)); err != nil {
+		return err
+	}
+
+	if *gantt {
+		spans := make([]sim.Span, len(res.Jobs))
+		for i, j := range res.Jobs {
+			spans[i] = sim.Span{Name: j.Name, Arrival: j.Arrival, Start: j.Start, Finish: j.Finish}
+		}
+		if err := sim.RenderTimeline(errOut, spans, 60); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSpec reads the scenario file, or returns an empty spec (NPB
+// template, flag-driven) when no file is given.
+func loadSpec(path string) (*des.Spec, error) {
+	if path == "" {
+		return &des.Spec{}, nil
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return des.DecodeSpec(r)
+}
+
+// eventJSON is the NDJSON wire form of one log event.
+type eventJSON struct {
+	Seq      int     `json:"seq"`
+	Time     float64 `json:"t"`
+	Kind     string  `json:"kind"`
+	Job      int     `json:"job"`
+	Name     string  `json:"name,omitempty"`
+	Resident int     `json:"resident"`
+	Queued   int     `json:"queued"`
+}
+
+// summaryJSON is the final NDJSON line of a run.
+type summaryJSON struct {
+	Kind          string  `json:"kind"`
+	Policy        string  `json:"policy"`
+	Arrivals      string  `json:"arrivals"`
+	Jobs          int     `json:"jobs"`
+	Truncated     int     `json:"truncated,omitempty"`
+	Makespan      float64 `json:"makespan"`
+	Utilization   float64 `json:"utilization"`
+	CacheOccupied float64 `json:"meanCacheOccupancy"`
+	MeanQueue     float64 `json:"meanQueueLength"`
+	MaxQueue      int     `json:"maxQueueLength"`
+	Repartitions  int     `json:"repartitions"`
+	MeanWait      float64 `json:"meanWait"`
+	MaxWait       float64 `json:"maxWait"`
+	MeanResponse  float64 `json:"meanResponse"`
+	MaxResponse   float64 `json:"maxResponse"`
+	MeanStretch   float64 `json:"meanStretch"`
+	MaxStretch    float64 `json:"maxStretch"`
+}
+
+func summaryOf(sc des.Scenario, res *des.Result) summaryJSON {
+	return summaryJSON{
+		Kind:          "summary",
+		Policy:        sc.Policy.Name(),
+		Arrivals:      sc.Arrivals.Name(),
+		Jobs:          len(res.Jobs),
+		Truncated:     res.Truncated,
+		Makespan:      res.Makespan,
+		Utilization:   res.Utilization(sc.Platform),
+		CacheOccupied: res.MeanCacheOccupancy(),
+		MeanQueue:     res.MeanQueueLength(),
+		MaxQueue:      res.MaxQueue,
+		Repartitions:  res.Repartitions,
+		MeanWait:      res.Wait.Mean,
+		MaxWait:       res.Wait.Max,
+		MeanResponse:  res.Response.Mean,
+		MaxResponse:   res.Response.Max,
+		MeanStretch:   res.Stretch.Mean,
+		MaxStretch:    res.Stretch.Max,
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMain executes the CLI and returns stdout/stderr.
+func runMain(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("dessim %s: %v", strings.Join(args, " "), err)
+	}
+	return out.String(), errOut.String()
+}
+
+// TestEndToEndScenarioJSON: scenario JSON in, NDJSON events + summary
+// out.
+func TestEndToEndScenarioJSON(t *testing.T) {
+	scenario := `{
+		"arrivals": {"process": "poisson", "rate": 2e-9, "n": 8},
+		"policy": "DominantMinRatio",
+		"maxResident": 3,
+		"seed": 11
+	}`
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runMain(t, "-scenario", path)
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", len(lines), err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("got %d NDJSON lines, want events + summary", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if last["kind"] != "summary" {
+		t.Fatalf("last line kind %v, want summary", last["kind"])
+	}
+	if last["jobs"].(float64) != 8 {
+		t.Errorf("summary jobs %v, want 8", last["jobs"])
+	}
+	if last["policy"] != "heuristic:DominantMinRatio" {
+		t.Errorf("summary policy %v", last["policy"])
+	}
+	var finishes int
+	for _, m := range lines[:len(lines)-1] {
+		if m["kind"] == "finish" {
+			finishes++
+		}
+	}
+	if finishes != 8 {
+		t.Errorf("event stream has %d finishes, want 8", finishes)
+	}
+}
+
+// TestFlagsOverrideScenario: -arrivals/-policy/-seed work without a
+// scenario file and override its fields.
+func TestFlagsOverrideScenario(t *testing.T) {
+	out, _ := runMain(t, "-arrivals", "batch:interval=0,size=6,n=6", "-policy", "norepartition:DominantMinRatio", "-events=false")
+	var sum map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out)
+	}
+	if sum["kind"] != "summary" || sum["arrivals"] != "replay" && sum["arrivals"] != "batch" {
+		t.Fatalf("unexpected summary: %v", sum)
+	}
+	if sum["repartitions"].(float64) != 1 {
+		t.Errorf("t=0 batch under norepartition: %v repartitions, want 1", sum["repartitions"])
+	}
+	if sum["meanWait"].(float64) != 0 {
+		t.Errorf("t=0 batch: mean wait %v, want 0", sum["meanWait"])
+	}
+}
+
+// TestDeterministicOutput: same seed, same flags -> byte-identical
+// NDJSON at different worker counts.
+func TestDeterministicOutput(t *testing.T) {
+	args := []string{"-arrivals", "poisson:rate=1e-9,n=12", "-policy", "portfolio", "-seed", "42"}
+	out1, _ := runMain(t, append(args, "-workers", "1")...)
+	out2, _ := runMain(t, append(args, "-workers", "7")...)
+	if out1 != out2 {
+		t.Fatalf("output differs between worker counts:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+// TestGanttRendering: -gantt draws a wait/run timeline on stderr.
+func TestGanttRendering(t *testing.T) {
+	_, errOut := runMain(t, "-arrivals", "poisson:rate=1e-9,n=4", "-gantt", "-events=false")
+	if !strings.Contains(errOut, "█") {
+		t.Errorf("no timeline bars on stderr:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "wait") {
+		t.Errorf("missing timeline header:\n%s", errOut)
+	}
+}
+
+// TestBadScenarioRejected: invalid values surface as errors, not NaN.
+func TestBadScenarioRejected(t *testing.T) {
+	for _, bad := range []string{
+		`{"arrivals": {"process": "poisson", "rate": -1, "n": 4}}`,
+		`{"arrivals": {"process": "poisson", "rate": 1e999, "n": 4}}`,
+		`{"arrivals": {"process": "warp"}}`,
+		`{"arrivals": {"process": "replay", "replay": [{"time": 1}, {"time": 0}]}}`,
+		`{"duration": -5, "arrivals": {"process": "poisson", "rate": 1, "n": 1}}`,
+		`{"typo": true, "arrivals": {"process": "poisson", "rate": 1, "n": 1}}`,
+	} {
+		path := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-scenario", path}, &out, &errOut); err == nil {
+			t.Errorf("accepted invalid scenario: %s", bad)
+		}
+	}
+}

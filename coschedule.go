@@ -19,6 +19,9 @@
 //     per-application finish times.
 //   - PortfolioEngine races every heuristic concurrently and serves the
 //     best schedule per scenario.
+//   - SimulateOnline runs the discrete-event online simulator: jobs
+//     arrive over virtual time (Poisson, bursty or replayed streams)
+//     and an online policy repartitions the node at every event.
 //
 // Quick start:
 //
@@ -64,6 +67,7 @@ package repro
 
 import (
 	"repro/internal/cat"
+	"repro/internal/des"
 	"repro/internal/model"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
@@ -206,6 +210,87 @@ func BestSchedule(pl Platform, apps []Application, seed uint64) (*Schedule, *Por
 		return nil, rep, sched.ErrInfeasible
 	}
 	return best.Schedule, rep, nil
+}
+
+// Online simulation (internal/des): jobs arrive over virtual time and an
+// online policy repartitions processors and cache at every arrival and
+// completion, charging each job's remaining work under the new shares.
+
+// OnlineScenario is one online co-scheduling problem; see des.Scenario.
+type OnlineScenario = des.Scenario
+
+// OnlineResult is the outcome of an online simulation; see des.Result.
+type OnlineResult = des.Result
+
+// OnlinePolicy decides repartitions at every arrival/completion; see
+// des.Policy.
+type OnlinePolicy = des.Policy
+
+// ArrivalProcess produces a finite stream of job arrivals; see
+// des.ArrivalProcess.
+type ArrivalProcess = des.ArrivalProcess
+
+// JobArrival is one (time, application) arrival; see des.Arrival.
+type JobArrival = des.Arrival
+
+// SimulateOnline runs an online co-scheduling scenario to completion:
+// deterministic per seed, bit-identical across runs and policy worker
+// counts. See the internal/des package documentation for the model.
+func SimulateOnline(sc OnlineScenario) (*OnlineResult, error) { return des.Simulate(sc) }
+
+// CycleJobs returns a des.JobFactory cycling through the template
+// applications, stamping each instance with a unique name.
+func CycleJobs(apps []Application) (des.JobFactory, error) { return des.CycleApps(apps) }
+
+// PoissonArrivals returns a homogeneous Poisson arrival process: n jobs
+// with exponential inter-arrival times at the given rate.
+func PoissonArrivals(rate float64, n int, factory des.JobFactory, rng *solve.RNG) (ArrivalProcess, error) {
+	return des.NewPoisson(rate, n, factory, rng)
+}
+
+// InhomogeneousPoissonArrivals returns a time-varying Poisson process
+// simulated by Lewis–Shedler thinning; rate is the intensity λ(t),
+// maxRate its upper bound.
+func InhomogeneousPoissonArrivals(rate des.RateFunc, maxRate float64, n int, factory des.JobFactory, rng *solve.RNG) (ArrivalProcess, error) {
+	return des.NewInhomogeneousPoisson(rate, maxRate, n, factory, rng)
+}
+
+// GammaBurstArrivals returns a bursty process: groups of burst jobs
+// separated by Gamma(shape, scale) gaps.
+func GammaBurstArrivals(shape, scale float64, burst, n int, factory des.JobFactory, rng *solve.RNG) (ArrivalProcess, error) {
+	return des.NewGammaBursts(shape, scale, burst, n, factory, rng)
+}
+
+// BatchArrivals returns a deterministic process: n jobs in groups of
+// size, one group every interval (interval 0 puts every job at t = 0,
+// the paper's offline setting).
+func BatchArrivals(interval float64, size, n int, factory des.JobFactory) (ArrivalProcess, error) {
+	return des.NewBatch(interval, size, n, factory)
+}
+
+// ReplayArrivals replays a recorded arrival trace verbatim.
+func ReplayArrivals(arrivals []JobArrival) (ArrivalProcess, error) { return des.NewReplay(arrivals) }
+
+// HeuristicRepartition returns the online policy that reschedules every
+// resident job's remaining work with h at each arrival and completion.
+func HeuristicRepartition(h Heuristic, seed uint64) (OnlinePolicy, error) {
+	return des.NewHeuristicPolicy(h, seed)
+}
+
+// PortfolioRepartition returns the online policy that races the whole
+// concurrent-heuristic portfolio over the residual workload at every
+// decision point and applies the winner. workers bounds the pool
+// (< 1 = GOMAXPROCS).
+func PortfolioRepartition(workers int, seed uint64) OnlinePolicy {
+	return des.NewPortfolioPolicy(nil, workers, seed)
+}
+
+// NoRepartitionPolicy returns the wave-scheduling baseline: allocate
+// with h when the node drains, freeze in between (arrivals mid-wave
+// wait). With every job at t = 0 this reproduces the paper's static
+// setting bit-for-bit.
+func NoRepartitionPolicy(h Heuristic, seed uint64) (OnlinePolicy, error) {
+	return des.NewNoRepartition(h, seed)
 }
 
 // IntegerSchedule realizes a rational schedule with whole processors; see

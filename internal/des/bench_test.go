@@ -1,0 +1,57 @@
+package des
+
+import (
+	"testing"
+)
+
+// BenchmarkDESPoisson measures the full online pipeline — Poisson
+// arrival generation, event-loop bookkeeping and per-event heuristic
+// repartitioning — for a 64-job open stream on a node capped at 8
+// co-resident jobs. It is the hot path of every dynamic-workload study
+// the subsystem enables.
+func BenchmarkDESPoisson(b *testing.B) {
+	sp := Spec{
+		Arrivals:    ArrivalSpec{Process: "poisson", Rate: 4e-9, N: 64},
+		Policy:      "DominantMinRatio",
+		MaxResident: 8,
+		Seed:        42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := sp.Build(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Simulate(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Jobs) != 64 {
+			b.Fatalf("simulated %d jobs", len(res.Jobs))
+		}
+	}
+}
+
+// BenchmarkDESPortfolio measures the same stream repartitioned by the
+// portfolio engine — the upper bound of per-event decision cost (every
+// concurrent heuristic raced at every arrival/completion).
+func BenchmarkDESPortfolio(b *testing.B) {
+	sp := Spec{
+		Arrivals:    ArrivalSpec{Process: "poisson", Rate: 4e-9, N: 32},
+		Policy:      "portfolio",
+		MaxResident: 6,
+		Seed:        42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := sp.Build(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

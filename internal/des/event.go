@@ -1,0 +1,117 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventKind classifies entries of the append-only event log.
+type EventKind int
+
+const (
+	// EventArrival: a job entered the system (resident or queued).
+	EventArrival EventKind = iota
+	// EventStart: a job received processors for the first time.
+	EventStart
+	// EventFinish: a job completed its work.
+	EventFinish
+	// EventRepartition: the online policy recomputed the allocation of
+	// the resident set.
+	EventRepartition
+)
+
+// String implements fmt.Stringer with the NDJSON wire names.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrival:
+		return "arrival"
+	case EventStart:
+		return "start"
+	case EventFinish:
+		return "finish"
+	case EventRepartition:
+		return "repartition"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the simulation's append-only event log: what
+// happened, when, to which job, and the system occupancy after it. The
+// log is the debugging record of an online run and the input to timeline
+// rendering; it is emitted as NDJSON by cmd/dessim.
+type Event struct {
+	Seq  int       // position in the log, dense from 0
+	Time float64   // virtual time of the event
+	Kind EventKind // what happened
+	Job  int       // job id, -1 for repartition events
+	Name string    // job name, "" for repartition events
+	// Resident and Queued are the occupancy after the event: jobs
+	// holding processors, and jobs waiting (engine FIFO plus resident
+	// jobs with a zero allocation).
+	Resident int
+	Queued   int
+}
+
+// qEventKind separates the two event classes of the internal queue
+// (distinct from the log's EventKind: starts and repartitions are
+// derived, not scheduled).
+type qEventKind int8
+
+const (
+	qArrival qEventKind = iota
+	qCompletion
+)
+
+// qEvent is one entry of the pending-event heap. Completion events are
+// invalidated wholesale by bumping the engine's generation counter:
+// stale events (gen < current) are discarded on pop without influencing
+// the clock, so re-planning never perturbs the arithmetic of the
+// surviving timeline.
+type qEvent struct {
+	time float64
+	seq  int // push order; total tie-break keeps the heap deterministic
+	kind qEventKind
+	job  int
+	gen  uint64 // completion generation; unused for arrivals
+}
+
+// eventQueue is a min-heap of pending events ordered by (time, seq).
+type eventQueue struct {
+	ev   []qEvent
+	seqs int
+}
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q *eventQueue) Len() int { return len(q.ev) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.ev[i].time != q.ev[j].time {
+		return q.ev[i].time < q.ev[j].time
+	}
+	return q.ev[i].seq < q.ev[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.ev[i], q.ev[j] = q.ev[j], q.ev[i] }
+
+func (q *eventQueue) Push(x any) { q.ev = append(q.ev, x.(qEvent)) }
+
+func (q *eventQueue) Pop() any {
+	e := q.ev[len(q.ev)-1]
+	q.ev = q.ev[:len(q.ev)-1]
+	return e
+}
+
+// push enqueues an event, stamping its tie-break sequence number.
+func (q *eventQueue) push(e qEvent) {
+	e.seq = q.seqs
+	q.seqs++
+	heap.Push(q, e)
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() qEvent { return heap.Pop(q).(qEvent) }
+
+// peekTime returns the earliest pending time; callers must check Len.
+func (q *eventQueue) peekTime() float64 { return q.ev[0].time }

@@ -1,0 +1,239 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/portfolio"
+	"repro/internal/sched"
+	"repro/internal/solve"
+)
+
+// Resident is the engine's view of one job currently on the node, as
+// presented to the online policy.
+type Resident struct {
+	Job int               // job id
+	App model.Application // original profile (full work)
+	// Remaining is the fraction of the job's work left, in (0, 1].
+	Remaining float64
+	// Assign is the job's current allocation; zero for jobs that just
+	// arrived or are parked with no resources.
+	Assign sched.Assignment
+	// Started reports whether the job has ever held processors.
+	Started bool
+}
+
+// Policy decides, at every arrival and completion, how the platform's
+// processors and cache are split among the resident jobs. Allocations
+// must respect the platform budgets (Σp ≤ p, Σx ≤ 1); the engine
+// validates and rejects overruns. A zero assignment parks a job (it
+// makes no progress until a later repartition). Policies may keep
+// internal state (invocation counters for RNG substreams); they must be
+// deterministic functions of their construction parameters and the
+// sequence of Allocate calls.
+type Policy interface {
+	// Allocate returns one assignment per resident, in resident order.
+	Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error)
+	// Name identifies the policy in reports and error messages.
+	Name() string
+}
+
+// policySeedStride separates the RNG substreams of successive policy
+// invocations, mirroring the portfolio engine's per-heuristic stride.
+const policySeedStride = 0x9E3779B97F4A7C15
+
+// residualApps builds the application set a policy hands to the paper's
+// heuristics: each resident's profile with its work scaled to what is
+// left, so remaining work is charged under the shares decided now. A
+// fresh job (Remaining == 1) is passed through bit-identically.
+func residualApps(residents []Resident) []model.Application {
+	apps := make([]model.Application, len(residents))
+	for i, r := range residents {
+		a := r.App
+		a.Work *= r.Remaining
+		apps[i] = a
+	}
+	return apps
+}
+
+// HeuristicPolicy repartitions with one of the paper's heuristics at
+// every decision point, rescheduling the residual work of every
+// resident job from scratch.
+type HeuristicPolicy struct {
+	h     sched.Heuristic
+	seed  uint64
+	calls uint64
+}
+
+// NewHeuristicPolicy returns a policy wrapping h. Sequential heuristics
+// (AllProcCache) cannot express a concurrent repartition and are
+// rejected. The seed drives the randomized heuristics; each invocation
+// uses its own substream so replanning decisions stay independent.
+func NewHeuristicPolicy(h sched.Heuristic, seed uint64) (*HeuristicPolicy, error) {
+	if h == sched.AllProcCache {
+		return nil, fmt.Errorf("des: %v is sequential and cannot drive online repartitioning", h)
+	}
+	return &HeuristicPolicy{h: h, seed: seed}, nil
+}
+
+// Allocate implements Policy.
+func (p *HeuristicPolicy) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
+	p.calls++
+	rng := solve.NewRNG(p.seed ^ p.calls*policySeedStride)
+	s, err := p.h.Schedule(pl, residualApps(residents), rng)
+	if err != nil {
+		return nil, err
+	}
+	if s.Sequential {
+		return nil, fmt.Errorf("des: heuristic %v produced a sequential schedule", p.h)
+	}
+	return s.Assignments, nil
+}
+
+// Name implements Policy.
+func (p *HeuristicPolicy) Name() string { return "heuristic:" + p.h.String() }
+
+// onlineHeuristics is the portfolio raced by PortfolioPolicy: every
+// extended heuristic except the sequential AllProcCache baseline.
+func onlineHeuristics() []sched.Heuristic {
+	hs := make([]sched.Heuristic, 0, len(sched.ExtendedHeuristics))
+	for _, h := range sched.ExtendedHeuristics {
+		if h != sched.AllProcCache {
+			hs = append(hs, h)
+		}
+	}
+	return hs
+}
+
+// PortfolioPolicy races the whole heuristic portfolio over the residual
+// workload at every decision point and applies the winner — the
+// portfolio engine turned into an online repartitioner. Concurrency
+// comes from the engine's worker pool; results are bit-deterministic at
+// any pool size, so the simulation is too.
+type PortfolioPolicy struct {
+	engine *portfolio.Engine
+	hs     []sched.Heuristic
+	seed   uint64
+	calls  uint64
+}
+
+// NewPortfolioPolicy returns a portfolio-driven policy. A nil engine
+// gets a private one with the given worker bound (< 1 = GOMAXPROCS)
+// and no memoization cache: online resident sets are almost never
+// repeated (residual work shrinks at every event and job names are
+// unique), so a cache would only accumulate dead entries for the
+// length of the run. Pass an engine to share a worker pool — and, if
+// the workload genuinely repeats, a cache — with other users.
+func NewPortfolioPolicy(engine *portfolio.Engine, workers int, seed uint64) *PortfolioPolicy {
+	if engine == nil {
+		engine = portfolio.New(portfolio.Config{Workers: workers})
+	}
+	return &PortfolioPolicy{engine: engine, hs: onlineHeuristics(), seed: seed}
+}
+
+// Allocate implements Policy.
+func (p *PortfolioPolicy) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
+	p.calls++
+	// The engine derives heuristic hi's stream as Seed ^ (hi+1)·stride
+	// with the same golden-ratio stride this package uses, so a plain
+	// seed ^ calls·stride here would cancel whenever calls == hi+1 and
+	// hand randomized heuristics systematically colliding streams.
+	// Mixing the per-call seed through SplitMix64 (one RNG step)
+	// decorrelates the two layers.
+	rep, err := p.engine.Evaluate(portfolio.Scenario{
+		Platform:   pl,
+		Apps:       residualApps(residents),
+		Heuristics: p.hs,
+		Seed:       solve.NewRNG(p.seed ^ p.calls*policySeedStride).Uint64(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := rep.BestResult()
+	if best == nil {
+		return nil, fmt.Errorf("des: no heuristic produced a feasible repartition")
+	}
+	return best.Schedule.Assignments, nil
+}
+
+// Name implements Policy.
+func (p *PortfolioPolicy) Name() string { return "portfolio" }
+
+// NoRepartition schedules jobs in waves: when the node is idle it
+// allocates the whole resident set with the wrapped heuristic and then
+// freezes — jobs arriving mid-wave wait (zero allocation) until the
+// wave drains. With every job present at t = 0 this reproduces the
+// paper's static setting exactly; it is also the natural baseline that
+// quantifies what dynamic repartitioning buys.
+type NoRepartition struct {
+	h     sched.Heuristic
+	seed  uint64
+	calls uint64
+}
+
+// NewNoRepartition returns the wave-scheduling policy around h.
+func NewNoRepartition(h sched.Heuristic, seed uint64) (*NoRepartition, error) {
+	if h == sched.AllProcCache {
+		return nil, fmt.Errorf("des: %v is sequential and cannot drive online scheduling", h)
+	}
+	return &NoRepartition{h: h, seed: seed}, nil
+}
+
+// Allocate implements Policy.
+func (p *NoRepartition) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
+	for _, r := range residents {
+		if r.Assign.Processors > 0 {
+			// A wave is running: freeze every current allocation; new
+			// arrivals keep their zero assignment and wait.
+			asg := make([]sched.Assignment, len(residents))
+			for i, rr := range residents {
+				asg[i] = rr.Assign
+			}
+			return asg, nil
+		}
+	}
+	// Node drained (or first wave): schedule everything resident.
+	p.calls++
+	rng := solve.NewRNG(p.seed ^ p.calls*policySeedStride)
+	s, err := p.h.Schedule(pl, residualApps(residents), rng)
+	if err != nil {
+		return nil, err
+	}
+	if s.Sequential {
+		return nil, fmt.Errorf("des: heuristic %v produced a sequential schedule", p.h)
+	}
+	return s.Assignments, nil
+}
+
+// Name implements Policy.
+func (p *NoRepartition) Name() string { return "norepartition:" + p.h.String() }
+
+// ParsePolicy resolves a policy specification string:
+//
+//	"portfolio"                race all concurrent heuristics, keep the winner
+//	"<Heuristic>"              repartition with that heuristic every event
+//	"norepartition[:<H>]"      wave scheduling, frozen between drains
+//
+// workers bounds the portfolio policy's pool (< 1 = GOMAXPROCS); seed
+// drives every randomized decision.
+func ParsePolicy(spec string, workers int, seed uint64) (Policy, error) {
+	switch {
+	case spec == "portfolio":
+		return NewPortfolioPolicy(nil, workers, seed), nil
+	case spec == "norepartition":
+		return NewNoRepartition(sched.DominantMinRatio, seed)
+	case strings.HasPrefix(spec, "norepartition:"):
+		h, err := sched.ParseHeuristic(strings.TrimPrefix(spec, "norepartition:"))
+		if err != nil {
+			return nil, err
+		}
+		return NewNoRepartition(h, seed)
+	default:
+		h, err := sched.ParseHeuristic(spec)
+		if err != nil {
+			return nil, fmt.Errorf("des: unknown policy %q (want \"portfolio\", \"norepartition[:H]\" or a heuristic name): %w", spec, err)
+		}
+		return NewHeuristicPolicy(h, seed)
+	}
+}

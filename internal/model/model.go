@@ -30,18 +30,26 @@ type Platform struct {
 // description, or nil if it is usable.
 func (pl Platform) Validate() error {
 	switch {
-	case !(pl.Processors > 0):
-		return fmt.Errorf("model: platform needs > 0 processors, got %v", pl.Processors)
-	case !(pl.CacheSize > 0):
-		return fmt.Errorf("model: platform needs > 0 cache size, got %v", pl.CacheSize)
-	case pl.LatencyS < 0 || math.IsNaN(pl.LatencyS):
-		return fmt.Errorf("model: negative cache latency %v", pl.LatencyS)
-	case pl.LatencyL < 0 || math.IsNaN(pl.LatencyL):
-		return fmt.Errorf("model: negative memory latency %v", pl.LatencyL)
-	case !(pl.Alpha > 0):
-		return fmt.Errorf("model: power-law exponent must be > 0, got %v", pl.Alpha)
+	case !isFinitePos(pl.Processors):
+		return fmt.Errorf("model: platform needs finite > 0 processors, got %v", pl.Processors)
+	case !isFinitePos(pl.CacheSize):
+		return fmt.Errorf("model: platform needs finite > 0 cache size, got %v", pl.CacheSize)
+	case pl.LatencyS < 0 || math.IsNaN(pl.LatencyS) || math.IsInf(pl.LatencyS, 0):
+		return fmt.Errorf("model: cache latency %v is not finite and >= 0", pl.LatencyS)
+	case pl.LatencyL < 0 || math.IsNaN(pl.LatencyL) || math.IsInf(pl.LatencyL, 0):
+		return fmt.Errorf("model: memory latency %v is not finite and >= 0", pl.LatencyL)
+	case !isFinitePos(pl.Alpha):
+		return fmt.Errorf("model: power-law exponent must be finite > 0, got %v", pl.Alpha)
 	}
 	return nil
+}
+
+// isFinitePos reports whether v is a finite positive number — the guard
+// that keeps +Inf (which passes a bare "> 0" test) out of quantities
+// that flow into products and quotients, where it silently degenerates
+// to NaN deep inside the heuristics.
+func isFinitePos(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
 }
 
 // Reference platform used throughout the paper's evaluation (Section
@@ -79,16 +87,21 @@ type Application struct {
 // nil if it is usable.
 func (a Application) Validate() error {
 	switch {
-	case !(a.Work > 0):
-		return fmt.Errorf("model: application %q needs positive work, got %v", a.Name, a.Work)
+	case !isFinitePos(a.Work):
+		return fmt.Errorf("model: application %q needs finite positive work, got %v", a.Name, a.Work)
 	case a.SeqFraction < 0 || a.SeqFraction > 1 || math.IsNaN(a.SeqFraction):
 		return fmt.Errorf("model: application %q sequential fraction %v outside [0,1]", a.Name, a.SeqFraction)
-	case a.AccessFreq < 0 || math.IsNaN(a.AccessFreq):
-		return fmt.Errorf("model: application %q negative access frequency %v", a.Name, a.AccessFreq)
+	case a.AccessFreq < 0 || math.IsNaN(a.AccessFreq) || math.IsInf(a.AccessFreq, 0):
+		return fmt.Errorf("model: application %q access frequency %v is not finite and >= 0", a.Name, a.AccessFreq)
 	case a.RefMissRate < 0 || a.RefMissRate > 1 || math.IsNaN(a.RefMissRate):
 		return fmt.Errorf("model: application %q reference miss rate %v outside [0,1]", a.Name, a.RefMissRate)
-	case !(a.RefCacheSize > 0):
-		return fmt.Errorf("model: application %q needs positive reference cache size, got %v", a.Name, a.RefCacheSize)
+	case !isFinitePos(a.RefCacheSize):
+		return fmt.Errorf("model: application %q needs finite positive reference cache size, got %v", a.Name, a.RefCacheSize)
+	case math.IsNaN(a.Footprint) || math.IsInf(a.Footprint, 1):
+		// A non-positive footprint means "unbounded" by convention; NaN
+		// and +Inf must use that convention explicitly rather than
+		// leaking into the footprint-cap arithmetic.
+		return fmt.Errorf("model: application %q footprint %v is not finite (use <= 0 for unbounded)", a.Name, a.Footprint)
 	}
 	return nil
 }

@@ -228,6 +228,56 @@ func TestValidateAll(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsNonFinite: +Inf passes a bare "> 0" test and then
+// degenerates to NaN inside products deep in the heuristics, so
+// validation must stop every non-finite quantity at the boundary.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	plat := func(mut func(*Platform)) Platform {
+		pl := refPlatform()
+		mut(&pl)
+		return pl
+	}
+	for name, pl := range map[string]Platform{
+		"inf processors": plat(func(p *Platform) { p.Processors = inf }),
+		"inf cache":      plat(func(p *Platform) { p.CacheSize = inf }),
+		"inf ls":         plat(func(p *Platform) { p.LatencyS = inf }),
+		"inf ll":         plat(func(p *Platform) { p.LatencyL = inf }),
+		"inf alpha":      plat(func(p *Platform) { p.Alpha = inf }),
+		"nan processors": plat(func(p *Platform) { p.Processors = nan }),
+	} {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	app := func(mut func(*Application)) Application {
+		a := refApp()
+		mut(&a)
+		return a
+	}
+	for name, a := range map[string]Application{
+		"inf work":      app(func(a *Application) { a.Work = inf }),
+		"inf freq":      app(func(a *Application) { a.AccessFreq = inf }),
+		"inf refcache":  app(func(a *Application) { a.RefCacheSize = inf }),
+		"inf footprint": app(func(a *Application) { a.Footprint = inf }),
+		"nan footprint": app(func(a *Application) { a.Footprint = nan }),
+	} {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// The unbounded-footprint convention stays valid.
+	ok := refApp()
+	ok.Footprint = 0
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero footprint rejected: %v", err)
+	}
+	ok.Footprint = -1
+	if err := ok.Validate(); err != nil {
+		t.Errorf("negative footprint rejected: %v", err)
+	}
+}
+
 // Property: execution time is non-increasing in both processors and cache
 // fraction — the monotonicity the whole optimization relies on.
 func TestExeMonotonicityProperty(t *testing.T) {

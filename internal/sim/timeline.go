@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Span is one row of an execution timeline: a named interval, with the
+// waiting prefix (arrival → start) drawn distinctly from the running
+// part (start → finish). It is the rendering-level view of an online
+// run's per-job metrics (see internal/des).
+type Span struct {
+	Name    string
+	Arrival float64
+	Start   float64
+	Finish  float64
+}
+
+// RenderTimeline draws an ASCII Gantt chart of spans that do not all
+// start at time zero: '░' marks waiting (arrival to start), '█' marks
+// execution (start to finish). Rows render in the given order; width is
+// the number of columns of the time axis.
+func RenderTimeline(w io.Writer, spans []Span, width int) error {
+	if width < 20 {
+		return fmt.Errorf("sim: timeline width %d too small", width)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("sim: no spans to render")
+	}
+	span := 0.0
+	nameW := 4
+	for _, s := range spans {
+		if math.IsNaN(s.Arrival) || math.IsNaN(s.Start) || math.IsNaN(s.Finish) ||
+			s.Finish < s.Start || s.Start < s.Arrival {
+			return fmt.Errorf("sim: span %q out of order: arrival %g, start %g, finish %g", s.Name, s.Arrival, s.Start, s.Finish)
+		}
+		span = math.Max(span, s.Finish)
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+		return fmt.Errorf("sim: cannot render horizon %v", span)
+	}
+	col := func(t float64) int {
+		c := int(math.Round(t / span * float64(width)))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	if _, err := fmt.Fprintf(w, "%-*s |%s| wait    run\n", nameW, "job", center("time →", width)); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		c0, c1, c2 := col(s.Arrival), col(s.Start), col(s.Finish)
+		if c2 <= c1 {
+			c2 = c1 + 1
+		}
+		if c2 > width {
+			c2 = width
+			if c1 >= c2 {
+				c1 = c2 - 1
+			}
+		}
+		if c1 < c0 {
+			c1 = c0
+		}
+		bar := strings.Repeat(" ", c0) + strings.Repeat("░", c1-c0) + strings.Repeat("█", c2-c1) + strings.Repeat(" ", width-c2)
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %7.4g %7.4g\n", nameW, s.Name, bar, s.Start-s.Arrival, s.Finish-s.Start); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%.4g\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", span))), span)
+	return err
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	var sb strings.Builder
+	spans := []Span{
+		{Name: "a", Arrival: 0, Start: 0, Finish: 10},
+		{Name: "b", Arrival: 2, Start: 5, Finish: 8},
+	}
+	if err := RenderTimeline(&sb, spans, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, two rows, axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "█") {
+		t.Errorf("row a has no run bar: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "░") {
+		t.Errorf("row b has no wait bar: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "10") {
+		t.Errorf("axis missing horizon: %q", lines[3])
+	}
+}
+
+func TestRenderTimelineRejects(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTimeline(&sb, nil, 40); err == nil {
+		t.Error("empty spans accepted")
+	}
+	if err := RenderTimeline(&sb, []Span{{Name: "x", Finish: 1}}, 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+	if err := RenderTimeline(&sb, []Span{{Name: "x", Start: 2, Finish: 1}}, 40); err == nil {
+		t.Error("out-of-order span accepted")
+	}
+	if err := RenderTimeline(&sb, []Span{{Name: "x", Finish: math.Inf(1)}}, 40); err == nil {
+		t.Error("infinite horizon accepted")
+	}
+	// NaN fields defeat ordered comparisons; they must error, not panic
+	// inside strings.Repeat with a negative count.
+	if err := RenderTimeline(&sb, []Span{{Name: "x", Arrival: 50, Start: math.NaN(), Finish: 10}, {Name: "y", Finish: 60}}, 40); err == nil {
+		t.Error("NaN span accepted")
+	}
+}

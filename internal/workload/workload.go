@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/model"
 	"repro/internal/solve"
@@ -117,12 +118,20 @@ func Generate(cfg Config, rng *solve.RNG) ([]model.Application, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("workload: need N > 0, got %d", cfg.N)
 	}
+	if cfg.SeqFixed {
+		if math.IsNaN(cfg.Seq) || cfg.Seq < 0 || cfg.Seq > 1 {
+			return nil, fmt.Errorf("workload: fixed sequential fraction %v outside [0,1]", cfg.Seq)
+		}
+	}
 	lo, hi := cfg.SeqLo, cfg.SeqHi
 	if !cfg.SeqFixed && lo == 0 && hi == 0 {
 		lo, hi = SeqMin, SeqMax
 	}
-	if hi < lo {
-		return nil, fmt.Errorf("workload: sequential bounds inverted: [%g, %g]", lo, hi)
+	// NaN bounds slip through ordered comparisons (every comparison is
+	// false) and would stamp NaN sequential fractions on every
+	// application; reject them and out-of-range bounds explicitly.
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || hi < lo {
+		return nil, fmt.Errorf("workload: sequential bounds [%g, %g] invalid (want 0 <= lo <= hi <= 1)", lo, hi)
 	}
 	base := NPB()
 	apps := make([]model.Application, cfg.N)
@@ -145,6 +154,12 @@ func Generate(cfg Config, rng *solve.RNG) ([]model.Application, error) {
 			a.SeqFraction = cfg.Seq
 		} else {
 			a.SeqFraction = rng.UniformRange(lo, hi)
+		}
+		// Generated values are draws from validated bounds, so this can
+		// only fire on a generator bug — but a silent NaN here would
+		// poison every downstream heuristic, so check anyway.
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generated application %d invalid: %w", i, err)
 		}
 		apps[i] = a
 	}

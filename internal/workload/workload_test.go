@@ -75,6 +75,26 @@ func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(Config{Generator: Generator(42), N: 4}, rng); err == nil {
 		t.Fatal("unknown generator accepted")
 	}
+	// Non-finite and out-of-range bounds must fail loudly instead of
+	// stamping NaN sequential fractions on every generated application.
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqLo: math.NaN(), SeqHi: 0.5}, rng); err == nil {
+		t.Fatal("NaN lower bound accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqLo: 0.1, SeqHi: math.NaN()}, rng); err == nil {
+		t.Fatal("NaN upper bound accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqLo: -0.5, SeqHi: 0.5}, rng); err == nil {
+		t.Fatal("negative lower bound accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqLo: 0.5, SeqHi: 1.5}, rng); err == nil {
+		t.Fatal("upper bound above 1 accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqFixed: true, Seq: math.NaN()}, rng); err == nil {
+		t.Fatal("NaN fixed fraction accepted")
+	}
+	if _, err := Generate(Config{Generator: GenNPB6, N: 4, SeqFixed: true, Seq: 2}, rng); err == nil {
+		t.Fatal("fixed fraction above 1 accepted")
+	}
 }
 
 func TestGenerateNPB6KeepsTable2(t *testing.T) {

@@ -23,8 +23,12 @@ BENCH_MAX_REGRESSION_PCT=${BENCH_MAX_REGRESSION_PCT:-15}
 
 run_bench() {
   mkdir -p "$BENCH_DIR"
-  go test -run '^$' -bench 'BenchmarkPortfolio' -benchtime "$BENCH_TIME" \
-    -count "$BENCH_COUNT" ./internal/portfolio | tee "$LATEST"
+  {
+    go test -run '^$' -bench 'BenchmarkPortfolio' -benchtime "$BENCH_TIME" \
+      -count "$BENCH_COUNT" ./internal/portfolio
+    go test -run '^$' -bench 'BenchmarkDES' -benchtime "$BENCH_TIME" \
+      -count "$BENCH_COUNT" ./internal/des
+  } | tee "$LATEST"
 }
 
 # best_nsop FILE NAME_REGEX: minimum ns/op among matching benchmark lines.
@@ -42,10 +46,18 @@ speedup_of() {
   awk -v s="$serial" -v p="$parallel" 'BEGIN { printf "%.3f", s / p }'
 }
 
+report_des() {
+  local nsop
+  if nsop=$(best_nsop "$1" 'BenchmarkDESPoisson'); then
+    echo "DES online simulation (poisson/64 jobs): ${nsop} ns/op"
+  fi
+}
+
 case "${1:-run}" in
   run)
     run_bench
     echo "portfolio sweep speedup (serial / best parallel): $(speedup_of "$LATEST")x"
+    report_des "$LATEST"
     ;;
   baseline)
     [ -f "$LATEST" ] || { echo "no $LATEST; run scripts/bench.sh first" >&2; exit 1; }
@@ -57,6 +69,7 @@ case "${1:-run}" in
     speedup=$(speedup_of "$LATEST")
     cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
     echo "portfolio sweep speedup: ${speedup}x on $cpus CPUs"
+    report_des "$LATEST"
     if [ "$cpus" -ge 4 ]; then
       awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s + 0 < min + 0) }' && {
         echo "FAIL: parallel speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
