@@ -1,0 +1,152 @@
+// Command conform runs the differential-testing conformance harness
+// over every scheduling layer of the repository: seeded scenario
+// families (internal/genscen) are evaluated by the static heuristics,
+// the portfolio engine, the brute-force oracle and the online
+// discrete-event simulator, and the layers are cross-checked against
+// each other (see internal/conform for the check catalogue).
+//
+// Usage:
+//
+//	conform -seeds 100                       # full sweep, markdown report
+//	conform -seeds 100 -format ndjson        # machine-readable report
+//	conform -families zero-work -seeds 1 -seed 27
+//	                                         # reproduce one scenario
+//	conform -golden internal/conform/testdata/golden.json
+//	                                         # regression-check committed digests
+//	conform -golden ... -update              # re-baseline the corpus
+//
+// The exit status is 0 only when every cross-check passed (and, with
+// -golden, every digest matched). A failing seed prints a one-line
+// reproduction command.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/conform"
+	"repro/internal/genscen"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// run executes the CLI; it returns the process exit code plus any
+// usage/configuration error (violations set the code, not the error).
+func run(args []string, out, errOut io.Writer) (int, error) {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		seeds     = fs.Int("seeds", 10, "scenarios per family")
+		baseSeed  = fs.Uint64("seed", 1, "first seed (seed values are seed, seed+1, …)")
+		families  = fs.String("families", "", "comma-separated family list (default: all)")
+		workers   = fs.Int("workers", 8, "worker count of the parallel determinism arm")
+		grid      = fs.Int("grid", 6, "oracle cache-share grid steps")
+		oracleMax = fs.Int("oracle-max", 5, "largest instance handed to the brute-force oracle")
+		minApps   = fs.Int("min-apps", 0, "min applications per instance (0 = default 2)")
+		maxApps   = fs.Int("max-apps", 0, "max applications per instance (0 = default 6)")
+		format    = fs.String("format", "markdown", `report format: "markdown" or "ndjson"`)
+		golden    = fs.String("golden", "", "golden digest corpus to check against (JSON path)")
+		update    = fs.Bool("update", false, "with -golden: rewrite the corpus from this run")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, nil // usage already printed; -h is not a failure
+		}
+		return 2, err
+	}
+	if *format != "markdown" && *format != "ndjson" {
+		return 2, fmt.Errorf("unknown format %q (want markdown or ndjson)", *format)
+	}
+	if *update && *golden == "" {
+		return 2, fmt.Errorf("-update requires -golden <path> (nothing to write otherwise)")
+	}
+	if *seeds < 1 {
+		return 2, fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
+	fams, err := genscen.ParseFamilies(*families)
+	if err != nil {
+		return 2, err
+	}
+	opt := conform.Options{
+		Seeds:         *seeds,
+		BaseSeed:      *baseSeed,
+		Families:      fams,
+		Workers:       *workers,
+		Grid:          *grid,
+		OracleMaxApps: *oracleMax,
+		Gen:           genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
+	}
+
+	// A golden check must regenerate exactly the corpus's scenarios, so
+	// its recorded parameters (including the family set, derived from
+	// the stored digests) override the flags; only the worker count
+	// stays ours, because digests are worker-invariant by construction.
+	var gold *conform.Golden
+	if *golden != "" && !*update {
+		gold, err = conform.LoadGolden(*golden)
+		if err != nil {
+			return 2, err
+		}
+		gopt := gold.Options()
+		gopt.Workers = opt.Workers
+		opt = gopt
+		// The override is easy to misread as "my flags applied"; say
+		// what actually runs.
+		fmt.Fprintf(errOut, "conform: checking against %s: using its recorded parameters (seeds=%d baseSeed=%d grid=%d oracleMaxApps=%d, %d families); generation flags are ignored in check mode\n",
+			*golden, gopt.Seeds, gopt.BaseSeed, gopt.Grid, gopt.OracleMaxApps, len(gopt.Families))
+	}
+
+	rep, err := conform.Run(opt)
+	if err != nil {
+		return 2, err
+	}
+	switch *format {
+	case "markdown":
+		err = rep.Markdown(out)
+	case "ndjson":
+		err = rep.NDJSON(out)
+	}
+	if err != nil {
+		return 2, err
+	}
+
+	code := 0
+	if n := rep.ViolationCount(); n > 0 {
+		fmt.Fprintf(errOut, "conform: %d cross-check violation(s)\n", n)
+		code = 1
+	}
+	switch {
+	case *golden != "" && *update:
+		// A corpus must never capture violating behavior: digests of a
+		// run that failed its own cross-checks are not a baseline.
+		if code != 0 {
+			return code, fmt.Errorf("refusing to update %s: this run has cross-check violations", *golden)
+		}
+		if err := conform.SaveGolden(*golden, rep.Golden()); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(errOut, "conform: wrote golden corpus %s (%d families)\n", *golden, len(rep.Families))
+	case gold != nil:
+		if diffs := gold.Compare(rep); len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Fprintf(errOut, "conform: golden mismatch: %s\n", d)
+			}
+			code = 1
+		} else {
+			fmt.Fprintf(errOut, "conform: golden digests match (%d families)\n", len(rep.Families))
+		}
+	}
+	return code, nil
+}

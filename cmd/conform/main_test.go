@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code, err := run(args, &out, &errOut)
+	if err != nil {
+		t.Fatalf("conform %s: %v", strings.Join(args, " "), err)
+	}
+	return code, out.String(), errOut.String()
+}
+
+func TestSmallSweepMarkdown(t *testing.T) {
+	code, out, _ := runMain(t, "-seeds", "2", "-families", "single-app,zero-work", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, want := range []string{"# Conformance report", "single-app", "zero-work", "0 violation(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNDJSONFormat(t *testing.T) {
+	code, out, _ := runMain(t, "-seeds", "1", "-families", "single-app", "-format", "ndjson")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var summarySeen bool
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", sc.Text(), err)
+		}
+		if line["type"] == "summary" {
+			summarySeen = true
+			if line["violations"].(float64) != 0 {
+				t.Errorf("summary reports violations: %v", line)
+			}
+		}
+	}
+	if !summarySeen {
+		t.Error("no summary line in NDJSON output")
+	}
+}
+
+// TestCommittedGoldenCorpus drives the CLI end-to-end against the
+// repository's committed digest corpus — the same gate CI runs.
+func TestCommittedGoldenCorpus(t *testing.T) {
+	golden := filepath.Join("..", "..", "internal", "conform", "testdata", "golden.json")
+	code, _, errOut := runMain(t, "-golden", golden, "-workers", "3")
+	if code != 0 {
+		t.Fatalf("golden check failed (exit %d):\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "golden digests match") {
+		t.Errorf("missing match confirmation:\n%s", errOut)
+	}
+}
+
+func TestGoldenUpdateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	code, _, errOut := runMain(t, "-seeds", "1", "-families", "single-app", "-golden", path, "-update")
+	if code != 0 {
+		t.Fatalf("update failed (exit %d):\n%s", code, errOut)
+	}
+	code, _, errOut = runMain(t, "-golden", path)
+	if code != 0 {
+		t.Fatalf("re-check failed (exit %d):\n%s", code, errOut)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run([]string{"-format", "xml"}, &out, &errOut); err == nil || code != 2 {
+		t.Errorf("bad format: code %d err %v", code, err)
+	}
+	if code, err := run([]string{"-families", "bogus"}, &out, &errOut); err == nil || code != 2 {
+		t.Errorf("bad family: code %d err %v", code, err)
+	}
+	if code, err := run([]string{"-golden", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); err == nil || code != 2 {
+		t.Errorf("absent corpus: code %d err %v", code, err)
+	}
+}
+
+func TestUpdateRequiresGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run([]string{"-update"}, &out, &errOut); err == nil || code != 2 {
+		t.Errorf("-update without -golden: code %d err %v", code, err)
+	}
+}
+
+// TestGoldenCheckAnnouncesParameterOverride: check mode must say it is
+// running the corpus's recorded parameters, not the flags.
+func TestGoldenCheckAnnouncesParameterOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if code, _, _ := runMain(t, "-seeds", "1", "-families", "single-app", "-golden", path, "-update"); code != 0 {
+		t.Fatal("update failed")
+	}
+	_, _, errOut := runMain(t, "-golden", path, "-seeds", "99")
+	if !strings.Contains(errOut, "recorded parameters") {
+		t.Errorf("no override notice:\n%s", errOut)
+	}
+}

@@ -1,0 +1,182 @@
+package cachesim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthPoints evaluates an exact power law m(C) = m0·(C0/C)^alpha at
+// the given sizes (no clamping applied).
+func synthPoints(m0, c0, alpha float64, sizes []uint64) []SweepPoint {
+	pts := make([]SweepPoint, len(sizes))
+	for i, s := range sizes {
+		pts[i] = SweepPoint{CacheBytes: s, MissRate: m0 * math.Pow(c0/float64(s), alpha)}
+	}
+	return pts
+}
+
+// TestFitPowerLawTable exercises the fit across parameter corners in
+// one table: multiple exponents, clamped points, degenerate inputs.
+func TestFitPowerLawTable(t *testing.T) {
+	sizes := []uint64{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24}
+	cases := []struct {
+		name    string
+		pts     []SweepPoint
+		refSize float64
+		wantErr string  // substring of the expected error, "" = success
+		alpha   float64 // expected exponent on success
+		m0      float64 // expected miss rate at refSize on success
+	}{
+		{
+			name: "exact alpha 0.5", refSize: 1 << 20,
+			pts:   synthPoints(0.01, 1<<20, 0.5, sizes),
+			alpha: 0.5, m0: 0.01,
+		},
+		{
+			name: "exact alpha 0.3", refSize: 1 << 20,
+			pts:   synthPoints(0.02, 1<<20, 0.3, sizes),
+			alpha: 0.3, m0: 0.02,
+		},
+		{
+			name: "exact alpha 0.7 anchored off-grid", refSize: 40e6,
+			pts:   synthPoints(0.05, 1<<22, 0.7, sizes),
+			alpha: 0.7, m0: 0.05 * math.Pow(float64(uint64(1)<<22)/40e6, 0.7),
+		},
+		{
+			name: "clamped points carry no slope", refSize: 1 << 20,
+			pts: []SweepPoint{
+				{CacheBytes: 1 << 10, MissRate: 1}, // clamped
+				{CacheBytes: 1 << 12, MissRate: 1}, // clamped
+				{CacheBytes: 1 << 20, MissRate: 0.01},
+			},
+			wantErr: ">= 2 unclamped",
+		},
+		{
+			name: "zero miss rates unusable", refSize: 1 << 20,
+			pts: []SweepPoint{
+				{CacheBytes: 1 << 16, MissRate: 0},
+				{CacheBytes: 1 << 20, MissRate: 0},
+			},
+			wantErr: ">= 2 unclamped",
+		},
+		{
+			name: "empty sweep", refSize: 1 << 20,
+			pts:     nil,
+			wantErr: ">= 2 unclamped",
+		},
+		{
+			name: "single point", refSize: 1 << 20,
+			pts:     synthPoints(0.01, 1<<20, 0.5, sizes[:1]),
+			wantErr: ">= 2 unclamped",
+		},
+		{
+			name: "all sizes equal", refSize: 1 << 20,
+			pts: []SweepPoint{
+				{CacheBytes: 1 << 20, MissRate: 0.01},
+				{CacheBytes: 1 << 20, MissRate: 0.02},
+			},
+			wantErr: "degenerate",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fit, err := FitPowerLaw(tc.pts, tc.refSize)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fit.Alpha-tc.alpha) > 1e-9 {
+				t.Errorf("alpha %v, want %v", fit.Alpha, tc.alpha)
+			}
+			if rel := math.Abs(fit.M0-tc.m0) / tc.m0; rel > 1e-9 {
+				t.Errorf("m0 %v, want %v (rel %v)", fit.M0, tc.m0, rel)
+			}
+			if math.Abs(fit.R2-1) > 1e-9 {
+				t.Errorf("R2 %v on exact data, want 1", fit.R2)
+			}
+			if fit.C0 != tc.refSize {
+				t.Errorf("C0 %v, want anchor %v", fit.C0, tc.refSize)
+			}
+		})
+	}
+}
+
+// TestFitMissRateEvaluation: the fitted law must clamp at 1 and treat
+// non-positive sizes as "no cache" (miss rate 1), mirroring Eq. 1.
+func TestFitMissRateEvaluation(t *testing.T) {
+	fit := PowerLawFit{M0: 0.5, C0: 1 << 20, Alpha: 0.5}
+	cases := []struct {
+		c    float64
+		want float64
+	}{
+		{0, 1},
+		{-5, 1},
+		{1 << 20, 0.5},
+		{1 << 22, 0.25},
+		{1, 1}, // huge extrapolated rate clamps to 1
+	}
+	for _, tc := range cases {
+		if got := fit.MissRate(tc.c); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("MissRate(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestSweepCacheExceedsFootprint: a cache whose capacity exceeds the
+// whole trace footprint holds every line after one warmup pass, so the
+// steady-state miss rate must be exactly zero at every such size — and
+// the sweep must return results in input order regardless of its
+// internal concurrency.
+func TestSweepCacheExceedsFootprint(t *testing.T) {
+	const line = 64
+	const footprint = 1 << 12 // 64 lines
+	mk := func() trace.Generator {
+		g, err := trace.NewSequential(footprint, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	sizes := []uint64{1 << 16, footprint, 1 << 14} // every size >= footprint
+	pts, err := Sweep(sizes, line, 4, mk, footprint/line, 4*footprint/line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.CacheBytes != sizes[i] {
+			t.Errorf("point %d: size %d, want input order %d", i, p.CacheBytes, sizes[i])
+		}
+		if p.MissRate != 0 {
+			t.Errorf("size %d: steady-state miss rate %v, want 0 (cache exceeds footprint)", p.CacheBytes, p.MissRate)
+		}
+	}
+}
+
+// TestSweepTinyCacheAlwaysMisses is the opposite corner: a cache of a
+// single line under a streaming trace larger than it misses on every
+// steady-state access.
+func TestSweepTinyCacheAlwaysMisses(t *testing.T) {
+	const line = 64
+	mk := func() trace.Generator {
+		g, err := trace.NewSequential(1<<12, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	pts, err := Sweep([]uint64{line}, line, 1, mk, 8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MissRate != 1 {
+		t.Errorf("one-line cache miss rate %v, want 1", pts[0].MissRate)
+	}
+}

@@ -1,0 +1,113 @@
+package cat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPartitionEdgeTable drives Partition through the CAT boundary
+// geometry in one table: way counts at and beyond the hardware limits,
+// more applications than ways, shares at the extremes.
+func TestPartitionEdgeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		shares  []float64
+		ways    int
+		wantErr string // substring, "" = success
+		counts  []int  // expected way counts on success (nil = skip)
+	}{
+		{name: "zero ways", shares: []float64{0.5}, ways: 0, wantErr: "outside [1, 64]"},
+		{name: "negative ways", shares: []float64{0.5}, ways: -4, wantErr: "outside [1, 64]"},
+		{name: "65 ways exceeds uint64 masks", shares: []float64{0.5}, ways: 65, wantErr: "outside [1, 64]"},
+		{name: "one way one app", shares: []float64{1}, ways: 1, counts: []int{1}},
+		{name: "one way tiny share", shares: []float64{0.01}, ways: 1, counts: []int{1}},
+		{name: "one way two sharers", shares: []float64{0.5, 0.5}, ways: 1, wantErr: "only 1 ways exist"},
+		{name: "more sharers than ways", shares: []float64{0.25, 0.25, 0.25, 0.25}, ways: 3, wantErr: "only 3 ways exist"},
+		{name: "64-way upper bound", shares: []float64{0.5, 0.5}, ways: 64, counts: []int{32, 32}},
+		{name: "share above one", shares: []float64{1.5}, ways: 8, wantErr: "outside [0,1]"},
+		{name: "negative share", shares: []float64{-0.1}, ways: 8, wantErr: "outside [0,1]"},
+		{name: "NaN share", shares: []float64{math.NaN()}, ways: 8, wantErr: "outside [0,1]"},
+		{name: "sum above one", shares: []float64{0.7, 0.7}, ways: 8, wantErr: "sum to"},
+		{name: "empty shares", shares: nil, ways: 8, counts: []int{}},
+		{name: "all zero shares", shares: []float64{0, 0, 0}, ways: 8, counts: []int{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alloc, err := Partition(tc.shares, tc.ways)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.counts != nil {
+				if len(alloc.WayCounts) != len(tc.counts) {
+					t.Fatalf("way counts %v, want %v", alloc.WayCounts, tc.counts)
+				}
+				for i, want := range tc.counts {
+					if alloc.WayCounts[i] != want {
+						t.Errorf("app %d: %d ways, want %d", i, alloc.WayCounts[i], want)
+					}
+				}
+			}
+			// Structural invariants hold for every successful allocation.
+			total := 0
+			for i, w := range alloc.WayCounts {
+				total += w
+				if w > 0 && !Contiguous(alloc.Masks[i]) {
+					t.Errorf("app %d: mask %b not contiguous", i, alloc.Masks[i])
+				}
+				if w == 0 && alloc.Masks[i] != 0 {
+					t.Errorf("app %d: zero ways but mask %b", i, alloc.Masks[i])
+				}
+			}
+			if total > tc.ways {
+				t.Errorf("allocated %d ways of %d", total, tc.ways)
+			}
+			if Overlap(alloc.Masks) {
+				t.Errorf("masks overlap: %v", alloc.Masks)
+			}
+		})
+	}
+}
+
+// TestPartitionWaysExceedSharers: when there are far more ways than
+// applications, largest-remainder rounding must still track the
+// requested fractions tightly (max error below one way).
+func TestPartitionWaysExceedSharers(t *testing.T) {
+	shares := []float64{0.6, 0.3, 0.1}
+	alloc, err := Partition(shares, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.MaxError >= 1.0/64 {
+		t.Errorf("max rounding error %v, want < one way (%v)", alloc.MaxError, 1.0/64)
+	}
+	for i, s := range shares {
+		if got := alloc.Fractions[i]; math.Abs(got-s) >= 1.0/64 {
+			t.Errorf("app %d: realized %v for requested %v", i, got, s)
+		}
+	}
+}
+
+// TestPartitionTopWayMask: an allocation that reaches way 63 must set
+// the top bit without overflowing the uint64 mask.
+func TestPartitionTopWayMask(t *testing.T) {
+	alloc, err := Partition([]float64{1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Masks[0] != ^uint64(0) {
+		t.Errorf("full 64-way mask %x, want all ones", alloc.Masks[0])
+	}
+	if !Contiguous(alloc.Masks[0]) {
+		t.Error("full mask reported non-contiguous")
+	}
+	if got := FormatMask(alloc.Masks[0], 64); strings.Contains(got, "0") {
+		t.Errorf("formatted full mask contains zeros: %s", got)
+	}
+}

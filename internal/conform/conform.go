@@ -1,0 +1,609 @@
+// Package conform is the differential-testing conformance harness: it
+// drives every scheduling layer of the repository — the static
+// heuristics (internal/sched), the concurrent portfolio engine
+// (internal/portfolio), the discrete-event online simulator
+// (internal/des) and the static executor (internal/sim) — from
+// identical seeded scenarios (internal/genscen) and cross-checks them
+// against each other and against the brute-force oracle
+// (internal/oracle).
+//
+// Checks per scenario:
+//
+//   - worker-determinism: the portfolio report is bit-identical at one
+//     worker and at many;
+//   - sched-vs-portfolio: the engine's result for every deterministic
+//     heuristic equals a direct sched call, bit-for-bit;
+//   - best-certification: the portfolio's BestSchedule is never worse
+//     than any single feasible heuristic;
+//   - oracle: the optimality gap of the portfolio winner against the
+//     brute-force bound; on oracle-exact families a gap below 1 is
+//     itself a violation;
+//   - scaling (metamorphic): multiplying every work value by 4 must
+//     scale every heuristic's makespan by exactly 4 (up to float
+//     tolerance);
+//   - permutation (metamorphic): shuffling the application slice must
+//     not change any deterministic heuristic's makespan;
+//   - cache-monotonicity (metamorphic): doubling the cache must not
+//     worsen a fixed-share schedule, nor the oracle bound;
+//   - des-static: the online simulator with every job at t = 0 and a
+//     frozen wave policy reproduces internal/sim bit-for-bit;
+//   - des-online: the online simulator under the portfolio policy with
+//     staggered arrivals is bit-identical across policy worker counts.
+//
+// Every scenario also contributes to a per-family digest — a canonical
+// hash of all schedules produced — which is compared against a
+// committed golden corpus, turning any behavioral drift of any layer
+// into a test failure (see the Golden type in report.go).
+package conform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/genscen"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/portfolio"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solve"
+)
+
+// relTol is the relative tolerance of the metamorphic checks: exact in
+// theory, but summation order and bisection endpoints shift by a few
+// ulps across transformed instances.
+const relTol = 1e-9
+
+// Options parameterizes a harness run.
+type Options struct {
+	// Seeds is the number of scenarios per family; seed values are
+	// BaseSeed, BaseSeed+1, … Zero defaults to 10.
+	Seeds int
+	// BaseSeed is the first seed; `-seed N -seeds 1` reproduces exactly
+	// scenario N. Zero is a valid seed (the CLI defaults to 1).
+	BaseSeed uint64
+	// Families to generate; nil means all.
+	Families []genscen.Family
+	// Workers is the parallel arm of the determinism checks (portfolio
+	// engine pool and online policy pool). Zero defaults to 8.
+	Workers int
+	// Grid is the oracle's share-discretization step count (default 6).
+	Grid int
+	// OracleMaxApps bounds the instances handed to the brute-force
+	// oracle (default 5); larger instances skip the oracle check only.
+	OracleMaxApps int
+	// Gen bounds generated instance sizes.
+	Gen genscen.Config
+}
+
+func (o Options) normalized() Options {
+	if o.Seeds <= 0 {
+		// Zero means "default"; negative would silently produce a
+		// vacuous zero-scenario run (and could bake an empty golden
+		// corpus), so it defaults too. The CLI rejects it outright.
+		o.Seeds = 10
+	}
+	if len(o.Families) == 0 {
+		o.Families = append([]genscen.Family(nil), genscen.Families...)
+	}
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.Grid == 0 {
+		o.Grid = 6
+	}
+	if o.OracleMaxApps == 0 {
+		o.OracleMaxApps = 5
+	}
+	return o
+}
+
+// Violation is one failed cross-check.
+type Violation struct {
+	Family string `json:"family"`
+	Seed   uint64 `json:"seed"`
+	Check  string `json:"check"`
+	Detail string `json:"detail"`
+}
+
+// FamilyResult aggregates one family's scenarios.
+type FamilyResult struct {
+	Family     string      `json:"family"`
+	Scenarios  int         `json:"scenarios"`
+	OracleRuns int         `json:"oracleRuns"`
+	GapMin     float64     `json:"gapMin"`
+	GapGeoMean float64     `json:"gapGeoMean"`
+	GapMax     float64     `json:"gapMax"`
+	Digest     string      `json:"digest"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Report is the outcome of one harness run.
+type Report struct {
+	Seeds         int            `json:"seeds"`
+	BaseSeed      uint64         `json:"baseSeed"`
+	Workers       int            `json:"workers"`
+	Grid          int            `json:"grid"`
+	OracleMaxApps int            `json:"oracleMaxApps"`
+	MinApps       int            `json:"minApps"`
+	MaxApps       int            `json:"maxApps"`
+	Families      []FamilyResult `json:"families"`
+}
+
+// ViolationCount totals violations across families.
+func (r *Report) ViolationCount() int {
+	n := 0
+	for _, f := range r.Families {
+		n += len(f.Violations)
+	}
+	return n
+}
+
+// Digests returns the per-family digest map (family name → hex).
+func (r *Report) Digests() map[string]string {
+	m := make(map[string]string, len(r.Families))
+	for _, f := range r.Families {
+		m[f.Family] = f.Digest
+	}
+	return m
+}
+
+// Run executes the harness and returns its report. The report is a
+// pure function of the options: digests are bit-stable across runs and
+// across Workers settings (that stability is itself one of the checks).
+func Run(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	serial := portfolio.New(portfolio.Config{Workers: 1})
+	parallel := portfolio.New(portfolio.Config{Workers: opt.Workers})
+	rep := &Report{
+		Seeds:         opt.Seeds,
+		BaseSeed:      opt.BaseSeed,
+		Workers:       opt.Workers,
+		Grid:          opt.Grid,
+		OracleMaxApps: opt.OracleMaxApps,
+		MinApps:       opt.Gen.MinApps,
+		MaxApps:       opt.Gen.MaxApps,
+	}
+	for _, fam := range opt.Families {
+		fr := FamilyResult{Family: fam.String(), GapMin: math.Inf(1)}
+		famHash := sha256.New()
+		var gapLogSum float64
+		for i := 0; i < opt.Seeds; i++ {
+			seed := opt.BaseSeed + uint64(i)
+			in, err := genscen.Generate(fam, seed, opt.Gen)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := runScenario(in, opt, serial, parallel)
+			if err != nil {
+				return nil, fmt.Errorf("conform: %s seed %d: %w", fam, seed, err)
+			}
+			fr.Scenarios++
+			famHash.Write([]byte(sr.digest))
+			fr.Violations = append(fr.Violations, sr.violations...)
+			if sr.gap > 0 {
+				fr.OracleRuns++
+				fr.GapMin = math.Min(fr.GapMin, sr.gap)
+				fr.GapMax = math.Max(fr.GapMax, sr.gap)
+				gapLogSum += math.Log(sr.gap)
+			}
+		}
+		if fr.OracleRuns > 0 {
+			fr.GapGeoMean = math.Exp(gapLogSum / float64(fr.OracleRuns))
+		} else {
+			fr.GapMin = 0
+		}
+		fr.Digest = hex.EncodeToString(famHash.Sum(nil))
+		rep.Families = append(rep.Families, fr)
+	}
+	return rep, nil
+}
+
+// scenarioResult is the outcome of one (family, seed) scenario.
+type scenarioResult struct {
+	digest     string
+	gap        float64 // portfolio-best / oracle; 0 when the oracle was skipped
+	violations []Violation
+}
+
+// runScenario executes every check on one instance. It returns an
+// error only for harness-level failures (generation, simulation
+// refusing to run); cross-check disagreements land in violations.
+func runScenario(in *genscen.Instance, opt Options, serial, parallel *portfolio.Engine) (*scenarioResult, error) {
+	sr := &scenarioResult{}
+	flag := func(check, format string, args ...any) {
+		sr.violations = append(sr.violations, Violation{
+			Family: in.Family.String(), Seed: in.Seed,
+			Check: check, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Portfolio at one worker is the reference arm everything else is
+	// compared against.
+	repS, err := serial.Evaluate(in.PortfolioScenario(nil))
+	if err != nil {
+		return nil, err
+	}
+	ds := reportDigest(repS)
+
+	// worker-determinism: bit-identical reports across pool sizes. At
+	// Workers == 1 the comparison would race a 1-worker pool against
+	// itself — pure double cost, zero signal — so it is skipped.
+	if opt.Workers > 1 {
+		repP, err := parallel.Evaluate(in.PortfolioScenario(nil))
+		if err != nil {
+			return nil, err
+		}
+		if dp := reportDigest(repP); ds != dp {
+			flag("worker-determinism", "portfolio report differs between 1 and %d workers", opt.Workers)
+		}
+	}
+
+	// heuristic errors: every heuristic must schedule a valid instance.
+	for _, res := range repS.Results {
+		if res.Err != nil {
+			flag("heuristic-error", "%v: %v", res.Heuristic, res.Err)
+		}
+	}
+
+	// sched-vs-portfolio: deterministic heuristics must match a direct
+	// sched call bit-for-bit (the engine adds routing and caching, never
+	// arithmetic).
+	for _, res := range repS.Results {
+		if res.Heuristic.Randomized() || res.Err != nil {
+			continue
+		}
+		direct, err := res.Heuristic.Schedule(in.Platform, in.CloneApps(), nil)
+		if err != nil {
+			flag("sched-vs-portfolio", "%v: direct call failed: %v", res.Heuristic, err)
+			continue
+		}
+		if d1, d2 := scheduleDigest(direct), scheduleDigest(res.Schedule); d1 != d2 {
+			flag("sched-vs-portfolio", "%v: engine schedule differs from direct sched call", res.Heuristic)
+		}
+	}
+
+	// best-certification: the winner is never worse than any feasible
+	// single heuristic.
+	best := repS.BestResult()
+	if best == nil {
+		flag("best-certification", "no feasible heuristic")
+		// Same digest shape as the main path (sha256 hex), just without
+		// the oracle/des components this scenario never produced.
+		sum := sha256.Sum256([]byte(ds))
+		sr.digest = hex.EncodeToString(sum[:])
+		return sr, nil
+	}
+	for _, res := range repS.Results {
+		if res.Err == nil && res.Schedule != nil && !math.IsNaN(res.Schedule.Makespan) &&
+			res.Schedule.Makespan < best.Schedule.Makespan {
+			flag("best-certification", "%v makespan %v beats BestSchedule %v",
+				res.Heuristic, res.Schedule.Makespan, best.Schedule.Makespan)
+		}
+	}
+
+	// oracle: brute-force bound and optimality gap on small instances.
+	// The oracle enumerates *concurrent* co-schedules (the paper's
+	// CoSchedCache space), so it is graded against the best concurrent
+	// heuristic; the sequential AllProcCache baseline legitimately
+	// escapes the space (and the bound) on cache-starved instances.
+	oracleDigest := "oracle:skip"
+	var oracleMakespan float64
+	oracleRan := false
+	bestConcurrent := math.Inf(1)
+	for _, res := range repS.Results {
+		if res.Err == nil && res.Schedule != nil && !res.Schedule.Sequential &&
+			!math.IsNaN(res.Schedule.Makespan) && res.Schedule.Makespan < bestConcurrent {
+			bestConcurrent = res.Schedule.Makespan
+		}
+	}
+	if len(in.Apps) <= opt.OracleMaxApps {
+		sol, err := oracle.Solve(in.Platform, in.Apps, oracle.Options{Grid: opt.Grid, MaxApps: opt.OracleMaxApps})
+		if err != nil {
+			flag("oracle", "solve failed: %v", err)
+		} else {
+			oracleRan = true
+			oracleMakespan = sol.Makespan
+			oracleDigest = "oracle:" + hexFloat(sol.Makespan)
+			// With no feasible concurrent heuristic the gap is undefined
+			// (+Inf would also break JSON encoding downstream); the
+			// heuristic-error check has already flagged the cause.
+			if g := oracle.Gap(bestConcurrent, sol.Makespan); !math.IsInf(g, 0) && !math.IsNaN(g) {
+				sr.gap = g
+				if in.Family.OracleExact() && g < 1-relTol {
+					flag("oracle", "best concurrent makespan %v beats the exact optimum %v (gap %v)",
+						bestConcurrent, sol.Makespan, g)
+				}
+			}
+		}
+	}
+
+	checkScaling(in, serial, repS, flag)
+	checkPermutation(in, serial, repS, flag)
+	checkCacheMonotonicity(in, opt, best, oracleRan, oracleMakespan, flag)
+
+	desDigest, err := checkDESStatic(in, flag)
+	if err != nil {
+		return nil, err
+	}
+	onlineDig, err := checkDESOnline(in, opt, best.Schedule.Makespan, flag)
+	if err != nil {
+		return nil, err
+	}
+
+	// The online event log participates in the digest (hashed from the
+	// 1-worker run, so the digest stays worker-invariant): a behavioral
+	// change in the online simulator that is consistent across pool
+	// sizes still fails the golden gate.
+	sum := sha256.Sum256([]byte(ds + "\n" + oracleDigest + "\n" + desDigest + "\n" + onlineDig))
+	sr.digest = hex.EncodeToString(sum[:])
+	return sr, nil
+}
+
+// checkScaling: Work → 4·Work must scale every makespan by exactly 4.
+// The factor is a power of two, so in exact terms every intermediate
+// float scales by an exponent shift; the tolerance covers bisection
+// endpoint drift. Randomized heuristics are included — the scenario
+// seed is unchanged and dominance-ratio *orderings* are scale
+// invariant, so they make identical decisions.
+func checkScaling(in *genscen.Instance, eng *portfolio.Engine, base *portfolio.Report, flag func(string, string, ...any)) {
+	const lambda = 4.0
+	scaled := in.CloneApps()
+	for i := range scaled {
+		scaled[i].Work *= lambda
+	}
+	sc := in.PortfolioScenario(nil)
+	sc.Apps = scaled
+	rep, err := eng.Evaluate(sc)
+	if err != nil {
+		flag("scaling", "scaled evaluation failed: %v", err)
+		return
+	}
+	for i, res := range rep.Results {
+		b := base.Results[i]
+		if res.Err != nil || b.Err != nil {
+			if (res.Err == nil) != (b.Err == nil) {
+				flag("scaling", "%v: feasibility changed under time scaling", res.Heuristic)
+			}
+			continue
+		}
+		if rel := solve.RelDiff(res.Schedule.Makespan, lambda*b.Schedule.Makespan); rel > relTol {
+			flag("scaling", "%v: makespan %v not 4x base %v (rel %v)",
+				res.Heuristic, res.Schedule.Makespan, b.Schedule.Makespan, rel)
+		}
+	}
+}
+
+// checkPermutation: shuffling the application slice must leave every
+// deterministic heuristic's makespan unchanged (sorts and tie-breaks
+// must key on values, not input positions). Randomized heuristics are
+// exempt by design: their seed-derived choices attach to positions so
+// that a fixed seed reproduces a fixed schedule.
+func checkPermutation(in *genscen.Instance, eng *portfolio.Engine, base *portfolio.Report, flag func(string, string, ...any)) {
+	n := len(in.Apps)
+	if n < 2 {
+		return
+	}
+	perm := solve.NewRNG(in.Seed ^ 0xA5A5A5A5A5A5A5A5).Perm(n)
+	permuted := make([]model.Application, n)
+	for i, j := range perm {
+		permuted[i] = in.Apps[j]
+	}
+	hs := sched.DeterministicHeuristics
+	sc := in.PortfolioScenario(hs)
+	sc.Apps = permuted
+	rep, err := eng.Evaluate(sc)
+	if err != nil {
+		flag("permutation", "permuted evaluation failed: %v", err)
+		return
+	}
+	byHeuristic := make(map[sched.Heuristic]*sched.Schedule)
+	for _, res := range base.Results {
+		if res.Err == nil {
+			byHeuristic[res.Heuristic] = res.Schedule
+		}
+	}
+	for _, res := range rep.Results {
+		b, ok := byHeuristic[res.Heuristic]
+		if res.Err != nil || !ok {
+			// Feasibility must be order-independent in both directions:
+			// failing only on the permuted order, or only on the base
+			// order, are equally order-dependent behaviors.
+			if res.Err != nil && ok {
+				flag("permutation", "%v: failed on permuted input: %v", res.Heuristic, res.Err)
+			} else if res.Err == nil && !ok {
+				flag("permutation", "%v: failed on base input but succeeded on permuted", res.Heuristic)
+			}
+			continue
+		}
+		if rel := solve.RelDiff(res.Schedule.Makespan, b.Makespan); rel > relTol {
+			flag("permutation", "%v: makespan %v != %v under permutation (rel %v)",
+				res.Heuristic, res.Schedule.Makespan, b.Makespan, rel)
+		}
+	}
+}
+
+// checkCacheMonotonicity: more cache never hurts — re-equalizing the
+// winning shares on a doubled cache must not increase the makespan,
+// and the oracle bound must not increase either.
+func checkCacheMonotonicity(in *genscen.Instance, opt Options, best *portfolio.Result, oracleRan bool, oracleMakespan float64, flag func(string, string, ...any)) {
+	if best.Schedule.Sequential {
+		// AllProcCache won: fixed-share re-equalization doesn't apply to
+		// a sequential schedule; the oracle arm below still runs.
+	} else {
+		shares := make([]float64, len(best.Schedule.Assignments))
+		for i, a := range best.Schedule.Assignments {
+			shares[i] = a.CacheShare
+		}
+		m1 := equalizedMakespan(in.Platform, in.Apps, shares)
+		big := in.Platform
+		big.CacheSize *= 2
+		m2 := equalizedMakespan(big, in.Apps, shares)
+		if m2 > m1*(1+relTol) {
+			flag("cache-monotonicity", "fixed shares: makespan %v grew to %v on a doubled cache", m1, m2)
+		}
+	}
+	if oracleRan {
+		big := in.Platform
+		big.CacheSize *= 2
+		sol, err := oracle.Solve(big, in.Apps, oracle.Options{Grid: opt.Grid, MaxApps: opt.OracleMaxApps})
+		if err != nil {
+			flag("cache-monotonicity", "oracle on doubled cache failed: %v", err)
+			return
+		}
+		if sol.Makespan > oracleMakespan*(1+relTol) {
+			flag("cache-monotonicity", "oracle bound %v grew to %v on a doubled cache", oracleMakespan, sol.Makespan)
+		}
+	}
+}
+
+// equalizedMakespan completes fixed shares into a schedule and returns
+// its honest makespan (+Inf when the equalizer refuses).
+func equalizedMakespan(pl model.Platform, apps []model.Application, shares []float64) float64 {
+	procs, _, err := sched.EqualizeAmdahl(pl, apps, shares)
+	if err != nil {
+		return math.Inf(1)
+	}
+	m := 0.0
+	for i, a := range apps {
+		m = math.Max(m, a.Exe(pl, procs[i], shares[i]))
+	}
+	return m
+}
+
+// checkDESStatic: the online engine with every job at t = 0 under the
+// frozen wave policy must reproduce internal/sim's static execution of
+// the same heuristic bit-for-bit — makespan, per-job finish times and
+// the processor-time integral.
+func checkDESStatic(in *genscen.Instance, flag func(string, string, ...any)) (string, error) {
+	const h = sched.DominantMinRatio
+	s, err := h.Schedule(in.Platform, in.CloneApps(), nil)
+	if err != nil {
+		return "", fmt.Errorf("des-static reference schedule: %w", err)
+	}
+	want, err := sim.Execute(in.Platform, in.Apps, s, sim.Static)
+	if err != nil {
+		return "", fmt.Errorf("des-static sim: %w", err)
+	}
+	sc, err := in.StaticDES(h)
+	if err != nil {
+		return "", err
+	}
+	got, err := des.Simulate(sc)
+	if err != nil {
+		return "", fmt.Errorf("des-static simulate: %w", err)
+	}
+	if got.Makespan != want.Makespan {
+		flag("des-static", "makespan %v != sim %v", got.Makespan, want.Makespan)
+	}
+	for i := range in.Apps {
+		if got.Jobs[i].Finish != want.FinishTimes[i] {
+			flag("des-static", "job %d finish %v != sim %v", i, got.Jobs[i].Finish, want.FinishTimes[i])
+		}
+	}
+	if got.ProcessorTime != want.ProcessorTime {
+		flag("des-static", "processor time %v != sim %v", got.ProcessorTime, want.ProcessorTime)
+	}
+	return "des:" + hexFloat(got.Makespan), nil
+}
+
+// checkDESOnline: staggered arrivals under the portfolio policy must
+// yield bit-identical runs — full event logs included — at one policy
+// worker and at many. With Workers == 1 only the single run executes
+// (it still proves the scenario simulates); the comparison arm needs a
+// genuinely different pool size to carry signal. The returned string
+// is the 1-worker run's canonical digest, folded into the scenario
+// digest so online-simulator drift fails the golden gate too.
+func checkDESOnline(in *genscen.Instance, opt Options, span float64, flag func(string, string, ...any)) (string, error) {
+	sp, err := in.OnlineSpec("portfolio", span)
+	if err != nil {
+		return "", err
+	}
+	run := func(workers int) (*des.Result, error) {
+		sc, err := sp.Build(workers)
+		if err != nil {
+			return nil, err
+		}
+		return des.Simulate(sc)
+	}
+	r1, err := run(1)
+	if err != nil {
+		return "", fmt.Errorf("des-online workers=1: %w", err)
+	}
+	d1 := onlineDigest(r1)
+	if opt.Workers <= 1 {
+		return d1, nil
+	}
+	rp, err := run(opt.Workers)
+	if err != nil {
+		return "", fmt.Errorf("des-online workers=%d: %w", opt.Workers, err)
+	}
+	if dp := onlineDigest(rp); d1 != dp {
+		flag("des-online", "online run differs between 1 and %d policy workers", opt.Workers)
+	}
+	return d1, nil
+}
+
+// hexFloat renders a float64 exactly (hexadecimal mantissa/exponent),
+// the canonical form all digests use: two values digest equal iff they
+// are bit-equal (modulo -0/+0, which never arises here).
+func hexFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// scheduleDigest canonically serializes one schedule.
+func scheduleDigest(s *sched.Schedule) string {
+	var b strings.Builder
+	b.WriteString(hexFloat(s.Makespan))
+	if s.Sequential {
+		b.WriteString(" seq")
+	}
+	for _, a := range s.Assignments {
+		b.WriteByte(' ')
+		b.WriteString(hexFloat(a.Processors))
+		b.WriteByte(',')
+		b.WriteString(hexFloat(a.CacheShare))
+	}
+	return b.String()
+}
+
+// reportDigest canonically serializes a portfolio report (cache
+// provenance excluded: a cache hit must be indistinguishable from a
+// fresh computation).
+func reportDigest(rep *portfolio.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "best=%d", rep.Best)
+	for _, res := range rep.Results {
+		b.WriteByte('\n')
+		b.WriteString(res.Heuristic.String())
+		b.WriteByte('=')
+		if res.Err != nil {
+			b.WriteString("err")
+			continue
+		}
+		b.WriteString(scheduleDigest(res.Schedule))
+	}
+	return b.String()
+}
+
+// onlineDigest canonically serializes an online run: the full event
+// log plus per-job metrics and integrals.
+func onlineDigest(r *des.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan=%s ptime=%s ctime=%s qtime=%s reparts=%d",
+		hexFloat(r.Makespan), hexFloat(r.ProcessorTime), hexFloat(r.CacheTime),
+		hexFloat(r.QueueTime), r.Repartitions)
+	for _, j := range r.Jobs {
+		fmt.Fprintf(&b, "\njob %d %s a=%s s=%s f=%s", j.Job, j.Name,
+			hexFloat(j.Arrival), hexFloat(j.Start), hexFloat(j.Finish))
+	}
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "\nev %d t=%s k=%v j=%d r=%d q=%d", ev.Seq, hexFloat(ev.Time), ev.Kind, ev.Job, ev.Resident, ev.Queued)
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package conform
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/genscen"
+)
+
+// TestGoldenDigests is the regression gate: re-running the committed
+// corpus's scenarios must reproduce its digests bit-for-bit AND pass
+// every cross-check. Any behavioral drift in model, sched, portfolio,
+// sim, des, genscen or oracle fails here.
+//
+// To re-baseline after an intentional change:
+//
+//	go run ./cmd/conform -seeds 4 -golden internal/conform/testdata/golden.json -update
+func TestGoldenDigests(t *testing.T) {
+	gold, err := LoadGolden(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(gold.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Families {
+		for _, v := range f.Violations {
+			t.Errorf("violation: %s seed %d [%s]: %s", v.Family, v.Seed, v.Check, v.Detail)
+		}
+	}
+	for _, diff := range gold.Compare(rep) {
+		t.Errorf("golden mismatch: %s", diff)
+	}
+}
+
+// TestDigestsWorkerInvariant: the committed digests must not depend on
+// the harness's worker count (otherwise the golden gate would be
+// machine-dependent).
+func TestDigestsWorkerInvariant(t *testing.T) {
+	opt := Options{
+		Seeds:    2,
+		Families: []genscen.Family{genscen.AmdahlMix, genscen.NearOverflow},
+	}
+	opt.Workers = 1
+	r1, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 5
+	r5, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d5 := r1.Digests(), r5.Digests()
+	for name, want := range d1 {
+		if d5[name] != want {
+			t.Errorf("family %s: digest differs between 1 and 5 workers", name)
+		}
+	}
+}
+
+func TestMarkdownAndNDJSON(t *testing.T) {
+	rep, err := Run(Options{Seeds: 1, Families: []genscen.Family{genscen.SingleApp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md bytes.Buffer
+	if err := rep.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "single-app") || !strings.Contains(md.String(), "0 violation(s)") {
+		t.Errorf("markdown missing expected content:\n%s", md.String())
+	}
+
+	var nd bytes.Buffer
+	if err := rep.NDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&nd)
+	types := map[string]int{}
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		types[line["type"].(string)]++
+	}
+	if types["family"] != 1 || types["summary"] != 1 {
+		t.Errorf("NDJSON line types %v, want 1 family + 1 summary", types)
+	}
+}
+
+func TestGoldenRoundTripAndCompare(t *testing.T) {
+	rep, err := Run(Options{Seeds: 1, Families: []genscen.Family{genscen.SingleApp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := SaveGolden(path, rep.Golden()); err != nil {
+		t.Fatal(err)
+	}
+	gold, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := gold.Compare(rep); len(diffs) != 0 {
+		t.Errorf("round-tripped corpus mismatches its own report: %v", diffs)
+	}
+
+	// A corrupted digest must be reported.
+	gold.Digests[genscen.SingleApp.String()] = strings.Repeat("0", 64)
+	if diffs := gold.Compare(rep); len(diffs) != 1 {
+		t.Errorf("corrupted digest produced %d diffs, want 1", len(diffs))
+	}
+
+	// A config mismatch must be reported as incomparable.
+	gold2, _ := LoadGolden(path)
+	gold2.Seeds = 99
+	diffs := gold2.Compare(rep)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "computed under") {
+		t.Errorf("config mismatch diffs: %v", diffs)
+	}
+
+	if _, err := LoadGolden(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading an absent corpus succeeded")
+	}
+}
+
+// TestViolationPlumbing: a synthetic violation must flow into the
+// report, the count, the markdown and the NDJSON surfaces.
+func TestViolationPlumbing(t *testing.T) {
+	rep := &Report{Families: []FamilyResult{{
+		Family:    "synthetic",
+		Scenarios: 1,
+		Digest:    strings.Repeat("ab", 32),
+		Violations: []Violation{{
+			Family: "synthetic", Seed: 3, Check: "unit", Detail: "made up",
+		}},
+	}}}
+	if rep.ViolationCount() != 1 {
+		t.Fatalf("violation count %d", rep.ViolationCount())
+	}
+	var md bytes.Buffer
+	if err := rep.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "made up") || !strings.Contains(md.String(), "Reproduce") {
+		t.Errorf("markdown does not surface the violation:\n%s", md.String())
+	}
+	var nd bytes.Buffer
+	if err := rep.NDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nd.String(), `"type":"violation"`) {
+		t.Errorf("NDJSON does not surface the violation:\n%s", nd.String())
+	}
+}
+
+// failWriter fails after n bytes, for exercising truncated-output
+// error propagation.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errBroken
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errBroken
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errBroken = errors.New("broken pipe")
+
+func TestMarkdownPropagatesWriteErrors(t *testing.T) {
+	rep, err := Run(Options{Seeds: 1, Families: []genscen.Family{genscen.SingleApp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Markdown(&failWriter{n: 10}); err == nil {
+		t.Error("truncated markdown render returned nil error")
+	}
+	if err := rep.NDJSON(&failWriter{n: 10}); err == nil {
+		t.Error("truncated NDJSON render returned nil error")
+	}
+}

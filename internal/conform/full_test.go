@@ -1,0 +1,37 @@
+//go:build conform
+
+package conform
+
+import (
+	"testing"
+
+	"repro/internal/genscen"
+)
+
+// TestFullSweep is the acceptance run of the conformance harness: 100
+// seeds per family across every family, every cross-check enforced.
+// It is build-tagged so ordinary `go test ./...` stays fast; CI and
+// developers run it with:
+//
+//	go test -tags conform -run TestFullSweep ./internal/conform
+func TestFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	// BaseSeed 1 matches the CLI default, so this test and the
+	// documented `conform -seeds 100` run the same 100 scenarios.
+	rep, err := Run(Options{Seeds: 100, BaseSeed: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Families {
+		t.Logf("%s: %d scenarios, %d oracle runs, gap [%g, %g]",
+			f.Family, f.Scenarios, f.OracleRuns, f.GapMin, f.GapMax)
+		for _, v := range f.Violations {
+			t.Errorf("violation: %s seed %d [%s]: %s", v.Family, v.Seed, v.Check, v.Detail)
+		}
+	}
+	if got, want := len(rep.Families), len(genscen.Families); got != want {
+		t.Errorf("swept %d families, want %d", got, want)
+	}
+}

@@ -1,0 +1,225 @@
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/genscen"
+)
+
+// shortDigest abbreviates a digest for display, tolerating truncated
+// or hand-mangled corpus entries.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}
+
+// errWriter latches the first write error so the rendering code can
+// stay a straight-line sequence of Fprintf calls; a truncated report
+// (full disk, closed pipe) must surface as an error, not exit 0.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+// Markdown renders the report as a human-readable summary table plus a
+// violation list.
+func (r *Report) Markdown(out io.Writer) error {
+	ew := &errWriter{w: out}
+	var w io.Writer = ew
+	fmt.Fprintf(w, "# Conformance report\n\n")
+	fmt.Fprintf(w, "seeds=%d baseSeed=%d workers=%d grid=%d oracleMaxApps=%d apps=[%d,%d]\n\n",
+		r.Seeds, r.BaseSeed, r.Workers, r.Grid, r.OracleMaxApps, r.MinApps, r.MaxApps)
+	fmt.Fprintf(w, "| family | scenarios | oracle runs | gap min | gap geomean | gap max | violations | digest |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, f := range r.Families {
+		gapMin, gapGeo, gapMax := "-", "-", "-"
+		if f.OracleRuns > 0 {
+			gapMin = fmt.Sprintf("%.6f", f.GapMin)
+			gapGeo = fmt.Sprintf("%.6f", f.GapGeoMean)
+			gapMax = fmt.Sprintf("%.6f", f.GapMax)
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %s | %s | %s | %d | %s |\n",
+			f.Family, f.Scenarios, f.OracleRuns, gapMin, gapGeo, gapMax,
+			len(f.Violations), shortDigest(f.Digest))
+	}
+	total := r.ViolationCount()
+	fmt.Fprintf(w, "\n%d violation(s).\n", total)
+	if total > 0 {
+		fmt.Fprintf(w, "\n## Violations\n\n")
+		for _, f := range r.Families {
+			for _, v := range f.Violations {
+				fmt.Fprintf(w, "- `%s` seed %d [%s]: %s\n", v.Family, v.Seed, v.Check, v.Detail)
+			}
+		}
+		// The repro command must carry every generation parameter:
+		// genscen instances depend on the app bounds and the checks on
+		// grid/oracle-max, so a hint with defaults would regenerate a
+		// different scenario under non-default flags.
+		extra := fmt.Sprintf(" -grid %d -oracle-max %d", r.Grid, r.OracleMaxApps)
+		if r.MinApps != 0 || r.MaxApps != 0 {
+			extra += fmt.Sprintf(" -min-apps %d -max-apps %d", r.MinApps, r.MaxApps)
+		}
+		fmt.Fprintf(w, "\nReproduce one with: `conform -families <family> -seeds 1 -seed <seed>%s`\n", extra)
+	}
+	return ew.err
+}
+
+// NDJSON renders the report as newline-delimited JSON: one "family"
+// object per family, one "violation" object per violation, and a
+// trailing "summary" object — a stable machine surface for CI and
+// dashboards.
+func (r *Report) NDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	type familyLine struct {
+		Type string `json:"type"`
+		FamilyResult
+		Violations int `json:"violations"` // shadow the slice with a count
+	}
+	type violationLine struct {
+		Type string `json:"type"`
+		Violation
+	}
+	for _, f := range r.Families {
+		fl := familyLine{Type: "family", FamilyResult: f, Violations: len(f.Violations)}
+		fl.FamilyResult.Violations = nil
+		if err := enc.Encode(fl); err != nil {
+			return err
+		}
+		for _, v := range f.Violations {
+			if err := enc.Encode(violationLine{Type: "violation", Violation: v}); err != nil {
+				return err
+			}
+		}
+	}
+	return enc.Encode(map[string]any{
+		"type": "summary", "seeds": r.Seeds, "baseSeed": r.BaseSeed,
+		"workers": r.Workers, "families": len(r.Families),
+		"violations": r.ViolationCount(),
+	})
+}
+
+// Golden is the committed digest corpus: the generation parameters the
+// digests were computed under plus one digest per family. Workers is
+// deliberately absent — digests are worker-count invariant (checked by
+// the harness itself).
+type Golden struct {
+	Seeds         int               `json:"seeds"`
+	BaseSeed      uint64            `json:"baseSeed"`
+	Grid          int               `json:"grid"`
+	OracleMaxApps int               `json:"oracleMaxApps"`
+	MinApps       int               `json:"minApps"`
+	MaxApps       int               `json:"maxApps"`
+	Digests       map[string]string `json:"digests"`
+}
+
+// Golden extracts the report's digest corpus.
+func (r *Report) Golden() *Golden {
+	return &Golden{
+		Seeds:         r.Seeds,
+		BaseSeed:      r.BaseSeed,
+		Grid:          r.Grid,
+		OracleMaxApps: r.OracleMaxApps,
+		MinApps:       r.MinApps,
+		MaxApps:       r.MaxApps,
+		Digests:       r.Digests(),
+	}
+}
+
+// Options returns harness options that regenerate exactly the
+// scenarios the golden corpus was computed from — including the family
+// set, derived from the stored digest keys, so a subset corpus
+// round-trips through Run without spurious "absent family" diffs.
+func (g *Golden) Options() Options {
+	var fams []genscen.Family
+	for _, f := range genscen.Families {
+		if _, ok := g.Digests[f.String()]; ok {
+			fams = append(fams, f)
+		}
+	}
+	return Options{
+		Seeds:         g.Seeds,
+		BaseSeed:      g.BaseSeed,
+		Families:      fams,
+		Grid:          g.Grid,
+		OracleMaxApps: g.OracleMaxApps,
+		Gen:           genscen.Config{MinApps: g.MinApps, MaxApps: g.MaxApps},
+	}
+}
+
+// Compare returns human-readable mismatch descriptions between the
+// golden corpus and a report (empty = conformant). Configuration
+// mismatches are reported first: digests computed under different
+// parameters are incomparable.
+func (g *Golden) Compare(r *Report) []string {
+	var diffs []string
+	if g.Seeds != r.Seeds || g.BaseSeed != r.BaseSeed || g.Grid != r.Grid ||
+		g.OracleMaxApps != r.OracleMaxApps || g.MinApps != r.MinApps || g.MaxApps != r.MaxApps {
+		return []string{fmt.Sprintf(
+			"golden corpus computed under seeds=%d baseSeed=%d grid=%d oracleMaxApps=%d apps=[%d,%d]; report ran seeds=%d baseSeed=%d grid=%d oracleMaxApps=%d apps=[%d,%d]",
+			g.Seeds, g.BaseSeed, g.Grid, g.OracleMaxApps, g.MinApps, g.MaxApps,
+			r.Seeds, r.BaseSeed, r.Grid, r.OracleMaxApps, r.MinApps, r.MaxApps)}
+	}
+	got := r.Digests()
+	var names []string
+	for name := range g.Digests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := g.Digests[name]
+		cur, ok := got[name]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("family %s: in golden corpus but absent from report", name))
+		case cur != want:
+			diffs = append(diffs, fmt.Sprintf("family %s: digest %s… != golden %s…", name, shortDigest(cur), shortDigest(want)))
+		}
+	}
+	for name := range got {
+		if _, ok := g.Digests[name]; !ok {
+			diffs = append(diffs, fmt.Sprintf("family %s: not in golden corpus (regenerate with -update)", name))
+		}
+	}
+	return diffs
+}
+
+// LoadGolden reads a golden corpus from disk.
+func LoadGolden(path string) (*Golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("conform: parsing golden corpus %s: %w", path, err)
+	}
+	if len(g.Digests) == 0 {
+		return nil, fmt.Errorf("conform: golden corpus %s has no digests", path)
+	}
+	return &g, nil
+}
+
+// SaveGolden writes a golden corpus to disk (indented, trailing
+// newline, stable key order — a reviewable committed artifact).
+func SaveGolden(path string, g *Golden) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -106,8 +106,17 @@ func Reduce(k KnapsackInstance, alpha, ls, ll float64) (*Reduction, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	if alpha <= 0 || ls < 0 || ll <= 0 {
-		return nil, fmt.Errorf("npcomplete: need alpha > 0, ls >= 0, ll > 0")
+	// NaN slips through every ordered comparison below (each compares
+	// false) and ±Inf passes bare sign tests, so the non-finite cases
+	// must be rejected explicitly — the same hardening internal/model
+	// applies to platform and application inputs. Without it a NaN
+	// alpha silently stamps NaN on every derived constant of the
+	// reduction.
+	if !isFinite(alpha) || alpha <= 0 {
+		return nil, fmt.Errorf("npcomplete: power-law exponent must be finite > 0, got %v", alpha)
+	}
+	if err := validateLatencies(ls, ll); err != nil {
+		return nil, err
 	}
 	n := len(k.Sizes)
 	N := n
@@ -187,10 +196,37 @@ func (r *Reduction) ObjectiveAPlusB(x []float64, ls, ll float64) float64 {
 	return total
 }
 
+// isFinite reports whether v is an ordinary finite float64.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// validateLatencies guards the ls/ll parameters of the verification
+// entry points, which accept them independently of Reduce: a NaN
+// latency turns the objective into NaN, which compares false against
+// the pK bound and would silently "verify" the direction.
+func validateLatencies(ls, ll float64) error {
+	if !isFinite(ls) || ls < 0 {
+		return fmt.Errorf("npcomplete: cache latency must be finite >= 0, got %v", ls)
+	}
+	if !isFinite(ll) || ll <= 0 {
+		return fmt.Errorf("npcomplete: memory latency must be finite > 0, got %v", ll)
+	}
+	return nil
+}
+
 // CheckForward verifies the proof's forward direction on a concrete
 // witness: the mapped fractions are feasible (Σx ≤ 1, each within
 // (d_i^{1/α}, e_i^{1/α}]) and achieve the bound.
 func (r *Reduction) CheckForward(subset []int, ls, ll float64) error {
+	if err := validateLatencies(ls, ll); err != nil {
+		return err
+	}
+	for _, i := range subset {
+		if i < 0 || i >= len(r.D) {
+			return fmt.Errorf("npcomplete: witness index %d outside [0, %d)", i, len(r.D))
+		}
+	}
 	x := r.ForwardMap(subset)
 	var sum float64
 	for i, xi := range x {
@@ -227,6 +263,19 @@ func BackwardMap(x []float64) []int {
 // CheckBackward verifies the reverse direction: a feasible fraction
 // vector achieving the bound yields a Knapsack witness.
 func (r *Reduction) CheckBackward(x []float64, ls, ll float64) error {
+	if err := validateLatencies(ls, ll); err != nil {
+		return err
+	}
+	if len(x) != len(r.D) {
+		return fmt.Errorf("npcomplete: %d fractions for %d objects", len(x), len(r.D))
+	}
+	for i, xi := range x {
+		// Non-finite fractions would turn the objective into NaN, which
+		// compares false against the bound and silently "passes".
+		if !isFinite(xi) || xi < 0 || xi > 1 {
+			return fmt.Errorf("npcomplete: fraction x[%d] = %v outside [0, 1]", i, xi)
+		}
+	}
 	if got := r.ObjectiveAPlusB(x, ls, ll); got > r.PK+1e-6*math.Abs(r.PK) {
 		return fmt.Errorf("npcomplete: objective %g exceeds bound", got)
 	}

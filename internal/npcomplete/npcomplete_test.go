@@ -240,3 +240,99 @@ func TestBackwardMap(t *testing.T) {
 		t.Fatalf("subset %v", subset)
 	}
 }
+
+// TestReduceRejectsNonFinite: NaN passes ordered comparisons and ±Inf
+// passes bare sign tests, so Reduce must reject them explicitly — the
+// same hardening internal/model applies to its inputs.
+func TestReduceRejectsNonFinite(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 5, V: 7}
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name          string
+		alpha, ls, ll float64
+	}{
+		{"nan alpha", nan, 0.17, 1},
+		{"+inf alpha", inf, 0.17, 1},
+		{"nan ls", 0.5, nan, 1},
+		{"+inf ls", 0.5, inf, 1},
+		{"-inf ls", 0.5, -inf, 1},
+		{"nan ll", 0.5, 0.17, nan},
+		{"+inf ll", 0.5, 0.17, inf},
+	}
+	for _, tc := range cases {
+		if _, err := Reduce(k, tc.alpha, tc.ls, tc.ll); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := Reduce(k, 0.5, 0.17, 1); err != nil {
+		t.Errorf("finite inputs rejected: %v", err)
+	}
+}
+
+// TestCheckBackwardRejectsBadFractions: a NaN fraction turns the
+// objective into NaN, which compares false against the bound and would
+// silently "achieve" it without the explicit guard.
+func TestCheckBackwardRejectsBadFractions(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 5, V: 7}
+	r, err := Reduce(k, 0.5, 0.17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float64{
+		{math.NaN(), 0.2},
+		{math.Inf(1), 0.2},
+		{-0.1, 0.2},
+		{1.5, 0.2},
+		{0.2},         // wrong length
+		{0.2, 0.2, 0}, // wrong length
+	}
+	for _, x := range bad {
+		if err := r.CheckBackward(x, 0.17, 1); err == nil {
+			t.Errorf("CheckBackward accepted %v", x)
+		}
+	}
+}
+
+// TestCheckForwardRejectsBadWitness: out-of-range witness indices must
+// error instead of panicking in ForwardMap.
+func TestCheckForwardRejectsBadWitness(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 5, V: 7}
+	r, err := Reduce(k, 0.5, 0.17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, subset := range [][]int{{-1}, {2}, {0, 5}} {
+		if err := r.CheckForward(subset, 0.17, 1); err == nil {
+			t.Errorf("CheckForward accepted witness %v", subset)
+		}
+	}
+}
+
+// TestCheckDirectionsRejectNonFiniteLatencies: CheckForward and
+// CheckBackward take ls/ll independently of Reduce, so they need the
+// same non-finite guard (a NaN latency would NaN the objective, which
+// compares false against the bound and silently "verifies").
+func TestCheckDirectionsRejectNonFiniteLatencies(t *testing.T) {
+	k := KnapsackInstance{Sizes: []int{2, 3}, Values: []int{3, 4}, U: 5, V: 7}
+	r, err := Reduce(k, 0.5, 0.17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, witness, err := SolveKnapsack(k)
+	if err != nil || !yes {
+		t.Fatalf("knapsack: %v %v", yes, err)
+	}
+	x := r.ForwardMap(witness)
+	bad := []struct{ ls, ll float64 }{
+		{math.NaN(), 1}, {math.Inf(1), 1}, {-1, 1},
+		{0.17, math.NaN()}, {0.17, math.Inf(1)}, {0.17, 0},
+	}
+	for _, b := range bad {
+		if err := r.CheckForward(witness, b.ls, b.ll); err == nil {
+			t.Errorf("CheckForward accepted ls=%v ll=%v", b.ls, b.ll)
+		}
+		if err := r.CheckBackward(x, b.ls, b.ll); err == nil {
+			t.Errorf("CheckBackward accepted ls=%v ll=%v", b.ls, b.ll)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package oracle is a brute-force exact solver for small CoSchedCache
+// instances, the ground truth of the conformance harness.
+//
+// It enumerates two candidate sets of cache-share vectors and keeps the
+// one with the smallest equalized makespan:
+//
+//   - every subset IC ⊆ I with the closed-form shares of Lemma 4
+//     (x_i = weight_i / Σ_{IC} weight_j). For perfectly parallel
+//     applications with unbounded footprints this family contains the
+//     true optimum (Theorems 2–3), so the oracle IS the optimum there;
+//   - every discretized share vector x_i = k_i/G with Σ k_i ≤ G on a
+//     G-step grid, which bounds the optimum within O(1/G) share
+//     granularity for general Amdahl profiles and bounded footprints
+//     where no closed form applies.
+//
+// Each candidate is completed into a full schedule with the same
+// equalizer the production heuristics use, and the winner's analytic
+// makespan is cross-checked against internal/sim's discrete-event
+// execution — a solver bug that produces an inconsistent schedule is
+// caught here rather than silently mis-grading the heuristics.
+//
+// Complexity is exponential (2^n subsets, C(n+G, n) grid points); the
+// solver refuses instances beyond MaxApps so it can only be pointed at
+// the small instances it is meant for.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solve"
+)
+
+// Options parameterizes the enumeration.
+type Options struct {
+	// Grid is the number of discretization steps G per unit of cache
+	// (shares are multiples of 1/G). Zero defaults to 8; negative
+	// disables the grid sweep (subset closed forms only).
+	Grid int
+	// MaxApps bounds the instance size; zero defaults to 10.
+	MaxApps int
+}
+
+func (o Options) normalize() (grid, maxApps int) {
+	grid = o.Grid
+	if grid == 0 {
+		grid = 8
+	}
+	maxApps = o.MaxApps
+	if maxApps == 0 {
+		maxApps = 10
+	}
+	return grid, maxApps
+}
+
+// maxCandidates caps the total enumeration size so a misconfigured
+// caller fails fast instead of burning CPU for hours.
+const maxCandidates = 1 << 20
+
+// Solution is the oracle's answer for one instance.
+type Solution struct {
+	// Schedule is the best schedule found (equalized processors over the
+	// winning share vector).
+	Schedule *sched.Schedule
+	// Shares is the winning cache-share vector.
+	Shares []float64
+	// Makespan is the winning schedule's analytic makespan (identical to
+	// Schedule.Makespan, hoisted for convenience).
+	Makespan float64
+	// SimMakespan is the makespan observed by executing the winning
+	// schedule in internal/sim — the independent cross-check.
+	SimMakespan float64
+	// Candidates counts the share vectors evaluated.
+	Candidates int
+}
+
+// simTol is the allowed relative disagreement between the analytic
+// makespan and the simulated one (both derive from the same Exe model;
+// the slack covers the equalizer's bisection tolerance).
+const simTol = 1e-6
+
+// Solve enumerates candidate partitions for the instance and returns
+// the best schedule found. The returned makespan upper-bounds the
+// optimal makespan of the instance; for perfectly parallel applications
+// with unbounded footprints it equals the optimum.
+func Solve(pl model.Platform, apps []model.Application, opt Options) (*Solution, error) {
+	if err := model.ValidateAll(pl, apps); err != nil {
+		return nil, err
+	}
+	grid, maxApps := opt.normalize()
+	n := len(apps)
+	if n > maxApps {
+		return nil, fmt.Errorf("oracle: %d applications exceed the enumeration bound %d", n, maxApps)
+	}
+	if c := countCandidates(n, grid); c > maxCandidates {
+		return nil, fmt.Errorf("oracle: %d candidates exceed the %d cap (lower Grid or MaxApps)", c, maxCandidates)
+	}
+
+	best := &Solution{Makespan: math.Inf(1)}
+	consider := func(shares []float64) {
+		best.Candidates++
+		procs, _, err := sched.EqualizeAmdahl(pl, apps, shares)
+		if err != nil {
+			// Infeasible share vectors (can't happen for Σx ≤ 1, but the
+			// equalizer owns that judgment) simply don't compete.
+			return
+		}
+		// The honest objective: the max completion time under the Exe
+		// model, not the equalizer's target K (they differ by bisection
+		// slack, and the schedules are graded by the former everywhere
+		// else in the repository).
+		m := 0.0
+		for i, a := range apps {
+			m = math.Max(m, a.Exe(pl, procs[i], shares[i]))
+		}
+		if math.IsNaN(m) {
+			return
+		}
+		if m < best.Makespan || (m == best.Makespan && lexLess(shares, best.Shares)) {
+			asg := make([]sched.Assignment, n)
+			for i := range asg {
+				asg[i] = sched.Assignment{Processors: procs[i], CacheShare: shares[i]}
+			}
+			best.Schedule = &sched.Schedule{Assignments: asg, Makespan: m}
+			best.Shares = append([]float64(nil), shares...)
+			best.Makespan = m
+		}
+	}
+
+	// Candidate family 1: closed-form shares of every subset.
+	members := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			members[i] = mask&(1<<i) != 0
+		}
+		part, err := core.NewPartition(pl, apps, members)
+		if err != nil {
+			return nil, err
+		}
+		consider(part.Shares())
+	}
+
+	// Candidate family 2: the discretized grid Σ k_i ≤ G, x_i = k_i/G.
+	if grid > 0 {
+		shares := make([]float64, n)
+		ks := make([]int, n)
+		var walk func(i, left int)
+		walk = func(i, left int) {
+			if i == n {
+				for j, k := range ks {
+					shares[j] = float64(k) / float64(grid)
+				}
+				consider(shares)
+				return
+			}
+			for k := 0; k <= left; k++ {
+				ks[i] = k
+				walk(i+1, left-k)
+			}
+		}
+		walk(0, grid)
+	}
+
+	if best.Schedule == nil {
+		return nil, fmt.Errorf("oracle: no feasible candidate among %d", best.Candidates)
+	}
+	if err := best.Schedule.Validate(pl, apps); err != nil {
+		return nil, fmt.Errorf("oracle: winning schedule invalid: %w", err)
+	}
+	res, err := sim.Execute(pl, apps, best.Schedule, sim.Static)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: simulating winner: %w", err)
+	}
+	best.SimMakespan = res.Makespan
+	if rel := solve.RelDiff(best.Makespan, best.SimMakespan); rel > simTol {
+		return nil, fmt.Errorf("oracle: analytic makespan %v disagrees with simulated %v (rel %v)",
+			best.Makespan, best.SimMakespan, rel)
+	}
+	return best, nil
+}
+
+// Gap grades a heuristic makespan against the oracle: values above 1
+// are the optimality gap; values below 1 mean the heuristic beat the
+// oracle's (grid- and closed-form-restricted) candidate set, which is
+// legal for general Amdahl instances and a solver bug for instances
+// where the oracle is exact.
+func Gap(heuristic, oracle float64) float64 {
+	if oracle <= 0 {
+		if heuristic <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return heuristic / oracle
+}
+
+// countCandidates returns 2^n + C(n+grid, n), saturating at
+// maxCandidates+1.
+func countCandidates(n, grid int) int {
+	total := 1 << n
+	if grid > 0 {
+		// C(n+grid, n) ≥ grid+1 for n ≥ 1, so a grid beyond the cap
+		// saturates immediately — before the incremental product below
+		// could overflow int on absurd grid values.
+		if grid > maxCandidates {
+			return maxCandidates + 1
+		}
+		// C(n+grid, grid) computed incrementally with overflow saturation.
+		c := 1
+		for i := 1; i <= n; i++ {
+			c = c * (grid + i) / i
+			if c > maxCandidates {
+				return maxCandidates + 1
+			}
+		}
+		total += c
+	}
+	if total > maxCandidates {
+		return maxCandidates + 1
+	}
+	return total
+}
+
+// lexLess orders share vectors lexicographically for deterministic tie
+// breaking; nil compares greater than everything.
+func lexLess(a, b []float64) bool {
+	if b == nil {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

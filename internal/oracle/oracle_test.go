@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/genscen"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+)
+
+// TestMatchesExactSubsetOnPerfectlyParallel: for perfectly parallel
+// applications with unbounded footprints the closed-form subset
+// enumeration (sched.ExactSubset) is optimal, so the oracle — which
+// includes every subset closed form among its candidates — must agree
+// with it, and the grid sweep must not "beat" it beyond float noise.
+func TestMatchesExactSubsetOnPerfectlyParallel(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in, err := genscen.Generate(genscen.ZeroWork, seed, genscen.Config{MinApps: 2, MaxApps: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := sched.ExactSubset(in.Platform, in.Apps)
+		if err != nil {
+			t.Fatalf("seed %d: exact: %v", seed, err)
+		}
+		sol, err := Solve(in.Platform, in.Apps, Options{Grid: 8})
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		if rel := solve.RelDiff(sol.Makespan, exact.Makespan); rel > 1e-9 {
+			t.Errorf("seed %d: oracle %v vs exact-subset %v (rel %v)", seed, sol.Makespan, exact.Makespan, rel)
+		}
+	}
+}
+
+// TestNeverWorseThanHeuristics: the oracle's candidate set includes
+// every dominant partition, so no dominant-partition heuristic can beat
+// it on perfectly parallel, unbounded-footprint instances.
+func TestNeverWorseThanHeuristics(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in, err := genscen.Generate(genscen.ZeroWork, seed, genscen.Config{MinApps: 2, MaxApps: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Solve(in.Platform, in.Apps, Options{Grid: 4})
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		for _, h := range []sched.Heuristic{sched.DominantMinRatio, sched.DominantRevMaxRatio, sched.Fair, sched.ZeroCache} {
+			s, err := h.Schedule(in.Platform, in.Apps, nil)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, h, err)
+			}
+			if s.Makespan < sol.Makespan*(1-1e-9) {
+				t.Errorf("seed %d: %v makespan %v beats oracle %v", seed, h, s.Makespan, sol.Makespan)
+			}
+		}
+	}
+}
+
+func TestSingleAppGetsEverything(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := []model.Application{{
+		Name: "solo", Work: 1e10, AccessFreq: 0.8,
+		RefMissRate: 1e-2, RefCacheSize: 40e6,
+	}}
+	sol, err := Solve(pl, apps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache strictly helps this application, so the oracle must grant
+	// the full cache and all processors.
+	if sol.Shares[0] != 1 {
+		t.Errorf("share %v, want 1", sol.Shares[0])
+	}
+	want := apps[0].Exe(pl, pl.Processors, 1)
+	if rel := solve.RelDiff(sol.Makespan, want); rel > 1e-9 {
+		t.Errorf("makespan %v, want %v", sol.Makespan, want)
+	}
+}
+
+func TestZeroFreqAppIgnoresCache(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := []model.Application{
+		{Name: "compute", Work: 1e10, AccessFreq: 0, RefMissRate: 0.5, RefCacheSize: 40e6},
+		{Name: "memory", Work: 1e10, AccessFreq: 0.9, RefMissRate: 1e-2, RefCacheSize: 40e6},
+	}
+	sol, err := Solve(pl, apps, Options{Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache is worthless to the zero-frequency app; granting it any
+	// would waste share the memory-bound app can use.
+	if sol.Shares[0] != 0 {
+		t.Errorf("compute app got share %v, want 0", sol.Shares[0])
+	}
+	if sol.Shares[1] != 1 {
+		t.Errorf("memory app got share %v, want 1", sol.Shares[1])
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := make([]model.Application, 11)
+	for i := range apps {
+		apps[i] = model.Application{Name: "a", Work: 1e9, AccessFreq: 0.5, RefMissRate: 1e-2, RefCacheSize: 40e6}
+	}
+	if _, err := Solve(pl, apps, Options{}); err == nil {
+		t.Fatal("11 apps over the default bound accepted")
+	}
+	if _, err := Solve(pl, apps[:2], Options{Grid: 1 << 22}); err == nil {
+		t.Fatal("absurd grid accepted")
+	}
+	if _, err := Solve(pl, nil, Options{}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+func TestCandidateCountsReported(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := []model.Application{
+		{Name: "a", Work: 1e9, AccessFreq: 0.5, RefMissRate: 1e-2, RefCacheSize: 40e6},
+		{Name: "b", Work: 2e9, AccessFreq: 0.7, RefMissRate: 5e-3, RefCacheSize: 40e6},
+	}
+	sol, err := Solve(pl, apps, Options{Grid: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^2 subsets + C(2+4, 2) = 15 grid points.
+	if want := 4 + 15; sol.Candidates != want {
+		t.Errorf("candidates %d, want %d", sol.Candidates, want)
+	}
+	subsetOnly, err := Solve(pl, apps, Options{Grid: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subsetOnly.Candidates != 4 {
+		t.Errorf("subset-only candidates %d, want 4", subsetOnly.Candidates)
+	}
+}
+
+func TestGap(t *testing.T) {
+	cases := []struct{ h, o, want float64 }{
+		{10, 5, 2},
+		{5, 5, 1},
+		{4, 5, 0.8},
+		{0, 0, 1},
+		{1, 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := Gap(c.h, c.o); got != c.want {
+			t.Errorf("Gap(%v, %v) = %v, want %v", c.h, c.o, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package portfolio
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// TestBestSchedulePermutationInvariant: shuffling the application
+// slice must not change the best makespan — every sort and tie-break
+// inside the deterministic heuristics must key on values, never on
+// input order. The tolerance covers summation-order ulps only.
+func TestBestSchedulePermutationInvariant(t *testing.T) {
+	eng := New(Config{Workers: 4})
+	master := solve.NewRNG(0xBADC0DE)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%7
+		apps, err := workload.Generate(workload.Config{
+			Generator: workload.Generator(trial % 3), N: n,
+		}, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := model.TaihuLight()
+		if trial%2 == 1 {
+			pl.CacheSize = 1e9 // tight cache: partition choices actually bind
+		}
+		base, err := eng.Evaluate(Scenario{Platform: pl, Apps: apps, Heuristics: sched.DeterministicHeuristics, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := master.Perm(n)
+		shuffled := make([]model.Application, n)
+		for i, j := range perm {
+			shuffled[i] = apps[j]
+		}
+		got, err := eng.Evaluate(Scenario{Platform: pl, Apps: shuffled, Heuristics: sched.DeterministicHeuristics, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		b, g := base.BestSchedule(), got.BestSchedule()
+		if b == nil || g == nil {
+			t.Fatalf("trial %d: infeasible report (base %v, got %v)", trial, b, g)
+		}
+		if rel := solve.RelDiff(g.Makespan, b.Makespan); rel > 1e-9 {
+			t.Errorf("trial %d: best makespan %v != %v under permutation (rel %v, perm %v)",
+				trial, g.Makespan, b.Makespan, rel, perm)
+		}
+
+		// Per-heuristic invariance is the stronger property that implies
+		// the headline one; checking it too makes failures attributable.
+		for hi, res := range base.Results {
+			pres := got.Results[hi]
+			if (res.Err == nil) != (pres.Err == nil) {
+				t.Errorf("trial %d: %v feasibility changed under permutation", trial, res.Heuristic)
+				continue
+			}
+			if res.Err != nil {
+				continue
+			}
+			if rel := solve.RelDiff(pres.Schedule.Makespan, res.Schedule.Makespan); rel > 1e-9 {
+				t.Errorf("trial %d: %v makespan %v != %v under permutation (rel %v)",
+					trial, res.Heuristic, pres.Schedule.Makespan, res.Schedule.Makespan, rel)
+			}
+		}
+	}
+}
+
+// TestPermutationMapsAssignments: for the reference heuristic the
+// invariance is per-application, not just aggregate — application j's
+// assignment must follow it to its new position bit-for-bit on
+// tie-free workloads.
+func TestPermutationMapsAssignments(t *testing.T) {
+	rng := solve.NewRNG(42)
+	apps, err := workload.Generate(workload.Config{Generator: workload.GenNPBSynth, N: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := model.TaihuLight()
+	base, err := sched.DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(apps))
+	shuffled := make([]model.Application, len(apps))
+	for i, j := range perm {
+		shuffled[i] = apps[j]
+	}
+	got, err := sched.DominantMinRatio.Schedule(pl, shuffled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range perm {
+		if got.Assignments[i].CacheShare != base.Assignments[j].CacheShare {
+			t.Errorf("app %d->%d: cache share %v != %v", j, i,
+				got.Assignments[i].CacheShare, base.Assignments[j].CacheShare)
+		}
+	}
+}

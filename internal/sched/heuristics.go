@@ -62,6 +62,21 @@ var Heuristics = []Heuristic{
 // ExtendedHeuristics lists every policy including the extensions.
 var ExtendedHeuristics = append(append([]Heuristic{}, Heuristics...), SharedCache, LocalSearch)
 
+// DeterministicHeuristics lists the extended policies whose schedule
+// is a pure function of (platform, applications) — the subset for
+// which properties like permutation invariance are promised (the
+// randomized policies key their seed-derived choices to input
+// positions by design, so a fixed seed reproduces a fixed schedule).
+var DeterministicHeuristics = func() []Heuristic {
+	var hs []Heuristic
+	for _, h := range ExtendedHeuristics {
+		if !h.Randomized() {
+			hs = append(hs, h)
+		}
+	}
+	return hs
+}()
+
 // DominantHeuristics lists the six dominant-partition variants compared
 // in Figure 1.
 var DominantHeuristics = []Heuristic{

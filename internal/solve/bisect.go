@@ -132,3 +132,20 @@ func Sum(xs []float64) float64 {
 	}
 	return k.Sum()
 }
+
+// RelDiff returns the relative difference |a-b| / max(|a|, |b|), the
+// tolerance metric of the cross-check harnesses. Exactly equal values
+// (including two zeros) yield 0; any non-finite operand yields +Inf so
+// an overflowed quantity always FAILS a tolerance gate instead of
+// slipping past it as NaN (which compares false against every bound).
+func RelDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return math.Inf(1)
+	}
+	return d / scale
+}

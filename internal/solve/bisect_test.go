@@ -137,3 +137,23 @@ func TestKahanPermutationInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRelDiff(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct{ a, b, want float64 }{
+		{1, 1, 0},
+		{0, 0, 0},
+		{2, 1, 0.5},
+		{1, 2, 0.5},
+		{-1, 1, 2},
+		{inf, 1, inf},
+		{inf, inf, inf}, // overflowed on both sides is still a failure
+		{nan, 1, inf},
+		{0, 1e-300, 1}, // tiny but unequal: relative scale still applies
+	}
+	for _, tc := range cases {
+		if got := RelDiff(tc.a, tc.b); got != tc.want {
+			t.Errorf("RelDiff(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

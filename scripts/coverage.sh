@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Coverage workflow (mirrors scripts/bench.sh):
+#
+#   scripts/coverage.sh            run `go test -cover` -> total percentage
+#   scripts/coverage.sh baseline   write the current total to the baseline
+#   scripts/coverage.sh compare    run, then fail on a drop > MAX_DROP points
+#
+# Environment:
+#   MAX_DROP   allowed percentage-point drop vs baseline (default 2.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=benchmarks/coverage-baseline.txt
+MAX_DROP=${MAX_DROP:-2.0}
+
+# total_coverage: overall statement coverage percentage across all
+# packages, from a merged cover profile. Test output is buffered and
+# replayed on failure so a broken test is diagnosable from this job's
+# log alone.
+total_coverage() {
+  local profile log
+  profile=$(mktemp)
+  log=$(mktemp)
+  trap 'rm -f "$profile" "$log"' RETURN
+  if ! go test -count=1 -coverprofile="$profile" ./... > "$log" 2>&1; then
+    cat "$log" >&2
+    return 1
+  fi
+  go tool cover -func="$profile" | awk '$1 == "total:" { sub(/%/, "", $3); print $3 }'
+}
+
+case "${1:-run}" in
+  run)
+    # Assign before echoing: a failure inside $(...) in an echo argument
+    # would not trip `set -e`, masking a broken test suite with exit 0.
+    total=$(total_coverage)
+    echo "total coverage: ${total}%"
+    ;;
+  baseline)
+    total=$(total_coverage)
+    echo "$total" > "$BASELINE"
+    echo "baseline set: ${total}%"
+    ;;
+  compare)
+    [ -f "$BASELINE" ] || { echo "no baseline at $BASELINE (run: scripts/coverage.sh baseline)" >&2; exit 1; }
+    base=$(cat "$BASELINE")
+    total=$(total_coverage)
+    echo "total coverage: ${total}% (baseline ${base}%, allowed drop ${MAX_DROP})"
+    awk -v t="$total" -v b="$base" -v d="$MAX_DROP" 'BEGIN {
+      if (t + d < b) {
+        printf "coverage regression: %.1f%% is more than %.1f points below baseline %.1f%%\n", t, d, b
+        exit 1
+      }
+    }'
+    ;;
+  *)
+    echo "usage: scripts/coverage.sh [run|baseline|compare]" >&2
+    exit 2
+    ;;
+esac
