@@ -1,0 +1,156 @@
+// Command benchgate is the statistical benchmark gate: it parses `go
+// test -bench` output (repeated runs recommended, e.g. -count=10),
+// aggregates each benchmark into median ± MAD, compares against a
+// committed JSON baseline with per-metric tolerances, writes a
+// BENCH_*.json trajectory artifact, and exits non-zero on significant
+// regressions or on baseline benchmarks missing from the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 10 ./... | benchgate [flags] [bench.txt ...]
+//
+// With no file arguments, bench output is read from stdin. A change is
+// flagged only when it exceeds both the metric's relative tolerance
+// and the MAD-derived noise window, so the gate follows the
+// repeated-measurement discipline of the source paper rather than
+// diffing single noisy runs. Baseline benchmarks missing from the new
+// run fail the gate: a vanished benchmark is a bypass, not a pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "benchmarks/baseline.json", "baseline JSON path")
+		trajectory   = fs.String("trajectory", "", "trajectory artifact to write (e.g. BENCH_4.json)")
+		label        = fs.String("label", "", "label recorded in the trajectory")
+		update       = fs.Bool("update", false, "rewrite the baseline from this run")
+		tolNs        = fs.Float64("tol-ns", 30, "ns/op tolerance, percent (< 0 reports but never gates)")
+		tolB         = fs.Float64("tol-b", 10, "B/op tolerance, percent (< 0 reports but never gates)")
+		tolAllocs    = fs.Float64("tol-allocs", 5, "allocs/op tolerance, percent (< 0 reports but never gates)")
+		madK         = fs.Float64("mad-k", 3, "noise window MAD multiplier")
+		minSpeedup   = fs.Float64("min-speedup", 0, "required serial/parallel speedup (0 disables)")
+		speedupSer   = fs.String("speedup-serial", `^BenchmarkPortfolioSweep/workers=1$`, "serial benchmark regex for the speedup gate")
+		speedupPar   = fs.String("speedup-parallel", `^BenchmarkPortfolioSweep/workers=([2-9]|[1-9][0-9]+)$`, "parallel benchmark regex for the speedup gate")
+		speedupCPUs  = fs.Int("speedup-min-cpus", 4, "skip the speedup gate below this CPU count")
+		quiet        = fs.Bool("quiet", false, "only print failures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ms, ctx, err := parseInputs(fs.Args(), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no benchmark lines in input")
+		return 2
+	}
+	cur := benchgate.Aggregate(ms)
+
+	if *update {
+		b := benchgate.NewBaseline(cur, ctx)
+		if err := b.Save(*baselinePath); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchgate: baseline %s updated (%d benchmarks)\n", *baselinePath, len(cur))
+		return 0
+	}
+
+	base, err := benchgate.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	tol := benchgate.Tolerances{NsPct: *tolNs, BPct: *tolB, AllocsPct: *tolAllocs, MADK: *madK}
+	rep := benchgate.Compare(base, cur, tol)
+	for _, f := range rep.Findings {
+		if *quiet && f.Verdict != benchgate.VerdictRegression && f.Verdict != benchgate.VerdictMissing {
+			continue
+		}
+		fmt.Fprintln(stdout, f)
+	}
+
+	fail := !rep.Pass()
+	if *minSpeedup > 0 {
+		if cpus := runtime.NumCPU(); cpus < *speedupCPUs {
+			fmt.Fprintf(stdout, "benchgate: %d CPUs < %d, skipping the %.2gx speedup gate\n", cpus, *speedupCPUs, *minSpeedup)
+		} else {
+			s, err := benchgate.Speedup(cur, *speedupSer, *speedupPar)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "benchgate: portfolio speedup (serial / best parallel): %.3fx\n", s)
+			if s < *minSpeedup {
+				fmt.Fprintf(stderr, "benchgate: FAIL: speedup %.3fx below required %.2gx\n", s, *minSpeedup)
+				fail = true
+			}
+		}
+	}
+
+	if *trajectory != "" {
+		t := benchgate.NewTrajectory(*label, *baselinePath, ctx, cur, rep)
+		t.Pass = !fail
+		if err := t.Save(*trajectory); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "benchgate: trajectory written to %s\n", *trajectory)
+		}
+	}
+
+	if fail {
+		fmt.Fprintln(stderr, "benchgate: FAIL")
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: OK (%d benchmarks gated)\n", len(base.Benchmarks))
+	return 0
+}
+
+// parseInputs reads bench output from the named files, or stdin when
+// none are given, and concatenates the measurements. The context of
+// the first file that carries one wins.
+func parseInputs(paths []string, stdin io.Reader) ([]benchgate.Measurement, benchgate.Context, error) {
+	if len(paths) == 0 {
+		return benchgate.Parse(stdin)
+	}
+	var (
+		all []benchgate.Measurement
+		ctx benchgate.Context
+	)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, ctx, fmt.Errorf("benchgate: %w", err)
+		}
+		ms, c, err := benchgate.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, ctx, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, ms...)
+		if ctx == (benchgate.Context{}) {
+			ctx = c
+		}
+	}
+	return all, ctx, nil
+}

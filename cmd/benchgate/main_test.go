@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchgate"
+)
+
+// benchLog renders a fake -count=3 bench log for two benchmarks with
+// the given ns/op and allocs/op centers (±1 ns jitter across runs).
+func benchLog(sweepNs, desNs, allocs float64) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: repro/internal/portfolio\ncpu: test\n")
+	for i := 0; i < 3; i++ {
+		j := float64(i)
+		fmt.Fprintf(&b, "BenchmarkPortfolioSweep/workers=1-8\t 50\t %g ns/op\t 1000 B/op\t %g allocs/op\n", sweepNs+j, allocs)
+		fmt.Fprintf(&b, "BenchmarkDESPortfolio-8\t 50\t %g ns/op\t 2000 B/op\t %g allocs/op\n", desNs+j, allocs)
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+// gate runs the CLI with a baseline recorded from baseLog and input
+// from curLog, returning the exit code and combined output.
+func gate(t *testing.T, baseLog, curLog string, extraArgs ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", baseline, "-update"}, strings.NewReader(baseLog), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("baseline update failed (%d): %s%s", code, out.String(), errOut.String())
+	}
+
+	args := append([]string{"-baseline", baseline}, extraArgs...)
+	out.Reset()
+	errOut.Reset()
+	code = run(args, strings.NewReader(curLog), &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestGatePassesOnStableRun(t *testing.T) {
+	base := benchLog(1000, 2000, 300)
+	code, out := gate(t, base, benchLog(1010, 2020, 300))
+	if code != 0 {
+		t.Fatalf("stable run failed the gate (%d):\n%s", code, out)
+	}
+}
+
+// TestGateFailsOnRegression is the acceptance check: a synthetic
+// regressed input must make benchgate exit non-zero.
+func TestGateFailsOnRegression(t *testing.T) {
+	base := benchLog(1000, 2000, 300)
+	cases := map[string]string{
+		"timing regression":     benchLog(5000, 2000, 300),
+		"allocation regression": benchLog(1000, 2000, 450),
+	}
+	for name, cur := range cases {
+		t.Run(name, func(t *testing.T) {
+			code, out := gate(t, base, cur)
+			if code == 0 {
+				t.Fatalf("regressed input passed the gate:\n%s", out)
+			}
+			if !strings.Contains(out, "regression") {
+				t.Errorf("output does not name the regression:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := benchLog(1000, 2000, 300)
+	// The DES benchmark vanishes from the new run (e.g. renamed): the
+	// old text-diff gate silently passed this; benchgate must fail.
+	only := "goos: linux\nBenchmarkPortfolioSweep/workers=1-8\t 50\t 1000 ns/op\t 1000 B/op\t 300 allocs/op\nPASS\n"
+	code, out := gate(t, base, only)
+	if code == 0 {
+		t.Fatalf("run missing a baseline benchmark passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("output does not flag the missing benchmark:\n%s", out)
+	}
+}
+
+func TestGateWritesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "BENCH_test.json")
+	base := benchLog(1000, 2000, 300)
+	code, out := gate(t, base, benchLog(1001, 2001, 300), "-trajectory", traj, "-label", "PR test")
+	if code != 0 {
+		t.Fatalf("gate failed (%d):\n%s", code, out)
+	}
+	got, err := benchgate.LoadTrajectory(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Pass || got.Label != "PR test" || len(got.Benchmarks) != 2 {
+		t.Errorf("trajectory artifact wrong: %+v", got)
+	}
+}
+
+func TestGateRejectsMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(benchLog(1, 2, 3)), &out, &errOut); code != 0 {
+		t.Fatal("baseline update failed")
+	}
+	code := run([]string{"-baseline", baseline},
+		strings.NewReader("BenchmarkBroken\t xx\t 1 ns/op\n"), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("malformed input exit code %d, want 2", code)
+	}
+}
+
+func TestGateReadsFiles(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	logPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(logPath, []byte(benchLog(1000, 2000, 300)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-update", logPath}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("update from file failed: %s%s", out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, logPath}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("compare from file failed: %s%s", out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,85 @@
+package benchgate
+
+import (
+	"math"
+	"sort"
+)
+
+// Metric is the aggregate of one benchmark metric over repeated runs:
+// the median and the median absolute deviation (MAD), the robust noise
+// window the gate uses. N is the number of runs aggregated.
+type Metric struct {
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+	N      int     `json:"n"`
+}
+
+// present reports whether the metric was observed at all.
+func (m Metric) present() bool { return m.N > 0 }
+
+// Sample is the aggregate of one benchmark over repeated runs.
+type Sample struct {
+	NsOp     Metric `json:"ns_op"`
+	BOp      Metric `json:"b_op,omitempty"`
+	AllocsOp Metric `json:"allocs_op,omitempty"`
+}
+
+// Aggregate groups measurements by benchmark name and reduces each
+// metric to its median and MAD. Input order does not matter; the result
+// is a pure function of the multiset of measurements.
+func Aggregate(ms []Measurement) map[string]Sample {
+	type acc struct {
+		ns, b, allocs []float64
+	}
+	accs := make(map[string]*acc)
+	for _, m := range ms {
+		a := accs[m.Name]
+		if a == nil {
+			a = &acc{}
+			accs[m.Name] = a
+		}
+		a.ns = append(a.ns, m.NsOp)
+		if m.HasBOp {
+			a.b = append(a.b, m.BOp)
+		}
+		if m.HasAllocs {
+			a.allocs = append(a.allocs, m.AllocsOp)
+		}
+	}
+	out := make(map[string]Sample, len(accs))
+	for name, a := range accs {
+		out[name] = Sample{
+			NsOp:     reduce(a.ns),
+			BOp:      reduce(a.b),
+			AllocsOp: reduce(a.allocs),
+		}
+	}
+	return out
+}
+
+// reduce computes median and MAD of vs; an empty slice yields a
+// zero (absent) Metric.
+func reduce(vs []float64) Metric {
+	if len(vs) == 0 {
+		return Metric{}
+	}
+	med := median(vs)
+	dev := make([]float64, len(vs))
+	for i, v := range vs {
+		dev[i] = math.Abs(v - med)
+	}
+	return Metric{Median: med, MAD: median(dev), N: len(vs)}
+}
+
+// median sorts a copy of vs and returns the middle value (mean of the
+// two middle values for even lengths).
+func median(vs []float64) float64 {
+	s := make([]float64, len(vs))
+	copy(s, vs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

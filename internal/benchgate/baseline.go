@@ -1,0 +1,116 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineSchema versions the JSON layout of baseline and trajectory
+// files.
+const baselineSchema = 1
+
+// Baseline is the committed reference the gate compares against.
+type Baseline struct {
+	Schema int `json:"schema"`
+	// Context records where the baseline was measured. Informational:
+	// timing tolerances, not the gate, absorb machine differences.
+	Context Context `json:"context,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// aggregated sample.
+	Benchmarks map[string]Sample `json:"benchmarks"`
+}
+
+// NewBaseline builds a baseline from aggregated samples.
+func NewBaseline(cur map[string]Sample, ctx Context) *Baseline {
+	return &Baseline{Schema: baselineSchema, Context: ctx, Benchmarks: cur}
+}
+
+// LoadBaseline reads and validates a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("benchgate: baseline %s has schema %d, want %d", path, b.Schema, baselineSchema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: baseline %s gates no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as deterministic, indented JSON (map keys
+// are sorted by encoding/json).
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: encoding baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchgate: writing baseline: %w", err)
+	}
+	return nil
+}
+
+// Trajectory is the machine-readable artifact one gate run emits
+// (BENCH_<n>.json): the aggregated current samples, the comparison
+// findings against the baseline, and the overall verdict. Committed
+// trajectory files form the repository's performance history.
+type Trajectory struct {
+	Schema int `json:"schema"`
+	// Label identifies the run, e.g. "PR 4".
+	Label   string  `json:"label,omitempty"`
+	Context Context `json:"context,omitempty"`
+	// Baseline is the path of the baseline the run compared against.
+	Baseline   string            `json:"baseline,omitempty"`
+	Benchmarks map[string]Sample `json:"benchmarks"`
+	Findings   []Finding         `json:"findings"`
+	Pass       bool              `json:"pass"`
+}
+
+// NewTrajectory assembles the artifact for one gate run.
+func NewTrajectory(label, baselinePath string, ctx Context, cur map[string]Sample, rep *Report) *Trajectory {
+	return &Trajectory{
+		Schema:     baselineSchema,
+		Label:      label,
+		Context:    ctx,
+		Baseline:   baselinePath,
+		Benchmarks: cur,
+		Findings:   rep.Findings,
+		Pass:       rep.Pass(),
+	}
+}
+
+// Save writes the trajectory as deterministic, indented JSON.
+func (t *Trajectory) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: encoding trajectory: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchgate: writing trajectory: %w", err)
+	}
+	return nil
+}
+
+// LoadTrajectory reads a trajectory artifact back, for round-trip
+// verification and history tooling.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: reading trajectory: %w", err)
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing trajectory %s: %w", path, err)
+	}
+	return &t, nil
+}

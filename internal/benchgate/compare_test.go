@@ -1,0 +1,259 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// mkBase builds a one-benchmark baseline for verdict tests.
+func mkBase(name string, ns, b, allocs Metric) *Baseline {
+	return &Baseline{
+		Schema:     baselineSchema,
+		Benchmarks: map[string]Sample{name: {NsOp: ns, BOp: b, AllocsOp: allocs}},
+	}
+}
+
+func findingFor(t *testing.T, rep *Report, metric string) Finding {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for metric %q in %+v", metric, rep.Findings)
+	return Finding{}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	tol := DefaultTolerances()
+	base := mkBase("BenchmarkA",
+		Metric{Median: 1000, MAD: 10, N: 10},
+		Metric{Median: 2048, MAD: 0, N: 10},
+		Metric{Median: 100, MAD: 0, N: 10})
+
+	cases := []struct {
+		name    string
+		cur     Sample
+		metric  string
+		verdict Verdict
+	}{
+		{
+			name: "within tolerance is ok",
+			cur: Sample{NsOp: Metric{Median: 1100, MAD: 8, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 100, N: 10}},
+			metric: "ns/op", verdict: VerdictOK,
+		},
+		{
+			name: "big timing regression flagged",
+			cur: Sample{NsOp: Metric{Median: 1500, MAD: 10, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 100, N: 10}},
+			metric: "ns/op", verdict: VerdictRegression,
+		},
+		{
+			name: "outside tolerance but inside noise window is ok",
+			// +40% exceeds the 30% tolerance, but the current run is so
+			// noisy (MAD 200 → window 600) that the delta of 400 is not
+			// statistically significant.
+			cur: Sample{NsOp: Metric{Median: 1400, MAD: 200, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 100, N: 10}},
+			metric: "ns/op", verdict: VerdictOK,
+		},
+		{
+			name: "improvement flagged",
+			cur: Sample{NsOp: Metric{Median: 500, MAD: 5, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 100, N: 10}},
+			metric: "ns/op", verdict: VerdictImprovement,
+		},
+		{
+			name: "alloc creep beyond 5% fails",
+			cur: Sample{NsOp: Metric{Median: 1000, MAD: 10, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 106, MAD: 0, N: 10}},
+			metric: "allocs/op", verdict: VerdictRegression,
+		},
+		{
+			name: "alloc reduction is an improvement",
+			cur: Sample{NsOp: Metric{Median: 1000, MAD: 10, N: 10},
+				BOp: Metric{Median: 2048, N: 10}, AllocsOp: Metric{Median: 50, MAD: 0, N: 10}},
+			metric: "allocs/op", verdict: VerdictImprovement,
+		},
+		{
+			name: "bytes regression beyond 10% fails",
+			cur: Sample{NsOp: Metric{Median: 1000, MAD: 10, N: 10},
+				BOp: Metric{Median: 2400, MAD: 0, N: 10}, AllocsOp: Metric{Median: 100, N: 10}},
+			metric: "B/op", verdict: VerdictRegression,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Compare(base, map[string]Sample{"BenchmarkA": tc.cur}, tol)
+			f := findingFor(t, rep, tc.metric)
+			if f.Verdict != tc.verdict {
+				t.Errorf("verdict %s, want %s (finding %+v)", f.Verdict, tc.verdict, f)
+			}
+			wantPass := tc.verdict != VerdictRegression
+			if rep.Pass() != wantPass {
+				t.Errorf("Pass() = %v, want %v", rep.Pass(), wantPass)
+			}
+		})
+	}
+}
+
+// TestCompareDisabledMetricNeverGates covers the cross-machine CI
+// mode: with a negative ns/op tolerance even a massive timing delta is
+// reported but never flagged, while allocs/op still gates.
+func TestCompareDisabledMetricNeverGates(t *testing.T) {
+	tol := DefaultTolerances()
+	tol.NsPct = -1
+	base := mkBase("BenchmarkA",
+		Metric{Median: 1000, MAD: 1, N: 10}, Metric{}, Metric{Median: 100, MAD: 0, N: 10})
+	cur := map[string]Sample{"BenchmarkA": {
+		NsOp:     Metric{Median: 9000, MAD: 1, N: 10},
+		AllocsOp: Metric{Median: 150, MAD: 0, N: 10},
+	}}
+	rep := Compare(base, cur, tol)
+	if f := findingFor(t, rep, "ns/op"); f.Verdict != VerdictOK || f.DeltaPct != 800 {
+		t.Errorf("disabled ns/op gate produced %+v", f)
+	}
+	if f := findingFor(t, rep, "allocs/op"); f.Verdict != VerdictRegression {
+		t.Errorf("allocs/op no longer gates: %+v", f)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := mkBase("BenchmarkGone", Metric{Median: 10, N: 3}, Metric{}, Metric{})
+	rep := Compare(base, map[string]Sample{"BenchmarkOther": {NsOp: Metric{Median: 1, N: 3}}}, DefaultTolerances())
+	if rep.Pass() {
+		t.Fatal("gate passed although a baseline benchmark vanished from the run")
+	}
+	var sawMissing, sawNew bool
+	for _, f := range rep.Findings {
+		switch f.Verdict {
+		case VerdictMissing:
+			sawMissing = f.Benchmark == "BenchmarkGone"
+		case VerdictNew:
+			sawNew = f.Benchmark == "BenchmarkOther"
+		}
+	}
+	if !sawMissing {
+		t.Error("missing benchmark not reported")
+	}
+	if !sawNew {
+		t.Error("new benchmark not reported")
+	}
+	if n := len(rep.Failures()); n != 1 {
+		t.Errorf("Failures() = %d findings, want 1 (new benchmarks must not fail)", n)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// A 0 B/op baseline must flag any byte growth beyond noise.
+	base := mkBase("BenchmarkZ", Metric{Median: 10, N: 3}, Metric{Median: 0, MAD: 0, N: 3}, Metric{})
+	cur := map[string]Sample{"BenchmarkZ": {
+		NsOp: Metric{Median: 10, N: 3}, BOp: Metric{Median: 64, MAD: 0, N: 3},
+	}}
+	rep := Compare(base, cur, DefaultTolerances())
+	if f := findingFor(t, rep, "B/op"); f.Verdict != VerdictRegression {
+		t.Errorf("0 → 64 B/op verdict %s, want regression", f.Verdict)
+	}
+}
+
+func TestSpeedupMissingBenchmarkFailsLoudly(t *testing.T) {
+	cur := map[string]Sample{
+		"BenchmarkPortfolioSweep/workers=1": {NsOp: Metric{Median: 100, N: 3}},
+		"BenchmarkPortfolioSweep/workers=4": {NsOp: Metric{Median: 40, N: 3}},
+	}
+	s, err := Speedup(cur, `^BenchmarkPortfolioSweep/workers=1$`, `^BenchmarkPortfolioSweep/workers=([2-9]|[1-9][0-9]+)$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 2.5 {
+		t.Errorf("speedup = %g, want 2.5", s)
+	}
+	// The old scripts/bench.sh awk pipeline silently passed when a
+	// benchmark disappeared; the gate must error instead.
+	if _, err := Speedup(cur, `^BenchmarkRenamedAway$`, `^BenchmarkPortfolioSweep/`); err == nil {
+		t.Fatal("missing serial benchmark did not fail the speedup gate")
+	}
+	if _, err := Speedup(cur, `^BenchmarkPortfolioSweep/workers=1$`, `^BenchmarkRenamedAway$`); err == nil {
+		t.Fatal("missing parallel benchmark did not fail the speedup gate")
+	}
+}
+
+func TestBaselineAndTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := Context{GOOS: "linux", GOARCH: "amd64", CPU: "test-cpu"}
+	cur := map[string]Sample{
+		"BenchmarkA": {
+			NsOp:     Metric{Median: 123.5, MAD: 1.5, N: 10},
+			BOp:      Metric{Median: 2048, MAD: 0, N: 10},
+			AllocsOp: Metric{Median: 17, MAD: 0, N: 10},
+		},
+		"BenchmarkB/sub=x": {NsOp: Metric{Median: 9, MAD: 0.25, N: 10}},
+	}
+
+	bpath := filepath.Join(dir, "baseline.json")
+	if err := NewBaseline(cur, ctx).Save(bpath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Benchmarks, cur) || loaded.Context != ctx {
+		t.Errorf("baseline round trip mismatch:\nsaved  %+v\nloaded %+v", cur, loaded.Benchmarks)
+	}
+
+	rep := Compare(loaded, cur, DefaultTolerances())
+	if !rep.Pass() {
+		t.Fatalf("self-comparison failed: %+v", rep.Findings)
+	}
+	tpath := filepath.Join(dir, "BENCH_test.json")
+	traj := NewTrajectory("PR test", bpath, ctx, cur, rep)
+	if err := traj.Save(tpath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrajectory(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Benchmarks, cur) || back.Label != "PR test" || !back.Pass {
+		t.Errorf("trajectory round trip mismatch: %+v", back)
+	}
+	if len(back.Findings) != len(rep.Findings) {
+		t.Errorf("findings lost in round trip: %d vs %d", len(back.Findings), len(rep.Findings))
+	}
+
+	// A second Save must be byte-identical (deterministic encoding).
+	tpath2 := filepath.Join(dir, "BENCH_test2.json")
+	if err := traj.Save(tpath2); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := mustRead(t, tpath), mustRead(t, tpath2)
+	if d1 != d2 {
+		t.Error("trajectory encoding is not deterministic")
+	}
+}
+
+func TestLoadBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := writeFile(p, content); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+	if _, err := LoadBaseline(write("garbage.json", "{")); err == nil {
+		t.Error("corrupt baseline did not error")
+	}
+	if _, err := LoadBaseline(write("schema.json", `{"schema":99,"benchmarks":{"X":{"ns_op":{"median":1,"n":1}}}}`)); err == nil {
+		t.Error("wrong schema did not error")
+	}
+	if _, err := LoadBaseline(write("empty.json", `{"schema":1,"benchmarks":{}}`)); err == nil {
+		t.Error("baseline gating nothing did not error")
+	}
+}

@@ -1,0 +1,49 @@
+package benchgate
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// Speedup computes serial/parallel from aggregated samples: the minimum
+// ns/op median among benchmarks matching serialRe divided by the
+// minimum among those matching parallelRe. It replaces the awk
+// extraction the old scripts/bench.sh performed — and unlike it, a
+// pattern that matches nothing is a hard error, so a renamed or
+// vanished benchmark can no longer silently pass the gate.
+func Speedup(cur map[string]Sample, serialRe, parallelRe string) (float64, error) {
+	serial, err := minNsOp(cur, serialRe)
+	if err != nil {
+		return 0, err
+	}
+	parallel, err := minNsOp(cur, parallelRe)
+	if err != nil {
+		return 0, err
+	}
+	if parallel <= 0 {
+		return 0, fmt.Errorf("benchgate: non-positive parallel ns/op %g", parallel)
+	}
+	return serial / parallel, nil
+}
+
+// minNsOp returns the smallest ns/op median among benchmarks matching
+// pattern; no match is an error.
+func minNsOp(cur map[string]Sample, pattern string) (float64, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("benchgate: bad benchmark pattern %q: %w", pattern, err)
+	}
+	best, found := 0.0, false
+	for name, s := range cur {
+		if !re.MatchString(name) || !s.NsOp.present() {
+			continue
+		}
+		if !found || s.NsOp.Median < best {
+			best, found = s.NsOp.Median, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("benchgate: no benchmark matches %q — renamed or missing benchmarks fail the gate", pattern)
+	}
+	return best, nil
+}

@@ -14,6 +14,7 @@ package cachesim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/trace"
 )
@@ -81,6 +82,12 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// linePool recycles line arrays between caches. A sweep builds one
+// cache per size, and the line metadata array (sets × ways entries) is
+// by far its largest allocation; slabs returned via Release are cleared
+// and reused by the next New of comparable size.
+var linePool = sync.Pool{New: func() any { return new([]line) }}
+
 // New builds a cache with the given geometry and way partitioning:
 // wayCounts[i] ways are reserved for partition i, contiguously, in
 // declaration order. The counts must sum to at most cfg.Ways; ways left
@@ -104,10 +111,21 @@ func New(cfg Config, wayCounts []int) (*Cache, error) {
 		return nil, fmt.Errorf("cachesim: partitions need %d ways but cache has %d", total, cfg.Ways)
 	}
 	sets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
+	nLines := sets * uint64(cfg.Ways)
+	lp := linePool.Get().(*[]line)
+	lines := *lp
+	if uint64(cap(lines)) < nLines {
+		lines = make([]line, nLines)
+	} else {
+		lines = lines[:nLines]
+		clear(lines)
+	}
+	*lp = nil
+	linePool.Put(lp)
 	c := &Cache{
 		cfg:    cfg,
 		sets:   sets,
-		lines:  make([]line, sets*uint64(cfg.Ways)),
+		lines:  lines,
 		partLo: make([]int, len(wayCounts)),
 		partHi: make([]int, len(wayCounts)),
 		stats:  make([]Stats, len(wayCounts)),
@@ -119,6 +137,22 @@ func New(cfg Config, wayCounts []int) (*Cache, error) {
 		c.partHi[i] = cursor
 	}
 	return c, nil
+}
+
+// Release returns the cache's line array to the internal slab pool.
+// The cache must not be used afterwards. Calling Release is optional —
+// it only recycles memory for workloads (like sweeps) that build many
+// short-lived caches.
+func (c *Cache) Release() {
+	if c.lines == nil {
+		return
+	}
+	lp := linePool.Get().(*[]line)
+	if cap(*lp) < cap(c.lines) {
+		*lp = c.lines
+	}
+	c.lines = nil
+	linePool.Put(lp)
 }
 
 // Partitions returns the number of partitions.

@@ -56,6 +56,7 @@ func Sweep(sizes []uint64, line uint64, ways int, mkGen func() trace.Generator, 
 				c.Access(0, g.Next())
 			}
 			pts[idx] = SweepPoint{CacheBytes: size, MissRate: c.Stats(0).MissRate()}
+			c.Release()
 		}(idx, size)
 	}
 	wg.Wait()

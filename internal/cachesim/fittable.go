@@ -1,0 +1,137 @@
+package cachesim
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// FitTable memoizes power-law fits of trace-driven cache sweeps. A
+// characterization cell is identified by the generator — its class
+// name, footprint, a caller-supplied tag AND a fingerprint of its
+// first accesses, so two differently parameterized or differently
+// seeded generators of one class (e.g. two strides, two Zipf skews)
+// can never collide — together with the full measurement geometry:
+// ways, line size, sweep sizes, warmup/measure counts and the fit's
+// reference size. Sweeping and fitting are deterministic, so serving a
+// repeated cell from the table is bit-identical to recomputing it — at
+// the cost of one map lookup instead of millions of simulated
+// accesses.
+//
+// A FitTable is safe for concurrent use. The zero value is NOT ready;
+// use NewFitTable.
+type FitTable struct {
+	mu     sync.Mutex
+	m      map[string]*fitEntry
+	hits   uint64
+	misses uint64
+}
+
+// fitEntry collapses concurrent requests for one cell into a single
+// sweep, mirroring the portfolio cache's once-per-key discipline.
+type fitEntry struct {
+	once sync.Once
+	fit  PowerLawFit
+	err  error
+}
+
+// NewFitTable returns an empty table ready for concurrent use.
+func NewFitTable() *FitTable {
+	return &FitTable{m: make(map[string]*fitEntry)}
+}
+
+// FitTableStats reports the table's monotonic counters and size.
+type FitTableStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats snapshots the counters.
+func (t *FitTable) Stats() FitTableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FitTableStats{Hits: t.hits, Misses: t.misses, Entries: len(t.m)}
+}
+
+// fingerprintAccesses is how many accesses of a fresh generator
+// participate in the cell key. The built-in generator classes diverge
+// within their first few accesses when parameterized or seeded
+// differently (strides differ at access two, seeded RNG streams at
+// access one), so 64 addresses over-identify the stream by a wide
+// margin while costing microseconds next to a multi-million-access
+// sweep.
+const fingerprintAccesses = 64
+
+// Characterize runs (or serves from the table) the sweep-and-fit cell:
+// Sweep over sizes with the given geometry followed by FitPowerLaw at
+// refSize. tag is a free-form label folded into the key (useful to
+// partition the table by caller); soundness does not depend on it,
+// because the key also fingerprints the generator's actual access
+// stream. mkGen must return deterministic, independent generators — the
+// same contract Sweep already imposes.
+func (t *FitTable) Characterize(tag string, sizes []uint64, lineBytes uint64, ways int,
+	mkGen func() trace.Generator, warmup, count int, refSize float64) (PowerLawFit, error) {
+
+	g := mkGen()
+	key := fitKey(tag, g, sizes, lineBytes, ways, warmup, count, refSize)
+
+	t.mu.Lock()
+	ent, ok := t.m[key]
+	if !ok {
+		ent = &fitEntry{}
+		t.m[key] = ent
+		t.misses++
+	} else {
+		t.hits++
+	}
+	t.mu.Unlock()
+
+	ent.once.Do(func() {
+		pts, err := Sweep(sizes, lineBytes, ways, mkGen, warmup, count)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.fit, ent.err = FitPowerLaw(pts, refSize)
+	})
+	return ent.fit, ent.err
+}
+
+// fitKey builds the canonical byte encoding of one characterization
+// cell; every numeric field contributes its exact bits, strings are
+// length-prefixed, and the generator contributes its first
+// fingerprintAccesses accesses, so distinct cells cannot collide. g is
+// consumed (fresh from mkGen, used for the fingerprint only).
+func fitKey(tag string, g trace.Generator, sizes []uint64, lineBytes uint64, ways, warmup, count int, refSize float64) string {
+	name := g.Name()
+	b := make([]byte, 0, 64+len(tag)+len(name)+8*len(sizes)+9*fingerprintAccesses)
+	app := func(s string) {
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	app(tag)
+	app(name)
+	b = binary.LittleEndian.AppendUint64(b, g.Footprint())
+	for i := 0; i < fingerprintAccesses; i++ {
+		a := g.Next()
+		b = binary.LittleEndian.AppendUint64(b, a.Addr)
+		if a.Write {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.LittleEndian.AppendUint64(b, lineBytes)
+	b = binary.LittleEndian.AppendUint64(b, uint64(ways))
+	b = binary.LittleEndian.AppendUint64(b, uint64(warmup))
+	b = binary.LittleEndian.AppendUint64(b, uint64(count))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(sizes)))
+	for _, s := range sizes {
+		b = binary.LittleEndian.AppendUint64(b, s)
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(refSize))
+	return string(b)
+}

@@ -1,0 +1,132 @@
+package cachesim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/solve"
+	"repro/internal/trace"
+)
+
+func fitSizes() []uint64 {
+	return []uint64{1 << 14, 1 << 15, 1 << 16, 1 << 17}
+}
+
+func mkUniform(size uint64) func() trace.Generator {
+	return func() trace.Generator {
+		g, err := trace.NewUniform(size, 64, solve.NewRNG(1))
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+}
+
+// TestFitTableMemoizes checks that a repeated characterization cell is
+// served from the table with an identical fit, and that distinct cells
+// do not collide.
+func TestFitTableMemoizes(t *testing.T) {
+	tbl := NewFitTable()
+	fit1, err := tbl.Characterize("u1", fitSizes(), 64, 8, mkUniform(1<<20), 2000, 8000, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit2, err := tbl.Characterize("u1", fitSizes(), 64, 8, mkUniform(1<<20), 2000, 8000, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit1 != fit2 {
+		t.Errorf("memoized fit differs: %+v vs %+v", fit1, fit2)
+	}
+	st := tbl.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+	// A different tag (or footprint, or geometry) is a different cell.
+	if _, err := tbl.Characterize("u2", fitSizes(), 64, 8, mkUniform(1<<22), 2000, 8000, 40e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Characterize("u1", fitSizes(), 64, 4, mkUniform(1<<20), 2000, 8000, 40e6); err != nil {
+		t.Fatal(err)
+	}
+	if st := tbl.Stats(); st.Entries != 3 {
+		t.Errorf("distinct cells collided: %+v", st)
+	}
+}
+
+// TestFitTableDistinguishesParameterizations guards the collision trap
+// the key's stream fingerprint exists to close: two generators of the
+// same class with the same footprint — even under the SAME tag — must
+// occupy distinct cells when their streams differ (different stride,
+// different seed).
+func TestFitTableDistinguishesParameterizations(t *testing.T) {
+	tbl := NewFitTable()
+	mkSeq := func(stride uint64) func() trace.Generator {
+		return func() trace.Generator {
+			g, err := trace.NewSequential(1<<20, stride)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}
+	}
+	f8, err := tbl.Characterize("same", fitSizes(), 64, 8, mkSeq(8), 2000, 8000, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := tbl.Characterize("same", fitSizes(), 64, 8, mkSeq(16), 2000, 8000, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tbl.Stats(); st.Entries != 2 || st.Misses != 2 {
+		t.Fatalf("differently parameterized generators collided: %+v (fits %+v vs %+v)", st, f8, f16)
+	}
+	// Differently seeded streams of one random class must also split.
+	mkU := func(seed uint64) func() trace.Generator {
+		return func() trace.Generator {
+			g, err := trace.NewUniform(1<<20, 64, solve.NewRNG(seed))
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}
+	}
+	if _, err := tbl.Characterize("same", fitSizes(), 64, 8, mkU(1), 2000, 8000, 40e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Characterize("same", fitSizes(), 64, 8, mkU(2), 2000, 8000, 40e6); err != nil {
+		t.Fatal(err)
+	}
+	if st := tbl.Stats(); st.Entries != 4 {
+		t.Fatalf("differently seeded generators collided: %+v", st)
+	}
+}
+
+// TestFitTableConcurrent hammers one cell from many goroutines: the
+// sweep must run once and every caller must see the same fit.
+func TestFitTableConcurrent(t *testing.T) {
+	tbl := NewFitTable()
+	var wg sync.WaitGroup
+	fits := make([]PowerLawFit, 8)
+	for i := range fits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fit, err := tbl.Characterize("c", fitSizes(), 64, 8, mkUniform(1<<20), 2000, 8000, 40e6)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fits[i] = fit
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(fits); i++ {
+		if fits[i] != fits[0] {
+			t.Fatalf("caller %d saw fit %+v, caller 0 saw %+v", i, fits[i], fits[0])
+		}
+	}
+	if st := tbl.Stats(); st.Misses != 1 {
+		t.Errorf("sweep ran %d times, want 1", st.Misses)
+	}
+}

@@ -52,14 +52,26 @@ func ChooseMaxRatio(p *Partition, candidates []int) int {
 // performs poorly here: it evicts the best-suited applications first).
 // The returned partition is always dominant.
 func Dominant(pl model.Platform, apps []model.Application, choice Choice) (*Partition, error) {
-	p, err := NewPartition(pl, apps, nil)
-	if err != nil {
+	p := &Partition{}
+	if err := DominantInto(p, pl, apps, choice); err != nil {
 		return nil, err
 	}
-	members := make([]int, 0, len(apps))
+	return p, nil
+}
+
+// DominantInto runs Algorithm 1 into a caller-provided (possibly
+// pooled) partition, reusing its backing arrays. The candidate list
+// lives in the partition's scratch space, so steady-state calls do not
+// allocate.
+func DominantInto(p *Partition, pl model.Platform, apps []model.Application, choice Choice) error {
+	if err := p.Reset(pl, apps, nil); err != nil {
+		return err
+	}
+	members := p.idx[:0]
 	for {
-		if len(p.Violators()) == 0 {
-			return p, nil
+		if p.Dominant() {
+			p.idx = members
+			return nil
 		}
 		members = members[:0]
 		for i := 0; i < p.Len(); i++ {
@@ -70,7 +82,8 @@ func Dominant(pl model.Platform, apps []model.Application, choice Choice) (*Part
 		k := choice(p, members)
 		p.Remove(k)
 		if p.CacheSetSize() == 0 {
-			return p, nil
+			p.idx = members
+			return nil
 		}
 	}
 }
@@ -79,27 +92,39 @@ func Dominant(pl model.Platform, apps []model.Application, choice Choice) (*Part
 // applications chosen by choice for as long as the partition stays
 // dominant. The returned partition is always dominant.
 func DominantRev(pl model.Platform, apps []model.Application, choice Choice) (*Partition, error) {
-	p, err := NewPartition(pl, apps, make([]bool, len(apps)))
-	if err != nil {
+	p := &Partition{}
+	if err := DominantRevInto(p, pl, apps, choice); err != nil {
 		return nil, err
 	}
-	out := make([]int, 0, len(apps))
-	refreshOut := func() {
+	return p, nil
+}
+
+// DominantRevInto runs Algorithm 2 into a caller-provided partition,
+// reusing its backing arrays and scratch space like DominantInto.
+func DominantRevInto(p *Partition, pl model.Platform, apps []model.Application, choice Choice) error {
+	p.membuf = growBool(p.membuf, len(apps))
+	for i := range p.membuf {
+		p.membuf[i] = false
+	}
+	if err := p.Reset(pl, apps, p.membuf); err != nil {
+		return err
+	}
+	out := p.idx[:0]
+	for {
 		out = out[:0]
 		for i := 0; i < p.Len(); i++ {
 			if !p.InCache(i) {
 				out = append(out, i)
 			}
 		}
-	}
-	for {
-		refreshOut()
 		if len(out) == 0 {
-			return p, nil
+			p.idx = out
+			return nil
 		}
 		k := choice(p, out)
 		if !p.WouldRemainDominant(k) {
-			return p, nil
+			p.idx = out
+			return nil
 		}
 		p.Add(k)
 	}
@@ -130,10 +155,20 @@ func ImproveNonDominant(p *Partition) bool {
 // variants of the paper are the cross product {Dominant, DominantRev} ×
 // {Random, MinRatio, MaxRatio}.
 func BuildDominant(pl model.Platform, apps []model.Application, reverse bool, choice Choice) (*Partition, error) {
-	if reverse {
-		return DominantRev(pl, apps, choice)
+	p := &Partition{}
+	if err := BuildDominantInto(p, pl, apps, reverse, choice); err != nil {
+		return nil, err
 	}
-	return Dominant(pl, apps, choice)
+	return p, nil
+}
+
+// BuildDominantInto is BuildDominant into a caller-provided partition,
+// the allocation-free entry point used by the scheduling hot path.
+func BuildDominantInto(p *Partition, pl model.Platform, apps []model.Application, reverse bool, choice Choice) error {
+	if reverse {
+		return DominantRevInto(p, pl, apps, choice)
+	}
+	return DominantInto(p, pl, apps, choice)
 }
 
 // CheckDominantInvariant returns an error describing the first violation

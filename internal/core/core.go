@@ -30,6 +30,10 @@ import (
 // and its complement (no cache). It caches the per-application dominance
 // weights and ratios so membership tests and share computation are O(1)
 // and O(n) respectively.
+//
+// The zero value is an empty shell; Reset (re)initializes it in place,
+// reusing its backing arrays, so pooled Partitions make the scheduling
+// hot path allocation-free.
 type Partition struct {
 	pl      model.Platform
 	apps    []model.Application
@@ -39,25 +43,41 @@ type Partition struct {
 	thresh  []float64 // d_i^{1/α}
 	sum     float64   // Σ_{j∈IC} weight[j], maintained incrementally
 	size    int       // |IC|
+
+	xbuf   []float64 // scratch for SeqTimeTotal's share evaluation
+	idx    []int     // scratch for the greedy builders' candidate lists
+	membuf []bool    // scratch for BestRatioPrefix's best-membership copy
 }
 
 // NewPartition builds a partition over apps with the given initial
 // membership. If members is nil, all applications start in IC.
 func NewPartition(pl model.Platform, apps []model.Application, members []bool) (*Partition, error) {
-	if err := model.ValidateAll(pl, apps); err != nil {
+	p := &Partition{}
+	if err := p.Reset(pl, apps, members); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// Reset re-initializes the partition in place over a new problem,
+// reusing its backing arrays when they are large enough. The membership
+// semantics match NewPartition: nil members puts every application in
+// IC. members is copied, so callers may reuse their slice.
+func (p *Partition) Reset(pl model.Platform, apps []model.Application, members []bool) error {
+	if err := model.ValidateAll(pl, apps); err != nil {
+		return err
+	}
 	if members != nil && len(members) != len(apps) {
-		return nil, fmt.Errorf("core: members length %d does not match %d applications", len(members), len(apps))
+		return fmt.Errorf("core: members length %d does not match %d applications", len(members), len(apps))
 	}
-	p := &Partition{
-		pl:      pl,
-		apps:    apps,
-		inCache: make([]bool, len(apps)),
-		weight:  make([]float64, len(apps)),
-		ratio:   make([]float64, len(apps)),
-		thresh:  make([]float64, len(apps)),
-	}
+	n := len(apps)
+	p.pl = pl
+	p.apps = apps
+	p.inCache = growBool(p.inCache, n)
+	p.weight = growF64(p.weight, n)
+	p.ratio = growF64(p.ratio, n)
+	p.thresh = growF64(p.thresh, n)
+	p.sum, p.size = 0, 0
 	var sum solve.Kahan
 	for i, a := range apps {
 		p.weight[i] = a.DominanceWeight(pl)
@@ -77,7 +97,24 @@ func NewPartition(pl model.Platform, apps []model.Application, members []bool) (
 		}
 	}
 	p.sum = sum.Sum()
-	return p, nil
+	return nil
+}
+
+// growF64 returns a slice of length n, reusing s's backing array when
+// possible.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growBool is growF64 for booleans.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // Len returns the number of applications (both sides of the partition).
@@ -124,9 +161,15 @@ func (p *Partition) Remove(i int) {
 
 // Members returns a fresh copy of the membership vector.
 func (p *Partition) Members() []bool {
-	m := make([]bool, len(p.inCache))
-	copy(m, p.inCache)
-	return m
+	return p.MembersInto(nil)
+}
+
+// MembersInto copies the membership vector into dst, growing it when
+// needed, and returns it. A nil dst allocates.
+func (p *Partition) MembersInto(dst []bool) []bool {
+	dst = growBool(dst, len(p.inCache))
+	copy(dst, p.inCache)
+	return dst
 }
 
 // Violators returns the indices i ∈ IC whose dominance condition fails,
@@ -175,13 +218,25 @@ func (p *Partition) WouldRemainDominant(add int) bool {
 // according to Lemma 4 / Theorem 3: x_i = weight_i / Σ weights for
 // i ∈ IC, x_i = 0 otherwise. When IC is empty it returns all zeros.
 func (p *Partition) Shares() []float64 {
-	x := make([]float64, len(p.apps))
+	return p.SharesInto(nil)
+}
+
+// SharesInto writes the optimal cache shares into dst, growing it when
+// needed, and returns it. A nil dst allocates; reusing a scratch slice
+// keeps repeated evaluations allocation-free.
+func (p *Partition) SharesInto(dst []float64) []float64 {
+	x := growF64(dst, len(p.apps))
 	if p.size == 0 || p.sum == 0 {
+		for i := range x {
+			x[i] = 0
+		}
 		return x
 	}
 	for i := range p.apps {
 		if p.inCache[i] {
 			x[i] = p.weight[i] / p.sum
+		} else {
+			x[i] = 0
 		}
 	}
 	return x
@@ -191,10 +246,10 @@ func (p *Partition) Shares() []float64 {
 // shares — by Lemma 3, dividing by p gives the optimal makespan for
 // perfectly parallel applications under this partition.
 func (p *Partition) SeqTimeTotal() float64 {
-	x := p.Shares()
+	p.xbuf = p.SharesInto(p.xbuf)
 	var k solve.Kahan
 	for i, a := range p.apps {
-		k.Add(a.ExeSeq(p.pl, x[i]))
+		k.Add(a.ExeSeq(p.pl, p.xbuf[i]))
 	}
 	return k.Sum()
 }

@@ -23,38 +23,60 @@ import (
 // dominant, guaranteeing a result. The scan is O(n²) overall (O(n) per
 // prefix evaluation after sorting).
 func BestRatioPrefix(pl model.Platform, apps []model.Application) (*Partition, error) {
-	probe, err := NewPartition(pl, apps, nil)
-	if err != nil {
+	p := &Partition{}
+	if err := BestRatioPrefixInto(p, pl, apps); err != nil {
 		return nil, err
 	}
-	order := make([]int, len(apps))
+	return p, nil
+}
+
+// BestRatioPrefixInto runs the prefix scan into a caller-provided
+// partition, reusing its backing arrays and scratch space so repeated
+// scans (e.g. the local-search warm start) do not allocate. On return p
+// holds the best dominant prefix, rebuilt with a fresh Kahan weight sum
+// exactly as NewPartition would produce it.
+func BestRatioPrefixInto(p *Partition, pl model.Platform, apps []model.Application) error {
+	// Ratios do not depend on membership, so a full-membership reset
+	// doubles as the ratio probe.
+	if err := p.Reset(pl, apps, nil); err != nil {
+		return err
+	}
+	order := p.idx
+	if cap(order) < len(apps) {
+		order = make([]int, len(apps))
+	}
+	order = order[:len(apps)]
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return probe.Ratio(order[a]) > probe.Ratio(order[b])
+		return p.Ratio(order[a]) > p.Ratio(order[b])
 	})
+	p.idx = order
 
 	// Start from the empty membership and admit in decreasing-ratio
 	// order, tracking the best dominant prefix seen.
-	cur, err := NewPartition(pl, apps, make([]bool, len(apps)))
-	if err != nil {
-		return nil, err
+	for i := range p.inCache {
+		p.inCache[i] = false
 	}
-	bestMembers := cur.Members()
-	bestK := cur.Makespan()
+	p.sum, p.size = 0, 0
+	bestMembers := p.MembersInto(p.membuf)
+	bestK := p.Makespan()
 	for _, idx := range order {
-		cur.Add(idx)
-		if !cur.Dominant() {
+		p.Add(idx)
+		if !p.Dominant() {
 			// Larger prefixes only increase the weight sum, so once a
 			// member violates, every superset prefix violates too: the
 			// member ratios are fixed and the sum grows monotonically.
 			break
 		}
-		if k := cur.Makespan(); k < bestK {
+		if k := p.Makespan(); k < bestK {
 			bestK = k
-			bestMembers = cur.Members()
+			bestMembers = p.MembersInto(bestMembers)
 		}
 	}
-	return NewPartition(pl, apps, bestMembers)
+	p.membuf = bestMembers
+	// Rebuild at the best membership from scratch so the weight sum is
+	// the Kahan sum NewPartition computes, not the incremental one.
+	return p.Reset(pl, apps, bestMembers)
 }

@@ -161,6 +161,13 @@ type engine struct {
 	queueLen    int     // current queue length (fifo + zero-alloc residents)
 	lastArrival float64 // last time pulled from the process, for monotonicity
 	exhausted   bool
+
+	// Recycled per-event scratch: the current event batch, the policy's
+	// resident view, and the re-plan's stuck list. All are rebuilt from
+	// live state at every use, so recycling cannot change results.
+	batch []qEvent
+	view  []Resident
+	stuck []int
 }
 
 // Simulate runs the scenario to completion: until the arrival stream is
@@ -254,7 +261,7 @@ func validateArrival(a Arrival) error {
 // re-plan) are discarded without touching the clock, so they never
 // perturb the progress arithmetic.
 func (e *engine) step() error {
-	var batch []qEvent
+	batch := e.batch[:0]
 	var t float64
 	for e.pq.Len() > 0 {
 		ev := e.pq.pop()
@@ -266,6 +273,7 @@ func (e *engine) step() error {
 		break
 	}
 	if len(batch) == 0 {
+		e.batch = batch
 		return nil
 	}
 	batch = e.absorbAt(t, batch)
@@ -295,6 +303,7 @@ func (e *engine) step() error {
 		batch = e.absorbAt(t, batch)
 	}
 
+	e.batch = batch[:0]
 	if changed {
 		if err := e.repartition(); err != nil {
 			return err
@@ -432,7 +441,12 @@ func (e *engine) repartition() error {
 	if len(e.residents) == 0 {
 		return nil
 	}
-	view := make([]Resident, len(e.residents))
+	view := e.view[:0]
+	if cap(view) < len(e.residents) {
+		view = make([]Resident, 0, len(e.residents))
+	}
+	view = view[:len(e.residents)]
+	e.view = view
 	for i, id := range e.residents {
 		st := &e.jobs[id]
 		view[i] = Resident{
@@ -498,6 +512,7 @@ func (e *engine) planCompletions() (stuck []int) {
 	if len(e.residents) == 0 {
 		return nil
 	}
+	stuck = e.stuck[:0]
 	e.gen++
 	for _, id := range e.residents {
 		st := &e.jobs[id]
@@ -519,6 +534,9 @@ func (e *engine) planCompletions() (stuck []int) {
 		}
 		e.pq.push(qEvent{time: t, kind: qCompletion, job: id, gen: e.gen})
 	}
+	// Hand the scratch back for the next re-plan; the returned slice
+	// stays valid because the caller consumes it before the next call.
+	e.stuck = stuck
 	return stuck
 }
 

@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -77,41 +76,67 @@ type qEvent struct {
 }
 
 // eventQueue is a min-heap of pending events ordered by (time, seq).
+// The heap is hand-rolled over the backing slice instead of using
+// container/heap: heap.Push boxes every qEvent into an interface,
+// which allocated once per scheduled event on the simulator's hot
+// path. Because (time, seq) is a total order, the pop sequence is
+// identical to the container/heap implementation it replaces.
 type eventQueue struct {
 	ev   []qEvent
 	seqs int
 }
 
-var _ heap.Interface = (*eventQueue)(nil)
-
 func (q *eventQueue) Len() int { return len(q.ev) }
 
-func (q *eventQueue) Less(i, j int) bool {
+func (q *eventQueue) less(i, j int) bool {
 	if q.ev[i].time != q.ev[j].time {
 		return q.ev[i].time < q.ev[j].time
 	}
 	return q.ev[i].seq < q.ev[j].seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.ev[i], q.ev[j] = q.ev[j], q.ev[i] }
-
-func (q *eventQueue) Push(x any) { q.ev = append(q.ev, x.(qEvent)) }
-
-func (q *eventQueue) Pop() any {
-	e := q.ev[len(q.ev)-1]
-	q.ev = q.ev[:len(q.ev)-1]
-	return e
-}
-
 // push enqueues an event, stamping its tie-break sequence number.
 func (q *eventQueue) push(e qEvent) {
 	e.seq = q.seqs
 	q.seqs++
-	heap.Push(q, e)
+	q.ev = append(q.ev, e)
+	// Sift up.
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
 }
 
 // pop removes and returns the earliest event.
-func (q *eventQueue) pop() qEvent { return heap.Pop(q).(qEvent) }
+func (q *eventQueue) pop() qEvent {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev = q.ev[:n]
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.ev[i], q.ev[child] = q.ev[child], q.ev[i]
+		i = child
+	}
+	return top
+}
 
 // peekTime returns the earliest pending time; callers must check Len.
 func (q *eventQueue) peekTime() float64 { return q.ev[0].time }

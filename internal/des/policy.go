@@ -46,9 +46,16 @@ const policySeedStride = 0x9E3779B97F4A7C15
 // residualApps builds the application set a policy hands to the paper's
 // heuristics: each resident's profile with its work scaled to what is
 // left, so remaining work is charged under the shares decided now. A
-// fresh job (Remaining == 1) is passed through bit-identically.
-func residualApps(residents []Resident) []model.Application {
-	apps := make([]model.Application, len(residents))
+// fresh job (Remaining == 1) is passed through bit-identically. The
+// result reuses buf's backing array when large enough — policies keep a
+// private buffer so per-event replanning does not allocate (nothing
+// downstream retains the slice past the Allocate call).
+func residualApps(buf []model.Application, residents []Resident) []model.Application {
+	apps := buf
+	if cap(apps) < len(residents) {
+		apps = make([]model.Application, len(residents))
+	}
+	apps = apps[:len(residents)]
 	for i, r := range residents {
 		a := r.App
 		a.Work *= r.Remaining
@@ -64,6 +71,7 @@ type HeuristicPolicy struct {
 	h     sched.Heuristic
 	seed  uint64
 	calls uint64
+	apps  []model.Application // residual-work plan buffer, recycled
 }
 
 // NewHeuristicPolicy returns a policy wrapping h. Sequential heuristics
@@ -81,7 +89,8 @@ func NewHeuristicPolicy(h sched.Heuristic, seed uint64) (*HeuristicPolicy, error
 func (p *HeuristicPolicy) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
 	p.calls++
 	rng := solve.NewRNG(p.seed ^ p.calls*policySeedStride)
-	s, err := p.h.Schedule(pl, residualApps(residents), rng)
+	p.apps = residualApps(p.apps, residents)
+	s, err := p.h.Schedule(pl, p.apps, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +125,7 @@ type PortfolioPolicy struct {
 	hs     []sched.Heuristic
 	seed   uint64
 	calls  uint64
+	apps   []model.Application // residual-work plan buffer, recycled
 }
 
 // NewPortfolioPolicy returns a portfolio-driven policy. A nil engine
@@ -141,9 +151,10 @@ func (p *PortfolioPolicy) Allocate(pl model.Platform, residents []Resident) ([]s
 	// hand randomized heuristics systematically colliding streams.
 	// Mixing the per-call seed through SplitMix64 (one RNG step)
 	// decorrelates the two layers.
+	p.apps = residualApps(p.apps, residents)
 	rep, err := p.engine.Evaluate(portfolio.Scenario{
 		Platform:   pl,
-		Apps:       residualApps(residents),
+		Apps:       p.apps,
 		Heuristics: p.hs,
 		Seed:       solve.NewRNG(p.seed ^ p.calls*policySeedStride).Uint64(),
 	})
@@ -170,6 +181,8 @@ type NoRepartition struct {
 	h     sched.Heuristic
 	seed  uint64
 	calls uint64
+	apps  []model.Application // residual-work plan buffer, recycled
+	frzn  []sched.Assignment  // frozen-wave assignment buffer, recycled
 }
 
 // NewNoRepartition returns the wave-scheduling policy around h.
@@ -185,8 +198,15 @@ func (p *NoRepartition) Allocate(pl model.Platform, residents []Resident) ([]sch
 	for _, r := range residents {
 		if r.Assign.Processors > 0 {
 			// A wave is running: freeze every current allocation; new
-			// arrivals keep their zero assignment and wait.
-			asg := make([]sched.Assignment, len(residents))
+			// arrivals keep their zero assignment and wait. The engine
+			// consumes the returned slice before the next Allocate call,
+			// so the buffer is safely recycled.
+			asg := p.frzn
+			if cap(asg) < len(residents) {
+				asg = make([]sched.Assignment, len(residents))
+			}
+			asg = asg[:len(residents)]
+			p.frzn = asg
 			for i, rr := range residents {
 				asg[i] = rr.Assign
 			}
@@ -196,7 +216,8 @@ func (p *NoRepartition) Allocate(pl model.Platform, residents []Resident) ([]sch
 	// Node drained (or first wave): schedule everything resident.
 	p.calls++
 	rng := solve.NewRNG(p.seed ^ p.calls*policySeedStride)
-	s, err := p.h.Schedule(pl, residualApps(residents), rng)
+	p.apps = residualApps(p.apps, residents)
+	s, err := p.h.Schedule(pl, p.apps, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -68,20 +68,30 @@ func (c *Cache) Stats() CacheStats {
 	return s
 }
 
+// keyBufPool recycles the byte buffers scenario keys are encoded into.
+// On the hit path the buffer is only used for the map probe (the
+// compiler elides the string conversion in m[string(b)]), so memoized
+// lookups allocate nothing; the key is materialized as a string only
+// when a new entry is inserted.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // getOrCompute returns the memoized outcome for the pair, computing it
 // at most once across all concurrent callers. fromCache reports whether
 // this caller got a previously requested entry.
 func (c *Cache) getOrCompute(pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64,
 	compute func() (*sched.Schedule, error)) (s *sched.Schedule, err error, fromCache bool) {
-	key := scenarioKey(pl, apps, h, seed)
+	bp := keyBufPool.Get().(*[]byte)
+	key := appendScenarioKey((*bp)[:0], pl, apps, h, seed)
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	ent, ok := sh.m[key]
+	ent, ok := sh.m[string(key)]
 	if !ok {
 		ent = &cacheEntry{}
-		sh.m[key] = ent
+		sh.m[string(key)] = ent
 	}
 	sh.mu.Unlock()
+	*bp = key[:0]
+	keyBufPool.Put(bp)
 
 	computed := false
 	ent.once.Do(func() {
@@ -96,17 +106,25 @@ func (c *Cache) getOrCompute(pl model.Platform, apps []model.Application, h sche
 	return ent.schedule, ent.err, !computed
 }
 
-// scenarioKey builds the canonical byte encoding of one (platform,
-// applications, heuristic, seed) cell. Every numeric field contributes
-// its exact bit pattern, and names are length-prefixed, so distinct
-// scenarios cannot collide. The seed participates only for heuristics
-// that actually consume randomness.
+// scenarioKey builds the canonical key as a string; tests use it to
+// reason about collisions.
 func scenarioKey(pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64) string {
-	n := 8 + 5*8 + 8 + 8 // heuristic + platform + seed + app count
-	for _, a := range apps {
-		n += 8 + len(a.Name) + 6*8
+	return string(appendScenarioKey(nil, pl, apps, h, seed))
+}
+
+// appendScenarioKey appends the canonical byte encoding of one
+// (platform, applications, heuristic, seed) cell to b. Every numeric
+// field contributes its exact bit pattern, and names are
+// length-prefixed, so distinct scenarios cannot collide. The seed
+// participates only for heuristics that actually consume randomness.
+func appendScenarioKey(b []byte, pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64) []byte {
+	if b == nil {
+		n := 8 + 5*8 + 8 + 8 // heuristic + platform + seed + app count
+		for _, a := range apps {
+			n += 8 + len(a.Name) + 6*8
+		}
+		b = make([]byte, 0, n)
 	}
-	b := make([]byte, 0, n)
 	b = appendU64(b, uint64(h))
 	if !h.Randomized() {
 		seed = 0
@@ -119,7 +137,7 @@ func scenarioKey(pl model.Platform, apps []model.Application, h sched.Heuristic,
 		b = append(b, a.Name...)
 		b = appendF64(b, a.Work, a.SeqFraction, a.AccessFreq, a.Footprint, a.RefMissRate, a.RefCacheSize)
 	}
-	return string(b)
+	return b
 }
 
 func appendU64(b []byte, v uint64) []byte {
@@ -134,7 +152,7 @@ func appendF64(b []byte, vs ...float64) []byte {
 }
 
 // shardOf hashes the key with FNV-1a and folds it onto a shard index.
-func shardOf(key string) int {
+func shardOf(key []byte) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

@@ -125,7 +125,7 @@ func TestCacheShardSpread(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		p := pl
 		p.Processors = float64(i + 1)
-		shards[shardOf(scenarioKey(p, apps, sched.Fair, 0))] = true
+		shards[shardOf(appendScenarioKey(nil, p, apps, sched.Fair, 0))] = true
 	}
 	if len(shards) < 8 {
 		t.Fatalf("64 distinct keys landed on only %d shards", len(shards))

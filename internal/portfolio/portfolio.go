@@ -26,6 +26,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -149,6 +150,21 @@ func (e *Engine) Evaluate(s Scenario) (*Report, error) {
 	return rep, rep.Err
 }
 
+// task is one (scenario, heuristic) evaluation cell.
+type task struct {
+	sc  *Scenario
+	rep *Report
+	hi  int
+	h   sched.Heuristic
+}
+
+// taskSlab recycles the task list of EvaluateBatch calls. Entries are
+// zeroed before the slab returns to the pool so it never pins scenario
+// or report memory.
+type taskSlab struct{ tasks []task }
+
+var taskSlabPool = sync.Pool{New: func() any { return new(taskSlab) }}
+
 // EvaluateBatch evaluates many scenarios at once, fanning every
 // (scenario, heuristic) pair out to the shared worker pool. The
 // returned slice aligns with scenarios. Scenario-level validation
@@ -158,15 +174,13 @@ func (e *Engine) Evaluate(s Scenario) (*Report, error) {
 // (a full paper sweep is tens of thousands of tasks), and each task
 // additionally holds a slot of the engine-wide semaphore, so concurrent
 // EvaluateBatch calls on one engine still respect the global bound.
+// Tasks are drained through an atomic cursor over a pooled slab —
+// results land at fixed (scenario, heuristic) indices, so scheduling
+// order never influences the output.
 func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
-	type task struct {
-		sc  *Scenario
-		rep *Report
-		hi  int
-		h   sched.Heuristic
-	}
 	reports := make([]*Report, len(scenarios))
-	var tasks []task
+	slab := taskSlabPool.Get().(*taskSlab)
+	tasks := slab.tasks[:0]
 	for si := range scenarios {
 		sc := &scenarios[si]
 		rep := &Report{Best: -1}
@@ -186,41 +200,73 @@ func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	ch := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				e.sem <- struct{}{}
-				t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
-				<-e.sem
-			}
-		}()
+	if workers <= 1 {
+		// Serial fast path: no goroutines, no synchronization beyond the
+		// engine-wide semaphore.
+		for i := range tasks {
+			t := &tasks[i]
+			e.sem <- struct{}{}
+			t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
+			<-e.sem
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					t := &tasks[i]
+					e.sem <- struct{}{}
+					t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
+					<-e.sem
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	for _, t := range tasks {
-		ch <- t
+	for i := range tasks {
+		tasks[i] = task{}
 	}
-	close(ch)
-	wg.Wait()
+	slab.tasks = tasks[:0]
+	taskSlabPool.Put(slab)
 	for _, rep := range reports {
 		rep.pickBest()
 	}
 	return reports
 }
 
-// evalOne schedules one heuristic, through the cache when present.
+// evalOne schedules one heuristic, through the cache when present. Only
+// randomized heuristics get an RNG: the deterministic ones never read
+// it, and skipping the construction keeps the hot path lean without
+// changing any schedule.
 func (e *Engine) evalOne(sc *Scenario, h sched.Heuristic, hi int) Result {
 	seed := sc.Seed ^ uint64(hi+1)*seedStride
 	if e.cache == nil {
-		s, err := h.Schedule(sc.Platform, sc.Apps, solve.NewRNG(seed))
+		s, err := h.Schedule(sc.Platform, sc.Apps, rngFor(h, seed))
 		return Result{Heuristic: h, Schedule: s, Err: err}
 	}
 	s, err, fromCache := e.cache.getOrCompute(sc.Platform, sc.Apps, h, seed, func() (*sched.Schedule, error) {
-		return h.Schedule(sc.Platform, sc.Apps, solve.NewRNG(seed))
+		// The RNG is built inside the computation so memoized hits do
+		// not pay for a stream they never draw from.
+		return h.Schedule(sc.Platform, sc.Apps, rngFor(h, seed))
 	})
 	return Result{Heuristic: h, Schedule: s, Err: err, FromCache: fromCache}
+}
+
+// rngFor returns the heuristic's seeded stream, or nil for
+// deterministic heuristics, which never read it: skipping the
+// construction keeps the hot path lean without changing any schedule.
+func rngFor(h sched.Heuristic, seed uint64) *solve.RNG {
+	if !h.Randomized() {
+		return nil
+	}
+	return solve.NewRNG(seed)
 }
 
 // pickBest selects the feasible result with the smallest makespan,

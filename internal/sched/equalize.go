@@ -11,74 +11,97 @@ import (
 // equalizeTol is the relative bisection tolerance on the makespan K.
 const equalizeTol = 1e-12
 
-// ProcessorsLemma2 assigns processors per Lemma 2 for perfectly parallel
-// applications: p_i = p · Exe^seq_i(x_i) / Σ_j Exe^seq_j(x_j), which makes
-// all applications finish simultaneously at (Σ_j Exe^seq_j(x_j))/p.
-func ProcessorsLemma2(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64) {
-	seq := make([]float64, len(apps))
+// equalizer is the reusable state of the completion-time equalizer: the
+// per-application sequential-time coefficients, the output processor
+// vector, and — crucially — the bisection objective as a persistent
+// closure. The closure reads the equalizer's fields instead of
+// capturing per-call locals, so it is allocated once per pooled scratch
+// and every subsequent equalization is allocation-free.
+type equalizer struct {
+	apps   []model.Application
+	c      []float64 // c_i = w_i · CostPerOp(x_i)
+	seq    []float64 // Lemma 2 sequential times
+	procs  []float64 // output processor vector (scratch-owned)
+	demand func(float64) float64
+}
+
+// demandAt evaluates Σ_i (1-s_i)/(K/c_i - s_i), the processor demand of
+// makespan K, +Inf when K is at or below some application's floor.
+func (eq *equalizer) demandAt(K float64) float64 {
+	var sum solve.Kahan
+	for i, a := range eq.apps {
+		s := a.SeqFraction
+		den := K/eq.c[i] - s
+		if den <= 0 {
+			return math.Inf(1)
+		}
+		sum.Add((1 - s) / den)
+	}
+	return sum.Sum()
+}
+
+// demandFn returns the persistent bisection objective, creating it on
+// first use (one allocation per equalizer lifetime).
+func (eq *equalizer) demandFn() func(float64) float64 {
+	if eq.demand == nil {
+		eq.demand = eq.demandAt
+	}
+	return eq.demand
+}
+
+// lemma2 assigns processors per Lemma 2 for perfectly parallel
+// applications into the equalizer's scratch vectors.
+func (eq *equalizer) lemma2(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64) {
+	eq.seq = growF64(eq.seq, len(apps))
 	var total solve.Kahan
 	for i, a := range apps {
-		seq[i] = a.ExeSeq(pl, shares[i])
-		total.Add(seq[i])
+		eq.seq[i] = a.ExeSeq(pl, shares[i])
+		total.Add(eq.seq[i])
 	}
 	sum := total.Sum()
-	procs := make([]float64, len(apps))
+	procs := growF64(eq.procs, len(apps))
+	eq.procs = procs
 	if sum == 0 {
+		for i := range procs {
+			procs[i] = 0
+		}
 		return procs, 0
 	}
 	for i := range procs {
-		procs[i] = pl.Processors * seq[i] / sum
+		procs[i] = pl.Processors * eq.seq[i] / sum
 	}
 	return procs, sum / pl.Processors
 }
 
-// EqualizeAmdahl finds the common completion time K and processor counts
-// p_i for general Amdahl applications with fixed cache shares (Section
-// 5). Each application's execution time is (s_i + (1-s_i)/p_i)·c_i with
-// c_i = w_i·CostPerOp(x_i); setting them all equal to K and using the
-// full budget Σp_i = p gives
-//
-//	Σ_i (1-s_i) / (K/c_i - s_i) = p,
-//
-// whose left side is strictly decreasing in K, solved by bisection.
-// The bracket is [K_lo, K_hi] with K_lo the finish time of the slowest
-// app granted all p processors (no schedule can beat it) and K_hi the
-// largest single-processor time (p_i = 1 is always feasible for n ≤ p).
-func EqualizeAmdahl(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64, error) {
+// equalize finds the common completion time K and processor counts p_i
+// for general Amdahl applications with fixed cache shares (Section 5).
+// The returned processor slice is owned by the equalizer and valid
+// until its next call; callers copy what they keep.
+func (eq *equalizer) equalize(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64, error) {
 	n := len(apps)
 	if n == 0 {
 		return nil, 0, ErrInfeasible
 	}
-	c := make([]float64, n)
+	eq.c = growF64(eq.c, n)
 	allSeqZero := true
 	for i, a := range apps {
-		c[i] = a.Work * a.CostPerOp(pl, shares[i])
+		eq.c[i] = a.Work * a.CostPerOp(pl, shares[i])
 		if a.SeqFraction != 0 {
 			allSeqZero = false
 		}
 	}
 	if allSeqZero {
-		procs, K := ProcessorsLemma2(pl, apps, shares)
+		procs, K := eq.lemma2(pl, apps, shares)
 		return procs, K, nil
 	}
 
-	demand := func(K float64) float64 {
-		var sum solve.Kahan
-		for i, a := range apps {
-			s := a.SeqFraction
-			den := K/c[i] - s
-			if den <= 0 {
-				return math.Inf(1)
-			}
-			sum.Add((1 - s) / den)
-		}
-		return sum.Sum()
-	}
+	eq.apps = apps
+	demand := eq.demandFn()
 
 	var lo, hi float64
 	for i, a := range apps {
-		lo = math.Max(lo, c[i]*(a.SeqFraction+(1-a.SeqFraction)/pl.Processors))
-		hi = math.Max(hi, c[i])
+		lo = math.Max(lo, eq.c[i]*(a.SeqFraction+(1-a.SeqFraction)/pl.Processors))
+		hi = math.Max(hi, eq.c[i])
 	}
 	if demand(hi) > pl.Processors {
 		// More total single-processor demand than processors: stretch
@@ -104,10 +127,11 @@ func EqualizeAmdahl(pl model.Platform, apps []model.Application, shares []float6
 			return nil, 0, fmt.Errorf("sched: equalizer failed: %w", err)
 		}
 	}
-	procs := make([]float64, n)
+	procs := growF64(eq.procs, n)
+	eq.procs = procs
 	for i, a := range apps {
 		s := a.SeqFraction
-		den := K/c[i] - s
+		den := K/eq.c[i] - s
 		if den <= 0 {
 			procs[i] = pl.Processors // degenerate: app pinned at K ≈ its own floor
 			continue
@@ -116,6 +140,43 @@ func EqualizeAmdahl(pl model.Platform, apps []model.Application, shares []float6
 	}
 	rescale(procs, pl.Processors)
 	return procs, K, nil
+}
+
+// ProcessorsLemma2 assigns processors per Lemma 2 for perfectly parallel
+// applications: p_i = p · Exe^seq_i(x_i) / Σ_j Exe^seq_j(x_j), which makes
+// all applications finish simultaneously at (Σ_j Exe^seq_j(x_j))/p.
+func ProcessorsLemma2(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64) {
+	var eq equalizer
+	procs, K := eq.lemma2(pl, apps, shares)
+	out := make([]float64, len(procs))
+	copy(out, procs)
+	return out, K
+}
+
+// EqualizeAmdahl finds the common completion time K and processor counts
+// p_i for general Amdahl applications with fixed cache shares (Section
+// 5). Each application's execution time is (s_i + (1-s_i)/p_i)·c_i with
+// c_i = w_i·CostPerOp(x_i); setting them all equal to K and using the
+// full budget Σp_i = p gives
+//
+//	Σ_i (1-s_i) / (K/c_i - s_i) = p,
+//
+// whose left side is strictly decreasing in K, solved by bisection.
+// The bracket is [K_lo, K_hi] with K_lo the finish time of the slowest
+// app granted all p processors (no schedule can beat it) and K_hi the
+// largest single-processor time (p_i = 1 is always feasible for n ≤ p).
+//
+// This is the allocating convenience wrapper; the heuristics run the
+// same arithmetic through their pooled scratch equalizer.
+func EqualizeAmdahl(pl model.Platform, apps []model.Application, shares []float64) ([]float64, float64, error) {
+	var eq equalizer
+	procs, K, err := eq.equalize(pl, apps, shares)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float64, len(procs))
+	copy(out, procs)
+	return out, K, nil
 }
 
 // rescale scales procs down proportionally if their sum exceeds the

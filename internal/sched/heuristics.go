@@ -142,27 +142,42 @@ func ParseHeuristic(name string) (Heuristic, error) {
 
 // Schedule computes a complete schedule with heuristic h. rng drives the
 // randomized policies (DominantRandom, DominantRevRandom, RandomPart) and
-// may be nil for deterministic ones.
+// may be nil for deterministic ones. Scheduling runs on pooled scratch
+// buffers: beyond the returned Schedule the steady-state evaluation
+// performs no heap allocations.
 func (h Heuristic) Schedule(pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
 	if err := model.ValidateAll(pl, apps); err != nil {
 		return nil, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return h.scheduleWith(sc, pl, apps, rng)
+}
+
+// scheduleWith dispatches to the heuristic implementations on an
+// already-validated input with a caller-held scratch.
+func (h Heuristic) scheduleWith(sc *scratch, pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
 	switch h {
 	case DominantRandom, DominantMinRatio, DominantMaxRatio,
 		DominantRevRandom, DominantRevMinRatio, DominantRevMaxRatio:
-		return dominantSchedule(pl, apps, h, rng)
+		return dominantSchedule(sc, pl, apps, h, rng)
 	case Fair:
 		return fairSchedule(pl, apps)
 	case ZeroCache:
-		return sharesSchedule(pl, apps, make([]float64, len(apps)))
+		shares := growF64(sc.shares, len(apps))
+		for i := range shares {
+			shares[i] = 0
+		}
+		sc.shares = shares
+		return sharesScheduleWith(sc, pl, apps, shares)
 	case RandomPart:
-		return randomPartSchedule(pl, apps, rng)
+		return randomPartSchedule(sc, pl, apps, rng)
 	case AllProcCache:
 		return allProcCacheSchedule(pl, apps)
 	case SharedCache:
-		return SharedCacheSchedule(pl, apps)
+		return sharedCacheSchedule(sc, pl, apps)
 	case LocalSearch:
-		return LocalSearchSchedule(pl, apps, LocalSearchOptions{}, rng)
+		return localSearchSchedule(sc, pl, apps, LocalSearchOptions{}, rng)
 	default:
 		return nil, fmt.Errorf("sched: unknown heuristic %v", h)
 	}
@@ -200,27 +215,41 @@ func requireRNG(rng *solve.RNG) *solve.RNG {
 // proxy of the applications (Section 5 temporarily assumes s_i = 0 to
 // pick the partition), take the closed-form cache shares, then equalize
 // completion times for the true Amdahl profiles.
-func dominantSchedule(pl model.Platform, apps []model.Application, h Heuristic, rng *solve.RNG) (*Schedule, error) {
+func dominantSchedule(sc *scratch, pl model.Platform, apps []model.Application, h Heuristic, rng *solve.RNG) (*Schedule, error) {
 	choice, reverse, err := choiceFor(h, rng)
 	if err != nil {
 		return nil, err
 	}
-	proxy := make([]model.Application, len(apps))
+	proxy := growApps(sc.proxy, len(apps))
+	sc.proxy = proxy
 	for i, a := range apps {
 		a.SeqFraction = 0
 		proxy[i] = a
 	}
-	part, err := core.BuildDominant(pl, proxy, reverse, choice)
-	if err != nil {
+	if err := core.BuildDominantInto(&sc.part, pl, proxy, reverse, choice); err != nil {
 		return nil, err
 	}
-	return sharesSchedule(pl, apps, part.Shares())
+	sc.shares = sc.part.SharesInto(sc.shares)
+	return sharesScheduleWith(sc, pl, apps, sc.shares)
 }
 
 // sharesSchedule completes a schedule from fixed cache shares by
 // equalizing completion times.
 func sharesSchedule(pl model.Platform, apps []model.Application, shares []float64) (*Schedule, error) {
-	procs, _, err := EqualizeAmdahl(pl, apps, shares)
+	var eq equalizer
+	return sharesScheduleEq(&eq, pl, apps, shares)
+}
+
+// sharesScheduleWith is sharesSchedule on pooled scratch.
+func sharesScheduleWith(sc *scratch, pl model.Platform, apps []model.Application, shares []float64) (*Schedule, error) {
+	return sharesScheduleEq(&sc.eq, pl, apps, shares)
+}
+
+// sharesScheduleEq equalizes completion times under the given shares and
+// materializes the resulting Schedule — the only allocation of the hot
+// path.
+func sharesScheduleEq(eq *equalizer, pl model.Platform, apps []model.Application, shares []float64) (*Schedule, error) {
+	procs, _, err := eq.equalize(pl, apps, shares)
 	if err != nil {
 		return nil, err
 	}
@@ -253,17 +282,18 @@ func fairSchedule(pl model.Platform, apps []model.Application) (*Schedule, error
 
 // randomPartSchedule: uniformly random membership, closed-form shares on
 // the members, equalized processors (Section 6.3).
-func randomPartSchedule(pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+func randomPartSchedule(sc *scratch, pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
 	r := requireRNG(rng)
-	members := make([]bool, len(apps))
+	members := growBool(sc.members, len(apps))
+	sc.members = members
 	for i := range members {
 		members[i] = r.Intn(2) == 1
 	}
-	part, err := core.NewPartition(pl, apps, members)
-	if err != nil {
+	if err := sc.part.Reset(pl, apps, members); err != nil {
 		return nil, err
 	}
-	return sharesSchedule(pl, apps, part.Shares())
+	sc.shares = sc.part.SharesInto(sc.shares)
+	return sharesScheduleWith(sc, pl, apps, sc.shares)
 }
 
 // allProcCacheSchedule: applications run one after another, each on the

@@ -178,44 +178,81 @@ func (o LocalSearchOptions) tol() float64 {
 // The returned schedule is never worse than DominantMinRatio's and can
 // strictly improve it when sequential fractions are heterogeneous.
 func LocalSearchSchedule(pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
-	warm, err := DominantMinRatio.Schedule(pl, apps, rng)
+	if err := model.ValidateAll(pl, apps); err != nil {
+		return nil, err
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return localSearchSchedule(sc, pl, apps, opts, rng)
+}
+
+// localSearchMakespan evaluates one candidate membership: Lemma 4 shares
+// on the membership, Amdahl equalization, max finish time. It performs
+// the exact arithmetic of building the candidate Schedule without
+// materializing it, so the hill climb allocates nothing per toggle.
+func localSearchMakespan(sc *scratch, pl model.Platform, apps []model.Application, m []bool) (float64, error) {
+	if err := sc.part.Reset(pl, apps, m); err != nil {
+		return 0, err
+	}
+	sc.shares = sc.part.SharesInto(sc.shares)
+	procs, _, err := sc.eq.equalize(pl, apps, sc.shares)
+	if err != nil {
+		return 0, err
+	}
+	var span float64
+	for i, a := range apps {
+		span = math.Max(span, a.Exe(pl, procs[i], sc.shares[i]))
+	}
+	return span, nil
+}
+
+// localSearchSchedule is the scratch-backed hill climb. Candidate
+// memberships are scored by localSearchMakespan; only the final winner
+// is materialized as a Schedule (bit-identical to scoring, since both
+// run the same deterministic arithmetic).
+func localSearchSchedule(sc *scratch, pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
+	warm, err := dominantSchedule(sc, pl, apps, DominantMinRatio, rng)
 	if err != nil {
 		return nil, err
 	}
 	// Recover the warm membership from the shares.
-	members := make([]bool, len(apps))
+	members := growBool(sc.members, len(apps))
+	sc.members = members
 	for i, a := range warm.Assignments {
 		members[i] = a.CacheShare > 0
 	}
-	evaluate := func(m []bool) (*Schedule, error) {
-		part, err := core.NewPartition(pl, apps, m)
-		if err != nil {
-			return nil, err
-		}
-		return sharesSchedule(pl, apps, part.Shares())
-	}
-	best := warm
+	bestSpan := warm.Makespan
+	bestIsWarm := true
+	bestM := growBool(sc.bestM, len(apps))
+	sc.bestM = bestM
 	// Second warm-start candidate: the best ratio-sorted prefix, which
 	// scans all n+1 nested memberships the dominance theory singles out.
-	if prefix, err := core.BestRatioPrefix(pl, apps); err == nil {
-		if cand, err := evaluate(prefix.Members()); err == nil && cand.Makespan < best.Makespan {
-			best = cand
-			copy(members, prefix.Members())
+	if err := core.BestRatioPrefixInto(&sc.prefix, pl, apps); err == nil {
+		// The prefix partition already holds the candidate membership, so
+		// score its shares directly.
+		prefM := sc.prefix.MembersInto(nil)
+		if span, err := localSearchMakespan(sc, pl, apps, prefM); err == nil && span < bestSpan {
+			bestSpan = span
+			bestIsWarm = false
+			copy(members, prefM)
+			copy(bestM, prefM)
 		}
 	}
 	for pass := 0; pass < opts.maxPasses(); pass++ {
 		improved := false
 		for i := range apps {
 			members[i] = !members[i]
-			cand, err := evaluate(members)
+			span, err := localSearchMakespan(sc, pl, apps, members)
 			if err != nil {
 				// An invalid toggle (e.g. numerical corner) is simply
 				// not taken.
 				members[i] = !members[i]
 				continue
 			}
-			if cand.Makespan < best.Makespan*(1-opts.tol()) {
-				best = cand
+			if span < bestSpan*(1-opts.tol()) {
+				bestSpan = span
+				bestIsWarm = false
+				copy(bestM, members)
 				improved = true
 			} else {
 				members[i] = !members[i] // revert
@@ -225,5 +262,12 @@ func LocalSearchSchedule(pl model.Platform, apps []model.Application, opts Local
 			break
 		}
 	}
-	return best, nil
+	if bestIsWarm {
+		return warm, nil
+	}
+	if err := sc.part.Reset(pl, apps, bestM); err != nil {
+		return nil, err
+	}
+	sc.shares = sc.part.SharesInto(sc.shares)
+	return sharesScheduleWith(sc, pl, apps, sc.shares)
 }

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// scratch is the per-evaluation workspace of one Heuristic.Schedule
+// call. Every buffer the heuristics previously allocated per call —
+// perfectly-parallel proxies, partition state, cache-share vectors,
+// equalizer coefficients — lives here and is recycled through a
+// sync.Pool, so the steady-state hot path only allocates the Schedule
+// it returns. Buffers are fully overwritten before use; pooling cannot
+// change results.
+type scratch struct {
+	proxy   []model.Application // zero-SeqFraction proxy of the inputs
+	members []bool              // random-membership / warm-start vector
+	bestM   []bool              // local search's best membership snapshot
+	shares  []float64           // cache-share vector under evaluation
+	occ     []float64           // shared-cache occupancy vector
+	dampP   []float64           // shared-cache damped processor state
+	part    core.Partition      // reusable partition for the builders
+	prefix  core.Partition      // reusable partition for the prefix scan
+	eq      equalizer           // equalizer state incl. persistent bisect objective
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// growF64 returns a slice of length n, reusing s's backing array when
+// large enough.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growBool is growF64 for booleans.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// growApps is growF64 for application slices.
+func growApps(s []model.Application, n int) []model.Application {
+	if cap(s) < n {
+		return make([]model.Application, n)
+	}
+	return s[:n]
+}

@@ -41,15 +41,25 @@ func SharedCacheSchedule(pl model.Platform, apps []model.Application) (*Schedule
 	if err := model.ValidateAll(pl, apps); err != nil {
 		return nil, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return sharedCacheSchedule(sc, pl, apps)
+}
+
+// sharedCacheSchedule is the scratch-backed fixed-point iteration; every
+// equalizer pass reuses the same coefficient and processor buffers.
+func sharedCacheSchedule(sc *scratch, pl model.Platform, apps []model.Application) (*Schedule, error) {
 	n := len(apps)
-	procs := make([]float64, n)
+	procs := growF64(sc.dampP, n)
+	sc.dampP = procs
 	for i := range procs {
 		procs[i] = pl.Processors / float64(n)
 	}
-	occ := make([]float64, n)
+	occ := growF64(sc.occ, n)
+	sc.occ = occ
 	for iter := 0; iter < sharedCacheIterations; iter++ {
 		occupancies(apps, procs, occ)
-		next, _, err := EqualizeAmdahl(pl, apps, occ)
+		next, _, err := sc.eq.equalize(pl, apps, occ)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +77,7 @@ func SharedCacheSchedule(pl model.Platform, apps []model.Application) (*Schedule
 	occupancies(apps, procs, occ)
 	// Final consistent pass: equalize once more at the settled
 	// occupancies so finish times are exactly equal.
-	final, _, err := EqualizeAmdahl(pl, apps, occ)
+	final, _, err := sc.eq.equalize(pl, apps, occ)
 	if err != nil {
 		return nil, err
 	}

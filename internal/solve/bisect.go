@@ -22,12 +22,21 @@ const defaultMaxIter = 200
 // rtol, assuming f is continuous and f(lo), f(hi) have opposite signs.
 // It is robust against non-finite f values inside the interval (they are
 // treated as sign carriers via copysign on the midpoint side that remains
-// bracketed).
+// bracketed). Bisect performs no heap allocations of its own, so hot
+// paths may call it with a long-lived objective without per-call cost.
 func Bisect(f func(float64) float64, lo, hi, rtol float64) (float64, error) {
+	return bisect(f, 0, lo, hi, rtol)
+}
+
+// bisect solves f(x) = target on [lo, hi]. Evaluating f(x) - target
+// inline (rather than wrapping f in a shifted closure) keeps the shared
+// solver allocation-free for both Bisect and BisectDecreasing while
+// producing bit-identical iterates.
+func bisect(f func(float64) float64, target, lo, hi, rtol float64) (float64, error) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	flo, fhi := f(lo), f(hi)
+	flo, fhi := f(lo)-target, f(hi)-target
 	if flo == 0 {
 		return lo, nil
 	}
@@ -43,7 +52,7 @@ func Bisect(f func(float64) float64, lo, hi, rtol float64) (float64, error) {
 			// Interval collapsed to adjacent floats.
 			return mid, nil
 		}
-		fmid := f(mid)
+		fmid := f(mid) - target
 		if fmid == 0 {
 			return mid, nil
 		}
@@ -71,9 +80,10 @@ func midpoint(lo, hi float64) float64 {
 // BisectDecreasing solves f(x) = target for a continuous strictly
 // decreasing f on [lo, hi]. It is a convenience wrapper used by the
 // makespan equalizer, where f(K) = Σ (1-s_i)/(K/c_i - s_i) is decreasing
-// in K.
+// in K. Unlike a closure-shifted Bisect it allocates nothing, so the
+// equalizer can sit on the scheduler's zero-allocation hot path.
 func BisectDecreasing(f func(float64) float64, target, lo, hi, rtol float64) (float64, error) {
-	return Bisect(func(x float64) float64 { return f(x) - target }, lo, hi, rtol)
+	return bisect(f, target, lo, hi, rtol)
 }
 
 // GoldenSection minimizes a unimodal f on [lo, hi] to within absolute

@@ -36,21 +36,28 @@ type TracedApp struct {
 	NewTrace func() trace.Generator
 }
 
+// fitTable memoizes the sweep-and-fit cell of every characterization:
+// re-characterizing the same generator with the same geometry serves
+// the fit from the table instead of re-simulating millions of
+// accesses. The cell key fingerprints the generator's actual access
+// stream, so same-named generators with different parameters or seeds
+// get distinct cells; characterization is deterministic, so the
+// memoized result is bit-identical to a fresh one.
+var fitTable = cachesim.NewFitTable()
+
 // Characterize builds a model.Application from a trace generator by
 // sweeping the cache simulator over sizes and fitting the Power Law —
 // the PEBIL role. work and freq are the application's compute profile
 // (operations and accesses per operation); seq its Amdahl fraction.
+// Repeated characterizations of one cell are served from a
+// process-wide fit table (see cachesim.FitTable).
 func Characterize(name string, mkGen func() trace.Generator, sizes []uint64, line uint64, ways int,
 	work, seq, freq float64, warmup, count int) (TracedApp, cachesim.PowerLawFit, error) {
 
-	pts, err := cachesim.Sweep(sizes, line, ways, mkGen, warmup, count)
+	const refSize = 40e6 // the paper's reference point
+	fit, err := fitTable.Characterize(name, sizes, line, ways, mkGen, warmup, count, refSize)
 	if err != nil {
 		return TracedApp{}, cachesim.PowerLawFit{}, fmt.Errorf("validate: characterizing %s: %w", name, err)
-	}
-	const refSize = 40e6 // the paper's reference point
-	fit, err := cachesim.FitPowerLaw(pts, refSize)
-	if err != nil {
-		return TracedApp{}, cachesim.PowerLawFit{}, fmt.Errorf("validate: fitting %s: %w", name, err)
 	}
 	app := model.Application{
 		Name:         name,

@@ -1,95 +1,59 @@
 #!/usr/bin/env bash
-# Benchmark workflow for the portfolio engine (see benchmarks/README.md).
+# Benchmark workflow — a thin wrapper over cmd/benchgate, the
+# statistical benchmark gate (see benchmarks/README.md).
 #
-#   scripts/bench.sh            run benchmarks -> benchmarks/latest.txt
-#   scripts/bench.sh baseline   promote latest.txt to baseline.txt
-#   scripts/bench.sh compare    run, then fail on a speedup regression
+#   scripts/bench.sh            run benchmarks -> benchmarks/latest.txt, print the gate report
+#   scripts/bench.sh baseline   run, then rewrite benchmarks/baseline.json from the results
+#   scripts/bench.sh compare    run, gate against the baseline, write the trajectory artifact
 #
 # Environment:
-#   BENCH_TIME                -benchtime (default 30x)
-#   BENCH_COUNT               -count (default 3)
-#   MIN_SPEEDUP               required parallel speedup on >= 4 CPUs (default 2.0)
-#   BENCH_MAX_REGRESSION_PCT  allowed speedup drop vs baseline (default 15)
+#   BENCH_TIME        -benchtime (default 30x)
+#   BENCH_COUNT       -count: repeated runs feeding the median/MAD aggregation (default 10)
+#   BENCH_LABEL       trajectory label (default "PR 4")
+#   BENCH_TRAJECTORY  trajectory artifact path (default BENCH_4.json)
+#   MIN_SPEEDUP       required parallel speedup on >= 4 CPUs (default 2.0)
+#   BENCHGATE_FLAGS   extra flags passed to benchgate (e.g. "-tol-ns 50")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_DIR=benchmarks
 LATEST=$BENCH_DIR/latest.txt
-BASELINE=$BENCH_DIR/baseline.txt
+BASELINE=$BENCH_DIR/baseline.json
 BENCH_TIME=${BENCH_TIME:-30x}
-BENCH_COUNT=${BENCH_COUNT:-3}
+BENCH_COUNT=${BENCH_COUNT:-10}
+BENCH_LABEL=${BENCH_LABEL:-"PR 4"}
+BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_4.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
-BENCH_MAX_REGRESSION_PCT=${BENCH_MAX_REGRESSION_PCT:-15}
+BENCHGATE_FLAGS=${BENCHGATE_FLAGS:-}
 
 run_bench() {
   mkdir -p "$BENCH_DIR"
   {
-    go test -run '^$' -bench 'BenchmarkPortfolio' -benchtime "$BENCH_TIME" \
+    go test -run '^$' -bench 'BenchmarkPortfolio' -benchmem -benchtime "$BENCH_TIME" \
       -count "$BENCH_COUNT" ./internal/portfolio
-    go test -run '^$' -bench 'BenchmarkDES' -benchtime "$BENCH_TIME" \
+    go test -run '^$' -bench 'BenchmarkDES' -benchmem -benchtime "$BENCH_TIME" \
       -count "$BENCH_COUNT" ./internal/des
   } | tee "$LATEST"
 }
 
-# best_nsop FILE NAME_REGEX: minimum ns/op among matching benchmark lines.
-best_nsop() {
-  awk -v pat="$2" '$0 ~ pat && /ns\/op/ {
-    for (i = 1; i <= NF; i++) if ($(i+1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
-  } END { if (best == "") exit 1; print best }' "$1"
-}
-
-# speedup_of FILE: serial ns/op divided by the best parallel ns/op.
-speedup_of() {
-  local serial parallel
-  serial=$(best_nsop "$1" 'BenchmarkPortfolioSweep/workers=1[^0-9]') || return 1
-  parallel=$(best_nsop "$1" 'BenchmarkPortfolioSweep/workers=([2-9]|[1-9][0-9]+)') || return 1
-  awk -v s="$serial" -v p="$parallel" 'BEGIN { printf "%.3f", s / p }'
-}
-
-report_des() {
-  local nsop
-  if nsop=$(best_nsop "$1" 'BenchmarkDESPoisson'); then
-    echo "DES online simulation (poisson/64 jobs): ${nsop} ns/op"
-  fi
+gate() {
+  # shellcheck disable=SC2086  # BENCHGATE_FLAGS is intentionally word-split
+  go run ./cmd/benchgate -baseline "$BASELINE" $BENCHGATE_FLAGS "$@" "$LATEST"
 }
 
 case "${1:-run}" in
   run)
     run_bench
-    echo "portfolio sweep speedup (serial / best parallel): $(speedup_of "$LATEST")x"
-    report_des "$LATEST"
+    gate -min-speedup "$MIN_SPEEDUP"
     ;;
   baseline)
-    [ -f "$LATEST" ] || { echo "no $LATEST; run scripts/bench.sh first" >&2; exit 1; }
-    cp "$LATEST" "$BASELINE"
-    echo "promoted $LATEST -> $BASELINE (speedup $(speedup_of "$BASELINE")x)"
+    run_bench
+    gate -update
+    echo "promoted $LATEST -> $BASELINE"
     ;;
   compare)
     run_bench
-    speedup=$(speedup_of "$LATEST")
-    cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
-    echo "portfolio sweep speedup: ${speedup}x on $cpus CPUs"
-    report_des "$LATEST"
-    if [ "$cpus" -ge 4 ]; then
-      awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s + 0 < min + 0) }' && {
-        echo "FAIL: parallel speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
-        exit 1
-      }
-    else
-      echo "note: < 4 CPUs, skipping the ${MIN_SPEEDUP}x speedup gate"
-    fi
-    if [ -f "$BASELINE" ]; then
-      base=$(speedup_of "$BASELINE")
-      echo "baseline speedup: ${base}x (allowed regression ${BENCH_MAX_REGRESSION_PCT}%)"
-      awk -v s="$speedup" -v b="$base" -v pct="$BENCH_MAX_REGRESSION_PCT" \
-        'BEGIN { exit !(s + 0 < b * (100 - pct) / 100) }' && {
-        echo "FAIL: speedup ${speedup}x regressed more than ${BENCH_MAX_REGRESSION_PCT}% from baseline ${base}x" >&2
-        exit 1
-      }
-    else
-      echo "note: no $BASELINE committed; skipping baseline comparison"
-    fi
-    echo "bench compare OK"
+    gate -min-speedup "$MIN_SPEEDUP" -trajectory "$BENCH_TRAJECTORY" -label "$BENCH_LABEL"
     ;;
   *)
     echo "usage: scripts/bench.sh [run|baseline|compare]" >&2
