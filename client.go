@@ -1,0 +1,242 @@
+package repro
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/portfolio"
+)
+
+// Client is the library's v2 front door: a long-lived, concurrency-safe
+// handle owning a portfolio engine, its worker pool and its memoization
+// cache. Every method takes a context.Context and honors cancellation
+// and deadlines promptly — the portfolio worker pool polls the context
+// between heuristic evaluations, the online simulator's event loop
+// checks it every few events, and the iterative heuristics poll it
+// between refinement steps.
+//
+// Construct one Client per logical workload source and reuse it: the
+// memoization cache only pays off across calls, and all calls share one
+// bounded worker pool. The zero-configuration NewClient() is right for
+// most uses; see the With* options for tuning.
+type Client struct {
+	engine     *portfolio.Engine
+	heuristics []Heuristic
+	seed       uint64
+}
+
+// clientConfig collects the functional options of NewClient.
+type clientConfig struct {
+	workers    int
+	cache      bool
+	heuristics []Heuristic
+	seed       uint64
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*clientConfig)
+
+// WithWorkers bounds the client's worker pool: at most n heuristic
+// evaluations run at once across all concurrent calls on the client.
+// Values < 1 (and the default) mean GOMAXPROCS. Results are bit-for-bit
+// identical at any worker count.
+func WithWorkers(n int) ClientOption {
+	return func(c *clientConfig) { c.workers = n }
+}
+
+// WithCache enables or disables the memoization cache (default:
+// enabled). The cache memoizes solved (scenario, heuristic) pairs under
+// a canonical input hash, so repeated workloads are served with zero
+// recomputation; disable it for workloads that never repeat (the cache
+// would only accumulate dead entries).
+func WithCache(enabled bool) ClientOption {
+	return func(c *clientConfig) { c.cache = enabled }
+}
+
+// WithHeuristics fixes the heuristic set raced by Best and used as the
+// default for Evaluate/EvaluateBatch scenarios that do not name their
+// own. The default (no option, or zero heuristics) is the full extended
+// set: the paper's ten policies plus SharedCache and LocalSearch.
+func WithHeuristics(hs ...Heuristic) ClientOption {
+	return func(c *clientConfig) { c.heuristics = hs }
+}
+
+// WithSeed fixes the master seed driving the randomized heuristics
+// (DominantRandom, DominantRevRandom, RandomPart) in Best and Schedule.
+// Each heuristic draws from an independent substream derived from the
+// seed and its position, never from execution order, so a fixed seed
+// reproduces a fixed result at any worker count. The default is 0.
+func WithSeed(seed uint64) ClientOption {
+	return func(c *clientConfig) { c.seed = seed }
+}
+
+// NewClient returns a Client configured by the given options.
+func NewClient(opts ...ClientOption) *Client {
+	cfg := clientConfig{cache: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pcfg := portfolio.Config{Workers: cfg.workers}
+	if cfg.cache {
+		pcfg.Cache = portfolio.NewCache()
+	}
+	return &Client{
+		engine:     portfolio.New(pcfg),
+		heuristics: cfg.heuristics,
+		seed:       cfg.seed,
+	}
+}
+
+// defaultClient backs the deprecated free functions: one lazily
+// initialized shared client, so legacy callers get memoization across
+// calls instead of a transient engine (and cache) per call.
+var defaultClient = sync.OnceValue(func() *Client { return NewClient() })
+
+// DefaultClient returns the shared default client used by the
+// deprecated package-level functions. It is created on first use with
+// default options (GOMAXPROCS workers, memoization enabled).
+func DefaultClient() *Client { return defaultClient() }
+
+// Workers reports the size of the client's worker pool.
+func (c *Client) Workers() int { return c.engine.Workers() }
+
+// Engine exposes the client's underlying portfolio engine, for sharing
+// its worker pool and cache with lower-level consumers — the experiment
+// sweeps (experiments.Config.Engine) and the online portfolio policy
+// (des.NewPortfolioPolicy) both accept one.
+func (c *Client) Engine() *PortfolioEngine { return c.engine }
+
+// Schedule computes a complete co-schedule for the workload with one
+// heuristic, through the client's cache. Randomized heuristics draw
+// from a substream of the client seed (see WithSeed); use
+// Heuristic.Schedule directly to control the random stream per call.
+// Failures carry the typed vocabulary: *ValidationError for bad inputs,
+// *HeuristicError wrapping the failing policy, ctx.Err() when cancelled.
+func (c *Client) Schedule(ctx context.Context, h Heuristic, pl Platform, apps []Application) (*Schedule, error) {
+	rep, err := c.engine.EvaluateContext(ctx, PortfolioScenario{
+		Platform: pl, Apps: apps, Heuristics: []Heuristic{h}, Seed: c.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := rep.Results[0]
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Schedule, nil
+}
+
+// Best races the client's heuristic set (see WithHeuristics)
+// concurrently on the worker pool and returns the schedule with the
+// smallest makespan, plus the full per-heuristic report for audit. It
+// returns ErrInfeasible when no heuristic produced a feasible schedule,
+// and ctx.Err() — within one in-flight heuristic evaluation per worker
+// — when cancelled.
+func (c *Client) Best(ctx context.Context, pl Platform, apps []Application) (*Schedule, *PortfolioReport, error) {
+	rep, err := c.Evaluate(ctx, PortfolioScenario{Platform: pl, Apps: apps, Heuristics: c.heuristics, Seed: c.seed})
+	if err != nil {
+		return nil, rep, err
+	}
+	best := rep.BestResult()
+	if best == nil {
+		return nil, rep, ErrInfeasible
+	}
+	return best.Schedule, rep, nil
+}
+
+// Evaluate runs one fully-specified scenario on the worker pool and
+// reports every heuristic's outcome. A scenario naming no heuristics
+// inherits the client's set. The returned error is non-nil only for
+// invalid scenarios and cancellation; per-heuristic failures land in
+// the report.
+func (c *Client) Evaluate(ctx context.Context, sc PortfolioScenario) (*PortfolioReport, error) {
+	if len(sc.Heuristics) == 0 {
+		sc.Heuristics = c.heuristics
+	}
+	return c.engine.EvaluateContext(ctx, sc)
+}
+
+// BatchResult is one scenario's outcome in a streaming EvaluateBatch:
+// the scenario's position in the input stream and its full report.
+type BatchResult struct {
+	Index  int
+	Report *PortfolioReport
+}
+
+// EvaluateBatch evaluates a stream of scenarios and emits one
+// BatchResult per scenario, in input order, as each completes. The
+// whole pipeline — pulling scenarios from the iterator, evaluating
+// them on the worker pool, emitting reports — runs in bounded memory:
+// at most 2×Workers scenarios are decoded-but-unemitted at any moment,
+// so NDJSON-scale batches stream instead of buffering.
+//
+// Scenarios naming no heuristics inherit the client's set. A non-nil
+// error from emit stops the batch and is returned; cancelling ctx stops
+// it with ctx.Err() within one in-flight task per worker. Either way
+// the iterator stops being pulled, in-flight evaluations are drained
+// (no goroutines leak), and already-emitted results remain valid.
+// Scenario-level validation failures land in the emitted report's Err
+// field and do not stop the stream.
+func (c *Client) EvaluateBatch(ctx context.Context, scenarios iter.Seq[PortfolioScenario], emit func(BatchResult) error) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// window bounds both the scenarios in flight (each fans its
+	// heuristics out on the engine's shared semaphore) and the completed
+	// reports waiting for their turn in the ordered output.
+	window := 2 * c.engine.Workers()
+	pending := make(chan chan *PortfolioReport, window)
+	go func() {
+		defer close(pending)
+		for sc := range scenarios {
+			if len(sc.Heuristics) == 0 {
+				sc.Heuristics = c.heuristics
+			}
+			done := make(chan *PortfolioReport, 1)
+			select {
+			case pending <- done: // blocks while the window is full
+			case <-cctx.Done():
+				return
+			}
+			go func(sc PortfolioScenario) {
+				// The report channel is buffered: the evaluation can
+				// always hand off its result and exit, even when the
+				// consumer has already abandoned the batch.
+				rep, _ := c.engine.EvaluateContext(cctx, sc)
+				done <- rep
+			}(sc)
+		}
+	}()
+
+	var emitErr error
+	idx := 0
+	for done := range pending {
+		rep := <-done
+		if emitErr != nil || cctx.Err() != nil {
+			continue // draining after a failure or cancellation
+		}
+		if err := emit(BatchResult{Index: idx, Report: rep}); err != nil {
+			emitErr = err
+			cancel() // stop the producer; the loop keeps draining
+		}
+		idx++
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	return ctx.Err()
+}
+
+// SimulateOnline runs an online co-scheduling scenario to completion on
+// the discrete-event simulator: jobs arrive over virtual time and the
+// scenario's policy repartitions the node at every arrival and
+// completion. Deterministic per seed and bit-identical across runs and
+// policy worker counts. The event loop polls ctx every few events and
+// abandons a cancelled run with ctx.Err(); to share the client's worker
+// pool with a portfolio repartition policy, pass Engine() to
+// des.NewPortfolioPolicy.
+func (c *Client) SimulateOnline(ctx context.Context, sc OnlineScenario) (*OnlineResult, error) {
+	return des.SimulateContext(ctx, sc)
+}

@@ -1,0 +1,409 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// testApps returns a distinct workload per index, so batch scenarios
+// cannot collapse into one memoized cell.
+func testApps(i int) []Application {
+	apps := NPB()
+	for j := range apps {
+		apps[j].SeqFraction = 0.05
+		apps[j].Work *= 1 + float64(i)/97
+	}
+	return apps
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (small slack for runtime helpers); it fails the test with a
+// stack dump if leaked goroutines persist.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// pollCancelCtx is a deterministic cancellation source: it reports
+// context.Canceled starting from the (after+1)-th Err poll. The layers
+// under test poll Err in their loops, so this cancels "mid-run" without
+// any timing dependence.
+type pollCancelCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *pollCancelCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCancelCtx) Done() <-chan struct{} {
+	// The poll-driven layers never block on Done; returning nil keeps
+	// selects (which treat nil as "never ready") from firing early.
+	return nil
+}
+
+func TestClientOptions(t *testing.T) {
+	c := NewClient(WithWorkers(3), WithHeuristics(DominantMinRatio, Fair), WithSeed(7), WithCache(false))
+	if c.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", c.Workers())
+	}
+	if st := c.Engine().CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("cache disabled but stats %+v", st)
+	}
+	pl := TaihuLight()
+	_, rep, err := c.Best(context.Background(), pl, testApps(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("%d results, want the 2 configured heuristics", len(rep.Results))
+	}
+}
+
+func TestClientScheduleMatchesDirect(t *testing.T) {
+	c := NewClient()
+	pl := TaihuLight()
+	apps := testApps(0)
+	got, err := c.Schedule(context.Background(), DominantMinRatio, pl, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DominantMinRatio.Schedule(pl, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("client schedule %v != direct %v", got.Makespan, want.Makespan)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	c := NewClient()
+	ctx := context.Background()
+
+	// Invalid platform → *ValidationError across the engine boundary.
+	_, _, err := c.Best(ctx, Platform{}, testApps(0))
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("invalid platform returned %T (%v), want *ValidationError", err, err)
+	}
+	if verr.Field != "platform.processors" {
+		t.Fatalf("field %q, want platform.processors", verr.Field)
+	}
+
+	// Unknown heuristic on a valid scenario → *HeuristicError.
+	_, err = c.Schedule(ctx, Heuristic(99), TaihuLight(), testApps(0))
+	var herr *HeuristicError
+	if !errors.As(err, &herr) {
+		t.Fatalf("unknown heuristic returned %T (%v), want *HeuristicError", err, err)
+	}
+	if herr.Heuristic != Heuristic(99) {
+		t.Fatalf("heuristic %v recorded, want Heuristic(99)", herr.Heuristic)
+	}
+
+	// Nil/empty schedules → *ValidationError instead of panics.
+	if _, err := CATPartition(nil, 20); !errors.As(err, &verr) || verr.Field != "schedule" {
+		t.Fatalf("CATPartition(nil): %v", err)
+	}
+	if _, err := CATPartition(&Schedule{}, 20); !errors.As(err, &verr) || verr.Field != "schedule.assignments" {
+		t.Fatalf("CATPartition(empty): %v", err)
+	}
+	if _, err := RoundProcessors(TaihuLight(), nil, nil); !errors.As(err, &verr) || verr.Field != "schedule" {
+		t.Fatalf("RoundProcessors(nil): %v", err)
+	}
+	if _, err := RoundProcessors(TaihuLight(), nil, &Schedule{}); !errors.As(err, &verr) {
+		t.Fatalf("RoundProcessors(empty): %v", err)
+	}
+
+	// ErrInfeasible is a sentinel: errors.Is through wrapping.
+	if !errors.Is(fmt.Errorf("wrap: %w", ErrInfeasible), ErrInfeasible) {
+		t.Fatal("ErrInfeasible does not survive wrapping")
+	}
+}
+
+// TestEvaluateBatchStreams verifies ordering and bounded-window
+// streaming over a scenario iterator.
+func TestEvaluateBatchStreams(t *testing.T) {
+	c := NewClient(WithWorkers(4))
+	pl := TaihuLight()
+	const n = 40
+	scenarios := func(yield func(PortfolioScenario) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(PortfolioScenario{Platform: pl, Apps: testApps(i), Seed: uint64(i)}) {
+				return
+			}
+		}
+	}
+	var got []int
+	err := c.EvaluateBatch(context.Background(), scenarios, func(br BatchResult) error {
+		if br.Report == nil || br.Report.BestResult() == nil {
+			t.Fatalf("scenario %d: no feasible result", br.Index)
+		}
+		got = append(got, br.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d reports, want %d", len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("out-of-order emit: position %d got index %d", i, idx)
+		}
+	}
+}
+
+// TestEvaluateBatchCancellation cancels mid-batch and asserts the
+// ctx.Err() contract: prompt return, no goroutine leaks, and a fully
+// reusable client producing bit-identical results afterwards.
+func TestEvaluateBatchCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := NewClient(WithWorkers(2))
+	pl := TaihuLight()
+
+	// Reference outcome from an independent client (fresh cache).
+	ref, _, err := NewClient().Best(context.Background(), pl, testApps(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	scenarios := func(yield func(PortfolioScenario) bool) {
+		for i := 0; ; i++ { // unbounded stream: only cancellation ends it
+			if !yield(PortfolioScenario{Platform: pl, Apps: testApps(i), Seed: uint64(i)}) {
+				return
+			}
+		}
+	}
+	emitted := 0
+	err = c.EvaluateBatch(ctx, scenarios, func(br BatchResult) error {
+		emitted++
+		if emitted == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+	if emitted < 3 {
+		t.Fatalf("emitted %d reports before cancel, want >= 3", emitted)
+	}
+	// The window bounds how many in-flight reports can still drain
+	// after the cancel; anything beyond it would mean the stream kept
+	// being pulled.
+	if max := 3 + 2*c.Workers() + 1; emitted > max {
+		t.Fatalf("emitted %d reports, want <= %d after cancelling at 3", emitted, max)
+	}
+	waitGoroutines(t, before)
+
+	// The same client must still serve golden-identical results.
+	got, _, err := c.Best(context.Background(), pl, testApps(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != ref.Makespan {
+		t.Fatalf("post-cancel Best %v != reference %v", got.Makespan, ref.Makespan)
+	}
+}
+
+// TestEvaluateBatchEmitError stops the stream on the first emit failure
+// and returns that error.
+func TestEvaluateBatchEmitError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := NewClient(WithWorkers(2))
+	pl := TaihuLight()
+	boom := errors.New("sink full")
+	scenarios := func(yield func(PortfolioScenario) bool) {
+		for i := 0; ; i++ {
+			if !yield(PortfolioScenario{Platform: pl, Apps: testApps(i), Seed: uint64(i)}) {
+				return
+			}
+		}
+	}
+	calls := 0
+	err := c.EvaluateBatch(context.Background(), scenarios, func(BatchResult) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error %v not returned (got %v)", boom, err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing, want 1", calls)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSimulateOnlineCancellation cancels the DES event loop
+// deterministically (the loop polls ctx.Err every few events) and
+// asserts prompt ctx.Err() return plus bit-identical behavior on a
+// subsequent uncancelled run.
+func TestSimulateOnlineCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := NewClient(WithWorkers(2))
+	mkScenario := func() OnlineScenario {
+		factory, err := CycleJobs(testApps(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := PoissonArrivals(0.002, 64, factory, NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := HeuristicRepartition(DominantMinRatio, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return OnlineScenario{Platform: TaihuLight(), Arrivals: arr, Policy: pol}
+	}
+
+	// Reference: full uncancelled run.
+	ref, err := c.SimulateOnline(context.Background(), mkScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Events) < 64 {
+		t.Fatalf("reference run too short to cancel mid-way: %d events", len(ref.Events))
+	}
+
+	// Cancel after a handful of context polls — well inside the run.
+	pctx := &pollCancelCtx{Context: context.Background(), after: 3}
+	if _, err := c.SimulateOnline(pctx, mkScenario()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled simulation returned %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, before)
+
+	// Rerun uncancelled on the same client: bit-identical event log.
+	again, err := c.SimulateOnline(context.Background(), mkScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != ref.Makespan || len(again.Events) != len(ref.Events) {
+		t.Fatalf("post-cancel rerun diverged: makespan %v vs %v, %d vs %d events",
+			again.Makespan, ref.Makespan, len(again.Events), len(ref.Events))
+	}
+	for i := range again.Events {
+		if again.Events[i] != ref.Events[i] {
+			t.Fatalf("event %d diverged after cancellation: %+v vs %+v", i, again.Events[i], ref.Events[i])
+		}
+	}
+}
+
+// TestBestCancellationPreCancelled covers the fast path: an
+// already-cancelled context returns before any evaluation.
+func TestBestCancellationPreCancelled(t *testing.T) {
+	c := NewClient()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Best(ctx, TaihuLight(), testApps(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Best returned %v", err)
+	}
+	// And a deadline in the past surfaces DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := c.Best(dctx, TaihuLight(), testApps(0)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v", err)
+	}
+	// The client is not poisoned: a live context works.
+	if _, _, err := c.Best(context.Background(), TaihuLight(), testApps(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultClientMemoizes is the BestSchedule cache-thrash fix: the
+// legacy shim must hit the shared default client's cache on repeat
+// calls instead of rebuilding a transient engine.
+func TestDefaultClientMemoizes(t *testing.T) {
+	pl := TaihuLight()
+	apps := testApps(4242)
+	s1, _, err := BestSchedule(pl, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := DefaultClient().Engine().CacheStats().Misses
+	s2, rep, err := BestSchedule(pl, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan != s2.Makespan {
+		t.Fatalf("repeat BestSchedule diverged: %v vs %v", s1.Makespan, s2.Makespan)
+	}
+	if m := DefaultClient().Engine().CacheStats().Misses; m != missesAfterFirst {
+		t.Fatalf("repeat BestSchedule recomputed: misses %d -> %d", missesAfterFirst, m)
+	}
+	for _, r := range rep.Results {
+		if !r.FromCache {
+			t.Fatalf("%v not served from the default client's cache", r.Heuristic)
+		}
+	}
+	// SimulateOnline shim routes through the same shared client.
+	factory, err := CycleJobs(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := BatchArrivals(0, 6, 6, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NoRepartitionPolicy(DominantMinRatio, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateOnline(OnlineScenario{Platform: pl, Arrivals: arr, Policy: pol}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientEngineSharing wires the client's engine into an online
+// portfolio policy, the documented path for sharing one worker pool.
+func TestClientEngineSharing(t *testing.T) {
+	c := NewClient(WithWorkers(2))
+	factory, err := CycleJobs(testApps(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := BatchArrivals(0, 4, 4, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := OnlineScenario{
+		Platform: TaihuLight(),
+		Arrivals: arr,
+		Policy:   des.NewPortfolioPolicy(c.Engine(), 0, 3),
+	}
+	res, err := c.SimulateOnline(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}

@@ -1,0 +1,310 @@
+// Command apisurface extracts the exported API surface of a package in
+// this module as a sorted, canonical text listing — one line per
+// constant, variable, function, type and method — using go/types, so
+// the listing reflects the type checker's view (resolved aliases,
+// promoted methods, exact signatures) rather than a syntactic scrape.
+//
+// The checked-in golden api/v2.txt records the public surface of the
+// root repro package; CI regenerates the listing and fails on any
+// difference, so every surface change is an explicit, reviewed diff of
+// that file.
+//
+// Usage:
+//
+//	apisurface                     # print the surface of package repro
+//	apisurface -pkg repro/internal/des
+//	apisurface -write api/v2.txt   # (re)write the golden
+//	apisurface -check api/v2.txt   # exit 1 on any surface drift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("apisurface", flag.ContinueOnError)
+	var (
+		pkgPath = fs.String("pkg", "repro", "import path of the package to describe (must live in this module)")
+		write   = fs.String("write", "", "write the surface listing to this file")
+		check   = fs.String("check", "", "compare the surface against this golden file; non-zero exit on drift")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *write != "" && *check != "" {
+		return fmt.Errorf("-write and -check are mutually exclusive")
+	}
+
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		return err
+	}
+	surface, err := Surface(modRoot, modPath, *pkgPath)
+	if err != nil {
+		return err
+	}
+	text := strings.Join(surface, "\n") + "\n"
+
+	switch {
+	case *write != "":
+		return os.WriteFile(*write, []byte(text), 0o644)
+	case *check != "":
+		want, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		if diff := diffLines(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), surface); len(diff) > 0 {
+			for _, d := range diff {
+				fmt.Fprintln(out, d)
+			}
+			return fmt.Errorf("API surface of %s drifted from %s (run `go run ./cmd/apisurface -write %s` and review the diff)", *pkgPath, *check, *check)
+		}
+		fmt.Fprintf(out, "API surface of %s matches %s (%d entries)\n", *pkgPath, *check, len(surface))
+		return nil
+	default:
+		_, err := io.WriteString(out, text)
+		return err
+	}
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and returns the module root directory and module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// Surface type-checks the package at importPath inside the module and
+// returns its exported surface as sorted canonical lines.
+func Surface(modRoot, modPath, importPath string) ([]string, error) {
+	imp := newModImporter(modRoot, modPath)
+	pkg, err := imp.ImportFrom(importPath, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	return surfaceLines(pkg), nil
+}
+
+// modImporter type-checks module-local packages from source and
+// delegates everything else (the standard library) to the compiler's
+// source importer. All packages share one FileSet and one memo, so
+// diamond imports resolve to identical *types.Package values.
+type modImporter struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	pkgs    map[string]*types.Package
+	std     types.ImporterFrom
+}
+
+func newModImporter(modRoot, modPath string) *modImporter {
+	fset := token.NewFileSet()
+	return &modImporter{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *modImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel, inModule := strings.CutPrefix(path, m.modPath)
+	if !inModule || (rel != "" && !strings.HasPrefix(rel, "/")) {
+		return m.std.ImportFrom(path, dir, mode)
+	}
+	pkgDir := filepath.Join(m.modRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	pkg, err := m.checkDir(path, pkgDir)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// checkDir parses every non-test Go file of the directory and runs the
+// type checker over it, resolving imports through m (so module-internal
+// dependencies are checked recursively from source).
+func (m *modImporter) checkDir(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	cfg := types.Config{Importer: m}
+	return cfg.Check(path, m.fset, files, nil)
+}
+
+// surfaceLines renders the exported surface of the type-checked
+// package. Named types contribute one "type" line (kind only — their
+// fields are implementation detail unless promoted into methods) plus
+// one "method" line per exported method in the pointer method set;
+// aliases show their right-hand side, which is where the facade's
+// internal re-exports become visible and reviewable.
+func surfaceLines(pkg *types.Package) []string {
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s", name, types.TypeString(o.Type(), qual)))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s", name, types.TypeString(o.Type(), qual)))
+		case *types.Func:
+			lines = append(lines, "func "+name+signature(o.Type().(*types.Signature), qual))
+		case *types.TypeName:
+			if o.IsAlias() {
+				// Unalias, or materialized aliases (gotypesalias=1) would
+				// print their own facade name instead of the right-hand
+				// side that actually identifies the re-export.
+				lines = append(lines, fmt.Sprintf("type %s = %s", name, types.TypeString(types.Unalias(o.Type()), qual)))
+				continue
+			}
+			named, ok := o.Type().(*types.Named)
+			if !ok { // e.g. a defined basic type edge case
+				lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(o.Type().Underlying(), qual)))
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("type %s %s", name, kindOf(named.Underlying())))
+			lines = append(lines, methodLines(name, named, qual)...)
+		}
+	}
+	return lines
+}
+
+// methodLines lists the exported methods reachable from *T (the
+// superset of T's), sorted by name, each with its receiver spelled the
+// way the method set delivers it.
+func methodLines(name string, named *types.Named, qual types.Qualifier) []string {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var lines []string
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		recv := name
+		if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+			recv = "*" + name
+		}
+		lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, fn.Name(), signature(sig, qual)))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// signature renders a function/method signature without the leading
+// "func" keyword and without the receiver.
+func signature(sig *types.Signature, qual types.Qualifier) string {
+	noRecv := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return strings.TrimPrefix(types.TypeString(noRecv, qual), "func")
+}
+
+// kindOf names the underlying kind of a defined type: the stable part
+// of its identity reviewers care about at the surface level.
+func kindOf(u types.Type) string {
+	switch u.(type) {
+	case *types.Struct:
+		return "struct"
+	case *types.Interface:
+		return "interface"
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	case *types.Chan:
+		return "chan"
+	case *types.Signature:
+		return "func"
+	default:
+		return types.TypeString(u, nil)
+	}
+}
+
+// diffLines reports a minimal human-readable diff: lines only in want
+// (deleted) and lines only in got (added), in listing order.
+func diffLines(want, got []string) []string {
+	inWant := make(map[string]bool, len(want))
+	for _, l := range want {
+		inWant[l] = true
+	}
+	inGot := make(map[string]bool, len(got))
+	for _, l := range got {
+		inGot[l] = true
+	}
+	var diff []string
+	for _, l := range want {
+		if !inGot[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range got {
+		if !inWant[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	return diff
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenMatchesFacade is the API-surface gate: the checked-in
+// api/v2.txt must equal the surface the type checker extracts from the
+// root package right now. A failure means the public API changed
+// without updating (and thereby reviewing) the golden.
+func TestGoldenMatchesFacade(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-check", filepath.Join("..", "..", "api", "v2.txt")}, &out); err != nil {
+		t.Fatalf("surface drifted:\n%s\n%v", out.String(), err)
+	}
+	if !strings.Contains(out.String(), "matches") {
+		t.Fatalf("unexpected check output: %s", out.String())
+	}
+}
+
+// TestWriteCheckRoundTrip writes a fresh golden and immediately checks
+// against it; the pair must agree byte-for-byte.
+func TestWriteCheckRoundTrip(t *testing.T) {
+	golden := filepath.Join(t.TempDir(), "surface.txt")
+	if err := run([]string{"-write", golden}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("golden empty or missing trailing newline (%d bytes)", len(data))
+	}
+	if err := run([]string{"-check", golden}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDetectsDrift corrupts a golden and expects the check to fail
+// with a line-level diff.
+func TestCheckDetectsDrift(t *testing.T) {
+	golden := filepath.Join(t.TempDir(), "surface.txt")
+	if err := run([]string{"-write", golden}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "func NewClient", "func NewClientX", 1)
+	if err := os.WriteFile(golden, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-check", golden}, &out); err == nil {
+		t.Fatal("tampered golden passed the check")
+	}
+	if !strings.Contains(out.String(), "- func NewClientX") || !strings.Contains(out.String(), "+ func NewClient") {
+		t.Fatalf("diff missing the drifted lines:\n%s", out.String())
+	}
+}
+
+// TestSurfaceInternalPackage exercises the tool on an internal package:
+// the module importer must resolve module-local imports from source.
+func TestSurfaceInternalPackage(t *testing.T) {
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := Surface(modRoot, modPath, modPath+"/internal/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveHeuristic, haveErr bool
+	for _, l := range lines {
+		if l == "type Heuristic int" {
+			haveHeuristic = true
+		}
+		if strings.HasPrefix(l, "type HeuristicError struct") {
+			haveErr = true
+		}
+	}
+	if !haveHeuristic || !haveErr {
+		t.Fatalf("expected sched surface entries missing:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestFlagConflict rejects -write together with -check.
+func TestFlagConflict(t *testing.T) {
+	if err := run([]string{"-write", "a", "-check", "b"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+}

@@ -21,18 +21,30 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/internal/conform"
 	"repro/internal/genscen"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	// Ctrl-C cancels the context; the sweep stops within one scenario.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first signal cancels ctx, restore the default
+		// disposition so a second Ctrl-C force-kills even if some path
+		// cannot observe the cancellation (e.g. blocked on stdin).
+		<-ctx.Done()
+		stop()
+	}()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "conform:", err)
 		if code == 0 {
@@ -44,7 +56,7 @@ func main() {
 
 // run executes the CLI; it returns the process exit code plus any
 // usage/configuration error (violations set the code, not the error).
-func run(args []string, out, errOut io.Writer) (int, error) {
+func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -108,7 +120,7 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 			*golden, gopt.Seeds, gopt.BaseSeed, gopt.Grid, gopt.OracleMaxApps, len(gopt.Families))
 	}
 
-	rep, err := conform.Run(opt)
+	rep, err := conform.RunContext(ctx, opt)
 	if err != nil {
 		return 2, err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 func runMain(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	code, err := run(args, &out, &errOut)
+	code, err := run(context.Background(), args, &out, &errOut)
 	if err != nil {
 		t.Fatalf("conform %s: %v", strings.Join(args, " "), err)
 	}
@@ -82,20 +83,20 @@ func TestGoldenUpdateRoundTrip(t *testing.T) {
 
 func TestBadFlags(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code, err := run([]string{"-format", "xml"}, &out, &errOut); err == nil || code != 2 {
+	if code, err := run(context.Background(), []string{"-format", "xml"}, &out, &errOut); err == nil || code != 2 {
 		t.Errorf("bad format: code %d err %v", code, err)
 	}
-	if code, err := run([]string{"-families", "bogus"}, &out, &errOut); err == nil || code != 2 {
+	if code, err := run(context.Background(), []string{"-families", "bogus"}, &out, &errOut); err == nil || code != 2 {
 		t.Errorf("bad family: code %d err %v", code, err)
 	}
-	if code, err := run([]string{"-golden", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); err == nil || code != 2 {
+	if code, err := run(context.Background(), []string{"-golden", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); err == nil || code != 2 {
 		t.Errorf("absent corpus: code %d err %v", code, err)
 	}
 }
 
 func TestUpdateRequiresGolden(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code, err := run([]string{"-update"}, &out, &errOut); err == nil || code != 2 {
+	if code, err := run(context.Background(), []string{"-update"}, &out, &errOut); err == nil || code != 2 {
 		t.Errorf("-update without -golden: code %d err %v", code, err)
 	}
 }

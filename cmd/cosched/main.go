@@ -34,19 +34,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"text/tabwriter"
 
+	repro "repro"
 	"repro/internal/cat"
 	"repro/internal/des"
 	"repro/internal/model"
-	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -58,13 +60,25 @@ import (
 // the same JSON and cannot drift apart.
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context; the v2 client returns ctx.Err()
+	// within one in-flight heuristic evaluation, so long batches exit
+	// cleanly instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first signal cancels ctx, restore the default
+		// disposition so a second Ctrl-C force-kills even if some path
+		// cannot observe the cancellation (e.g. blocked on stdin).
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cosched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cosched", flag.ContinueOnError)
 	var (
 		appsPath  = fs.String("apps", "", "JSON file of applications (default: built-in NPB Table 2)")
@@ -102,10 +116,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-localsearch cannot be combined with -portfolio: LocalSearch is already one of the raced heuristics")
 	}
 	pl := model.Platform{Processors: *procs, CacheSize: *cache, LatencyS: *ls, LatencyL: *ll, Alpha: *alpha}
-	engine := portfolio.New(portfolio.Config{Workers: *workers, Cache: portfolio.NewCache()})
+	client := repro.NewClient(repro.WithWorkers(*workers))
 
 	if *batch != "" {
-		return runBatch(engine, *batch, pl, *seed, out)
+		return runBatch(ctx, client, *batch, pl, *seed, out)
 	}
 
 	apps, err := loadApps(*appsPath)
@@ -127,7 +141,7 @@ func run(args []string, out io.Writer) error {
 	var s *sched.Schedule
 	var label string
 	if *port {
-		rep, err := engine.Evaluate(portfolio.Scenario{Platform: pl, Apps: apps, Seed: *seed})
+		rep, err := client.Evaluate(ctx, repro.PortfolioScenario{Platform: pl, Apps: apps, Seed: *seed})
 		if err != nil {
 			return err
 		}
@@ -140,13 +154,16 @@ func run(args []string, out io.Writer) error {
 		}
 		s, label = best.Schedule, best.Heuristic.String()
 	} else {
-		if s, err = h.Schedule(pl, apps, solve.NewRNG(*seed)); err != nil {
+		// The direct path keeps the historical RNG derivation (stream
+		// seeded with -seed itself), so single-heuristic output is
+		// bit-identical to every earlier release.
+		if s, err = h.ScheduleContext(ctx, pl, apps, solve.NewRNG(*seed)); err != nil {
 			return err
 		}
 		label = h.String()
 	}
 	if *local {
-		refined, err := sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, solve.NewRNG(*seed))
+		refined, err := sched.LocalSearchScheduleContext(ctx, pl, apps, sched.LocalSearchOptions{}, solve.NewRNG(*seed))
 		if err != nil {
 			return err
 		}
@@ -239,8 +256,8 @@ func run(args []string, out io.Writer) error {
 // first, with each heuristic's slowdown relative to the winner. Failed
 // heuristics and NaN makespans (which the engine never selects as best)
 // sort last and carry no ratio.
-func writeRanking(out io.Writer, rep *portfolio.Report) error {
-	unrankable := func(r portfolio.Result) bool {
+func writeRanking(out io.Writer, rep *repro.PortfolioReport) error {
+	unrankable := func(r repro.PortfolioResult) bool {
 		return r.Err != nil || math.IsNaN(r.Schedule.Makespan)
 	}
 	order := make([]int, len(rep.Results))
@@ -301,18 +318,19 @@ type reportJSON struct {
 	Error    string       `json:"error,omitempty"`
 }
 
-// runBatch serves every scenario of the batch input through the
-// portfolio engine and streams one NDJSON report line per scenario, in
-// input order, as each completes. Decoding, evaluation and output form
-// a bounded pipeline — at most window scenarios are decoded-but-
-// unreported at any moment — so arbitrarily long scenario streams run
-// in bounded memory instead of buffering the whole input array and the
-// whole output array. The input may be a JSON array of scenarios or an
-// NDJSON stream of scenario objects.
+// runBatch serves every scenario of the batch input through the v2
+// client's streaming batch evaluator: one NDJSON report line per
+// scenario, in input order, as each completes. Decoding, evaluation and
+// output form a bounded pipeline (Client.EvaluateBatch caps the
+// decoded-but-unreported window at 2×workers), so arbitrarily long
+// scenario streams run in bounded memory instead of buffering the whole
+// input array and the whole output array. The input may be a JSON array
+// of scenarios or an NDJSON stream of scenario objects.
 //
 // A malformed scenario or unknown heuristic name aborts the batch at
 // the point it is decoded; reports already streamed stay valid.
-func runBatch(engine *portfolio.Engine, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer) error {
+// Cancelling ctx (Ctrl-C) aborts with ctx.Err().
+func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer) error {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -323,52 +341,21 @@ func runBatch(engine *portfolio.Engine, path string, defaultPl model.Platform, d
 		r = f
 	}
 
-	// window bounds both the scenarios in flight (each fans its
-	// heuristics out on the engine's shared semaphore) and the
-	// completed reports waiting for their turn in the ordered output.
-	window := 2 * engine.Workers()
-	pending := make(chan chan *portfolio.Report, window)
-	cancel := make(chan struct{})
-	decodeErr := make(chan error, 1)
-	go func() {
-		defer close(pending)
-		decodeErr <- decodeScenarios(r, path, defaultPl, defaultSeed, func(sc portfolio.Scenario) bool {
-			// Check cancellation before the send: once the consumer
-			// fails it drains pending, so the send stays ready and a
-			// two-way select would pick between the cases at random.
-			select {
-			case <-cancel:
-				return false // output is dead: stop decoding and evaluating
-			default:
-			}
-			done := make(chan *portfolio.Report, 1)
-			select {
-			case pending <- done: // blocks while the window is full
-			case <-cancel:
-				return false
-			}
-			go func() {
-				rep, _ := engine.Evaluate(sc)
-				done <- rep
-			}()
-			return true
-		})
-	}()
-	enc := json.NewEncoder(out)
-	for done := range pending {
-		if err := enc.Encode(reportOf(<-done)); err != nil {
-			// Stop the decoder, then drain what it already emitted so
-			// it can reach the pending-channel close.
-			close(cancel)
-			go func() {
-				for range pending {
-				}
-			}()
-			<-decodeErr
-			return err
-		}
+	// The decoder is the scenario iterator: EvaluateBatch pulls it
+	// exactly as fast as the evaluation window allows, and stops pulling
+	// on failure or cancellation. Its error is read only after
+	// EvaluateBatch returns (which happens-after the iterator finished).
+	var decodeErr error
+	scenarios := func(yield func(repro.PortfolioScenario) bool) {
+		decodeErr = decodeScenarios(r, path, defaultPl, defaultSeed, yield)
 	}
-	return <-decodeErr
+	enc := json.NewEncoder(out)
+	if err := client.EvaluateBatch(ctx, scenarios, func(br repro.BatchResult) error {
+		return enc.Encode(reportOf(br.Report))
+	}); err != nil {
+		return err
+	}
+	return decodeErr
 }
 
 // decodeScenarios parses the batch input — a JSON array of scenario
@@ -377,7 +364,7 @@ func runBatch(engine *portfolio.Engine, path string, defaultPl model.Platform, d
 // false stops the stream early (consumer gone). Heuristic names are
 // resolved during decoding, so a typo stops the stream at the
 // offending scenario.
-func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, defaultSeed uint64, emit func(portfolio.Scenario) bool) error {
+func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, defaultSeed uint64, emit func(repro.PortfolioScenario) bool) error {
 	br := bufio.NewReader(r)
 	array := false
 	for {
@@ -421,7 +408,7 @@ func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, default
 			}
 			return fmt.Errorf("parsing batch %s scenario %d: %w", path, n, err)
 		}
-		sc := portfolio.Scenario{Platform: defaultPl, Seed: defaultSeed}
+		sc := repro.PortfolioScenario{Platform: defaultPl, Seed: defaultSeed}
 		if sj.Platform != nil {
 			sc.Platform = sj.Platform.Platform()
 		}
@@ -445,7 +432,7 @@ func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, default
 }
 
 // reportOf converts an engine report to its wire form.
-func reportOf(rep *portfolio.Report) reportJSON {
+func reportOf(rep *repro.PortfolioReport) reportJSON {
 	if rep.Err != nil {
 		return reportJSON{Error: rep.Err.Error()}
 	}

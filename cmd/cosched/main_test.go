@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,7 +13,7 @@ import (
 
 func TestRunDefaultNPB(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seq", "0.05"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-seq", "0.05"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -25,7 +26,7 @@ func TestRunDefaultNPB(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"DominantMinRatio", "AllProcCache", "SharedCache", "LocalSearch"} {
@@ -37,14 +38,14 @@ func TestRunList(t *testing.T) {
 
 func TestRunUnknownHeuristic(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-heuristic", "Bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-heuristic", "Bogus"}, &out); err == nil {
 		t.Fatal("unknown heuristic accepted")
 	}
 }
 
 func TestRunWaysAndInt(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seq", "0.05", "-ways", "20", "-int"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-seq", "0.05", "-ways", "20", "-int"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -58,7 +59,7 @@ func TestRunWaysAndInt(t *testing.T) {
 
 func TestRunSimAndGantt(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seq", "0.05", "-sim", "-gantt"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-seq", "0.05", "-sim", "-gantt"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -69,7 +70,7 @@ func TestRunSimAndGantt(t *testing.T) {
 
 func TestRunLocalSearch(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seq", "0.05", "-localsearch"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-seq", "0.05", "-localsearch"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "local search") {
@@ -89,7 +90,7 @@ func TestRunJSONOutputAndCustomApps(t *testing.T) {
 	}
 	jsonPath := filepath.Join(dir, "sched.json")
 	var out bytes.Buffer
-	if err := run([]string{"-apps", appsPath, "-json", jsonPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-apps", appsPath, "-json", jsonPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -105,7 +106,7 @@ func TestRunJSONOutputAndCustomApps(t *testing.T) {
 
 func TestRunJSONToStdout(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seq", "0.05", "-json", "-"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-seq", "0.05", "-json", "-"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"assignments"`) {
@@ -115,7 +116,7 @@ func TestRunJSONToStdout(t *testing.T) {
 
 func TestRunBadAppsFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-apps", "/nonexistent.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-apps", "/nonexistent.json"}, &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -123,21 +124,21 @@ func TestRunBadAppsFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-apps", bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-apps", bad}, &out); err == nil {
 		t.Fatal("malformed JSON accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }
 
 func TestRunPortfolio(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-portfolio", "-workers", "4", "-seq", "0.05", "-ways", "20"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-portfolio", "-workers", "4", "-seq", "0.05", "-ways", "20"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -171,7 +172,7 @@ func TestRunBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-batch", batchPath, "-workers", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-batch", batchPath, "-workers", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	reports := decodeReports(t, out.String())
@@ -205,10 +206,10 @@ func TestRunBatch(t *testing.T) {
 
 func TestRunPortfolioFlagConflicts(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-portfolio", "-localsearch"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-portfolio", "-localsearch"}, &out); err == nil {
 		t.Fatal("-portfolio -localsearch combination accepted")
 	}
-	if err := run([]string{"-portfolio", "-heuristic", "Bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-portfolio", "-heuristic", "Bogus"}, &out); err == nil {
 		t.Fatal("-portfolio with unknown -heuristic accepted")
 	}
 }
@@ -250,7 +251,7 @@ func TestRunBatchNDJSONInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-batch", batchPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-batch", batchPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	reports := decodeReports(t, out.String())
@@ -286,14 +287,14 @@ func TestRunBatchOutputFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := &failWriter{}
-	if err := run([]string{"-batch", batchPath, "-workers", "1"}, w); err == nil {
+	if err := run(context.Background(), []string{"-batch", batchPath, "-workers", "1"}, w); err == nil {
 		t.Fatal("failing writer not reported")
 	}
 }
 
 func TestRunBatchBadInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-batch", "/nonexistent.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-batch", "/nonexistent.json"}, &out); err == nil {
 		t.Fatal("missing batch file accepted")
 	}
 	dir := t.TempDir()
@@ -301,14 +302,14 @@ func TestRunBatchBadInput(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`[{"heuristics": ["Bogus"], "apps": []}]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-batch", bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-batch", bad}, &out); err == nil {
 		t.Fatal("unknown heuristic in batch accepted")
 	}
 	trailing := filepath.Join(dir, "trailing.json")
 	if err := os.WriteFile(trailing, []byte(`[{"apps": [{"name": "a", "work": 1e10, "seq": 0.05, "freq": 0.5, "missRate": 1e-3, "refCache": 4e7}]}] {"oops": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-batch", trailing}, &out); err == nil {
+	if err := run(context.Background(), []string{"-batch", trailing}, &out); err == nil {
 		t.Fatal("trailing data after the scenario array accepted")
 	}
 }

@@ -34,24 +34,38 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
+	repro "repro"
 	"repro/internal/des"
 	"repro/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C cancels the context; the simulator's event loop polls it
+	// every few events, so even very long online runs exit promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first signal cancels ctx, restore the default
+		// disposition so a second Ctrl-C force-kills even if some path
+		// cannot observe the cancellation (e.g. blocked on stdin).
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dessim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out, errOut io.Writer) error {
+func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("dessim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -93,11 +107,15 @@ func run(args []string, out, errOut io.Writer) error {
 		sp.Seed = *seed
 	}
 
-	sc, err := sp.Build(*workers)
+	// One v2 client per invocation: its worker pool backs the portfolio
+	// policy (when selected) via BuildWith, so -workers genuinely flows
+	// through the client. No cache — online resident sets never repeat.
+	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false))
+	sc, err := sp.BuildWith(client.Engine(), *workers)
 	if err != nil {
 		return err
 	}
-	res, err := des.Simulate(sc)
+	res, err := client.SimulateOnline(ctx, sc)
 	if err != nil {
 		return err
 	}

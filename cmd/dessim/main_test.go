@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 func runMain(t *testing.T, args ...string) (string, string) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	if err := run(args, &out, &errOut); err != nil {
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
 		t.Fatalf("dessim %s: %v", strings.Join(args, " "), err)
 	}
 	return out.String(), errOut.String()
@@ -124,7 +125,7 @@ func TestBadScenarioRejected(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out, errOut bytes.Buffer
-		if err := run([]string{"-scenario", path}, &out, &errOut); err == nil {
+		if err := run(context.Background(), []string{"-scenario", path}, &out, &errOut); err == nil {
 			t.Errorf("accepted invalid scenario: %s", bad)
 		}
 	}

@@ -15,26 +15,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"time"
 
+	repro "repro"
 	"repro/internal/experiments"
-	"repro/internal/portfolio"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context; the figure loop stops between
+	// figures instead of grinding through the whole -all sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first signal cancels ctx, restore the default
+		// disposition so a second Ctrl-C force-kills even if some path
+		// cannot observe the cancellation (e.g. blocked on stdin).
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		fig     = fs.Int("fig", 0, "figure number to regenerate (1-18)")
@@ -63,11 +76,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	// One engine for the whole invocation: every figure shares the
-	// worker pool. No cache — sweep cells never repeat a workload, so
-	// memoizing would only grow memory for zero hits.
-	engine := portfolio.New(portfolio.Config{Workers: *workers})
-	cfg := experiments.Config{Replicates: *reps, Seed: *seed, Engine: engine}
+	// One v2 client for the whole invocation: every figure shares its
+	// worker pool (the sweeps consume the underlying engine directly).
+	// No cache — sweep cells never repeat a workload, so memoizing
+	// would only grow memory for zero hits.
+	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false))
+	cfg := experiments.Config{Replicates: *reps, Seed: *seed, Engine: client.Engine()}
 	type job struct {
 		n     int
 		isExt bool
@@ -111,6 +125,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := j.n
 		drv, ok := j.reg[n]
 		if !ok {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunTables(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-tables"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-tables"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table 1", "Table 2", "conjugate gradients", "FT"} {
@@ -23,7 +24,7 @@ func TestRunTables(t *testing.T) {
 func TestRunSingleFigure(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "10", "-reps", "1", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "10", "-reps", "1", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "fig10") {
@@ -41,7 +42,7 @@ func TestRunSingleFigure(t *testing.T) {
 func TestRunExtension(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-ext", "4", "-reps", "1", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-ext", "4", "-reps", "1", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "ext4.csv")); err != nil {
@@ -55,7 +56,7 @@ func TestRunExtension(t *testing.T) {
 func TestRunRawAndPlot(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "10", "-reps", "1", "-raw", "-plot", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "10", "-reps", "1", "-raw", "-plot", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "|") {
@@ -65,7 +66,7 @@ func TestRunRawAndPlot(t *testing.T) {
 
 func TestRunNothingToDo(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Fatal("no-op invocation accepted")
 	}
 }
@@ -73,7 +74,7 @@ func TestRunNothingToDo(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "99", "-out", dir}, &out); err == nil {
+	if err := run(context.Background(), []string{"-fig", "99", "-out", dir}, &out); err == nil {
 		t.Fatal("figure 99 accepted")
 	}
 }

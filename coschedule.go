@@ -8,57 +8,73 @@
 // to give each application so that the makespan — the completion time of
 // the longest application, all starting together — is minimized.
 //
-// The root package is a facade re-exporting the user-facing pieces of the
-// internal packages:
-//
-//   - Platform and Application describe the hardware and the workload
-//     (Amdahl speedup + Power Law of Cache Misses cost model).
-//   - Heuristic enumerates the paper's ten scheduling policies; its
-//     Schedule method produces a complete assignment.
-//   - Schedule holds the resulting {(p_i, x_i)} with validation and
-//     per-application finish times.
-//   - PortfolioEngine races every heuristic concurrently and serves the
-//     best schedule per scenario.
-//   - SimulateOnline runs the discrete-event online simulator: jobs
-//     arrive over virtual time (Poisson, bursty or replayed streams)
-//     and an online policy repartitions the node at every event.
+// The front door is the context-aware Client: a long-lived handle
+// owning a bounded worker pool and a memoization cache, whose methods
+// all take a context.Context and honor cancellation and deadlines
+// promptly.
 //
 // Quick start:
 //
+//	client := repro.NewClient() // GOMAXPROCS workers, memoization on
 //	pl := repro.TaihuLight()
 //	apps := repro.NPB()
-//	s, err := repro.DominantMinRatio.Schedule(pl, apps, nil)
+//	best, rep, err := client.Best(ctx, pl, apps)
 //	if err != nil { ... }
-//	fmt.Println(s.Makespan)
+//	fmt.Println(best.Makespan, len(rep.Results))
 //
-// # Portfolio scheduling
+// Best races every heuristic concurrently and serves the winner; use
+// NewClient options to tune it: WithWorkers bounds the pool, WithCache
+// toggles memoization, WithHeuristics restricts the raced set, WithSeed
+// drives the randomized policies. Client.Schedule evaluates a single
+// heuristic, Client.EvaluateBatch streams NDJSON-scale scenario batches
+// in bounded memory, and Client.SimulateOnline runs the discrete-event
+// online simulator (jobs arriving over virtual time, an online policy
+// repartitioning the node at every event).
 //
-// No single heuristic wins on every workload, so the portfolio engine
-// evaluates all of them — concurrently, on a bounded worker pool — and
-// picks the winner:
+// The building blocks behind the client remain exported:
 //
-//	eng := repro.NewPortfolio(0) // 0 = one worker per CPU
-//	rep, err := eng.Evaluate(repro.PortfolioScenario{
-//		Platform: pl, Apps: apps, Seed: 42,
-//	})
-//	if err != nil { ... }
-//	best := rep.BestResult() // full per-heuristic report in rep.Results
+//   - Platform and Application describe the hardware and the workload
+//     (Amdahl speedup + Power Law of Cache Misses cost model).
+//   - Heuristic enumerates the paper's ten scheduling policies (plus
+//     the SharedCache and LocalSearch extensions); its Schedule method
+//     produces a complete assignment with a caller-owned RNG.
+//   - Schedule holds the resulting {(p_i, x_i)} with validation and
+//     per-application finish times.
+//   - OnlineScenario/OnlinePolicy/ArrivalProcess describe online
+//     simulations; see the arrival and policy constructors.
 //
-// Worker-pool sizing: heuristic evaluation is CPU-bound, so the default
-// of GOMAXPROCS workers saturates the machine; smaller pools bound the
-// engine's share of it when co-resident with other work. All Evaluate
-// and EvaluateBatch calls on one engine share its pool, and results are
-// bit-for-bit identical for any pool size (each heuristic's randomness
-// is derived from the scenario seed and its position, never from
-// execution order).
+// # Concurrency, determinism and caching
 //
-// Cache semantics: NewPortfolio equips the engine with a sharded,
-// mutex-striped memoization cache keyed by a canonical hash of
+// Heuristic evaluation is CPU-bound, so the default of GOMAXPROCS
+// workers saturates the machine; smaller pools bound the client's share
+// of it when co-resident with other work. All calls on one client share
+// its pool, and results are bit-for-bit identical for any pool size
+// (each heuristic's randomness is derived from the scenario seed and
+// its position, never from execution order).
+//
+// The cache is sharded and mutex-striped, keyed by a canonical hash of
 // (platform, applications, heuristic, seed); the seed is ignored for
 // deterministic heuristics, so repeated workloads hit regardless of
 // seed. Cached schedules are shared between callers — treat them as
 // immutable. Concurrent identical requests collapse into one
-// computation.
+// computation, and computations abandoned by cancellation are never
+// cached.
+//
+// # Errors and cancellation
+//
+// Failures use a small typed vocabulary — ErrInfeasible,
+// *ValidationError, *HeuristicError — that works with errors.Is/As
+// across every package boundary; see the declarations in this package.
+// Cancelling a context mid-call returns ctx.Err() promptly (within one
+// in-flight heuristic evaluation per worker, or a few simulator
+// events), leaks no goroutines, and leaves the client fully reusable.
+//
+// # Legacy v1 surface
+//
+// The original free functions (BestSchedule, SimulateOnline,
+// NewPortfolio) remain as thin deprecated shims over a shared default
+// client, so existing callers keep working — and now share one
+// memoization cache instead of rebuilding state per call.
 //
 // For the evaluation harness reproducing the paper's figures, see
 // cmd/experiments; for CAT way-mask realization of fractional shares, see
@@ -66,6 +82,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/cat"
 	"repro/internal/des"
 	"repro/internal/model"
@@ -138,8 +156,16 @@ func ExactSchedule(pl Platform, apps []Application) (*Schedule, error) {
 type CATAllocation = cat.Allocation
 
 // CATPartition rounds a schedule's fractional cache shares onto `ways`
-// whole, contiguous LLC ways as Intel CAT requires.
+// whole, contiguous LLC ways as Intel CAT requires. Invalid inputs —
+// a nil or empty schedule, out-of-range shares or way counts — return a
+// *ValidationError naming the offending field.
 func CATPartition(s *Schedule, ways int) (*CATAllocation, error) {
+	if s == nil {
+		return nil, &ValidationError{Field: "schedule", Reason: "cannot partition a nil schedule"}
+	}
+	if len(s.Assignments) == 0 {
+		return nil, &ValidationError{Field: "schedule.assignments", Value: 0, Reason: "cannot partition an empty schedule"}
+	}
 	shares := make([]float64, len(s.Assignments))
 	for i, a := range s.Assignments {
 		shares[i] = a.CacheShare
@@ -192,16 +218,24 @@ type PortfolioResult = portfolio.Result
 // NewPortfolio returns a portfolio engine with the given worker-pool
 // size (values < 1 mean GOMAXPROCS) and a fresh memoization cache. See
 // the package documentation for sizing and cache semantics.
+//
+// Deprecated: use NewClient(WithWorkers(workers)), whose methods take a
+// context and whose engine is reachable via Client.Engine.
 func NewPortfolio(workers int) *PortfolioEngine {
 	return portfolio.New(portfolio.Config{Workers: workers, Cache: portfolio.NewCache()})
 }
 
 // BestSchedule races every heuristic (the paper's ten plus the
-// extensions) on a transient engine and returns the winning schedule
-// with the full report. It is the one-shot convenience over
-// NewPortfolio + Evaluate.
+// extensions) and returns the winning schedule with the full report. It
+// runs on the shared default client, so repeated workloads are served
+// from its memoization cache instead of being recomputed on a transient
+// engine per call.
+//
+// Deprecated: use Client.Best, which takes a context; construct the
+// client with WithSeed(seed) (or call Client.Evaluate for a per-call
+// seed).
 func BestSchedule(pl Platform, apps []Application, seed uint64) (*Schedule, *PortfolioReport, error) {
-	rep, err := NewPortfolio(0).Evaluate(PortfolioScenario{Platform: pl, Apps: apps, Seed: seed})
+	rep, err := DefaultClient().Evaluate(context.Background(), PortfolioScenario{Platform: pl, Apps: apps, Seed: seed})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -209,7 +243,13 @@ func BestSchedule(pl Platform, apps []Application, seed uint64) (*Schedule, *Por
 	if best == nil {
 		return nil, rep, sched.ErrInfeasible
 	}
-	return best.Schedule, rep, nil
+	// v1 computed on a transient engine, so callers own (and may mutate)
+	// the returned schedule; the default client's cache shares its
+	// schedules, so hand back a private copy to preserve that contract.
+	// The report's schedules stay cache-shared — treat them as immutable.
+	s := *best.Schedule
+	s.Assignments = append([]Assignment(nil), best.Schedule.Assignments...)
+	return &s, rep, nil
 }
 
 // Online simulation (internal/des): jobs arrive over virtual time and an
@@ -236,7 +276,12 @@ type JobArrival = des.Arrival
 // SimulateOnline runs an online co-scheduling scenario to completion:
 // deterministic per seed, bit-identical across runs and policy worker
 // counts. See the internal/des package documentation for the model.
-func SimulateOnline(sc OnlineScenario) (*OnlineResult, error) { return des.Simulate(sc) }
+//
+// Deprecated: use Client.SimulateOnline, which takes a context and
+// cancels mid-run.
+func SimulateOnline(sc OnlineScenario) (*OnlineResult, error) {
+	return DefaultClient().SimulateOnline(context.Background(), sc)
+}
 
 // CycleJobs returns a des.JobFactory cycling through the template
 // applications, stamping each instance with a unique name.

@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// The library's error vocabulary is small and typed, and it crosses
+// every package boundary intact:
+//
+//   - ErrInfeasible is the sentinel for "no valid schedule exists";
+//     test with errors.Is.
+//   - *ValidationError carries the offending field, value and violated
+//     constraint of a rejected input; test with errors.As.
+//   - *HeuristicError names the scheduling policy behind a failure and
+//     wraps its cause; test with errors.As (errors.Is sees through it).
+//   - context.Canceled / context.DeadlineExceeded surface unwrapped
+//     from every cancelled Client call; test with errors.Is.
+
+// ErrInfeasible is returned when no valid schedule exists for the
+// inputs (e.g. every heuristic failed, or zero applications).
+var ErrInfeasible = sched.ErrInfeasible
+
+// ValidationError is the typed form of every input-validation failure:
+// invalid platforms, applications, schedules, cache shares and way
+// counts all carry one. See model.ValidationError.
+type ValidationError = model.ValidationError
+
+// HeuristicError identifies the scheduling policy behind a failure and
+// wraps the underlying cause. The portfolio engine attaches it to every
+// per-heuristic failure; the online policies do the same. See
+// sched.HeuristicError.
+type HeuristicError = sched.HeuristicError

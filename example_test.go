@@ -1,8 +1,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	repro "repro"
 )
@@ -31,20 +33,23 @@ func Example() {
 	// FT 1.40 0.0870
 }
 
-// No single heuristic wins everywhere, so the portfolio engine races
-// all of them concurrently and serves the best schedule; the report
-// carries every heuristic's outcome for audit.
-func ExampleBestSchedule() {
+// No single heuristic wins everywhere, so the client races all of them
+// concurrently and serves the best schedule; the report carries every
+// heuristic's outcome for audit. Construct one long-lived client and
+// reuse it — repeat workloads are then served from its memoization
+// cache.
+func ExampleClient_best() {
+	client := repro.NewClient(repro.WithSeed(42))
 	pl := repro.TaihuLight()
 	apps := repro.NPB()
 	for i := range apps {
 		apps[i].SeqFraction = 0.05
 	}
-	best, rep, err := repro.BestSchedule(pl, apps, 42)
+	best, rep, err := client.Best(context.Background(), pl, apps)
 	if err != nil {
 		panic(err)
 	}
-	reference, err := repro.DominantMinRatio.Schedule(pl, apps, nil)
+	reference, err := client.Schedule(context.Background(), repro.DominantMinRatio, pl, apps)
 	if err != nil {
 		panic(err)
 	}
@@ -53,6 +58,69 @@ func ExampleBestSchedule() {
 	// Output:
 	// 12 heuristics raced
 	// portfolio no worse than the reference heuristic: true
+}
+
+// Functional options tune the client: a bounded worker pool, a fixed
+// heuristic set, no memoization for workloads that never repeat.
+func ExampleNewClient() {
+	client := repro.NewClient(
+		repro.WithWorkers(2),
+		repro.WithHeuristics(repro.DominantMinRatio, repro.Fair, repro.ZeroCache),
+		repro.WithCache(false),
+	)
+	_, rep, err := client.Best(context.Background(), repro.TaihuLight(), repro.NPB())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d workers, %d heuristics raced\n", client.Workers(), len(rep.Results))
+	// Output:
+	// 2 workers, 3 heuristics raced
+}
+
+// A deadline bounds how long Best may search; an expired context
+// surfaces context.DeadlineExceeded instead of a half-baked schedule.
+func ExampleClient_deadline() {
+	client := repro.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	best, _, err := client.Best(ctx, repro.TaihuLight(), repro.NPB())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("finished within the deadline: %v\n", best.Makespan > 0)
+	// Output:
+	// finished within the deadline: true
+}
+
+// EvaluateBatch streams scenarios through the worker pool in bounded
+// memory: reports are emitted in input order as they complete, so an
+// NDJSON-scale batch never buffers whole input or output arrays.
+func ExampleClient_evaluateBatch() {
+	client := repro.NewClient(repro.WithWorkers(2))
+	pl := repro.TaihuLight()
+	scenarios := func(yield func(repro.PortfolioScenario) bool) {
+		for i := 0; i < 3; i++ {
+			apps := repro.NPB()
+			for j := range apps {
+				apps[j].SeqFraction = 0.01 * float64(i+1)
+			}
+			if !yield(repro.PortfolioScenario{Platform: pl, Apps: apps, Seed: uint64(i)}) {
+				return
+			}
+		}
+	}
+	err := client.EvaluateBatch(context.Background(), scenarios, func(br repro.BatchResult) error {
+		best := br.Report.BestResult()
+		fmt.Printf("scenario %d: %v wins\n", br.Index, best.Heuristic)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// scenario 0: DominantRandom wins
+	// scenario 1: SharedCache wins
+	// scenario 2: SharedCache wins
 }
 
 // Cache fractions become Intel CAT capacity bitmasks through

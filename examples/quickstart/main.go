@@ -1,10 +1,11 @@
 // Quickstart: co-schedule the six NPB applications of the paper's Table 2
 // on the reference 256-processor platform and compare the cache-aware
 // dominant-partition heuristic against running the applications one after
-// another on the whole machine.
+// another on the whole machine, using the context-aware v2 client.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	client := repro.NewClient()
 	pl := repro.TaihuLight()
 	apps := repro.NPB()
 	// Give the applications a small sequential fraction, as real codes
@@ -20,11 +23,11 @@ func main() {
 		apps[i].SeqFraction = 0.05
 	}
 
-	co, err := repro.DominantMinRatio.Schedule(pl, apps, nil)
+	co, err := client.Schedule(ctx, repro.DominantMinRatio, pl, apps)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := repro.AllProcCache.Schedule(pl, apps, nil)
+	seq, err := client.Schedule(ctx, repro.AllProcCache, pl, apps)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/model"
 )
 
 // Allocation is the way-level realization of a fractional cache
@@ -46,13 +48,15 @@ type Allocation struct {
 // most 32 bits wide).
 func Partition(shares []float64, ways int) (*Allocation, error) {
 	if ways <= 0 || ways > 64 {
-		return nil, fmt.Errorf("cat: way count %d outside [1, 64]", ways)
+		return nil, &model.ValidationError{Field: "ways", Value: ways, Reason: "way count outside [1, 64]"}
 	}
 	var sum float64
 	nonzero := 0
 	for i, s := range shares {
 		if s < 0 || s > 1 || math.IsNaN(s) {
-			return nil, fmt.Errorf("cat: share %d is %v, outside [0,1]", i, s)
+			return nil, &model.ValidationError{
+				Field: fmt.Sprintf("shares[%d]", i), Value: s, Reason: "cache share outside [0,1]",
+			}
 		}
 		if s > 0 {
 			nonzero++
@@ -60,10 +64,15 @@ func Partition(shares []float64, ways int) (*Allocation, error) {
 		sum += s
 	}
 	if sum > 1+1e-9 {
-		return nil, fmt.Errorf("cat: shares sum to %v > 1", sum)
+		return nil, &model.ValidationError{
+			Field: "shares", Value: sum, Reason: fmt.Sprintf("shares sum to %v > 1", sum),
+		}
 	}
 	if nonzero > ways {
-		return nil, fmt.Errorf("cat: %d applications need ways but only %d ways exist", nonzero, ways)
+		return nil, &model.ValidationError{
+			Field: "shares", Value: nonzero,
+			Reason: fmt.Sprintf("%d applications need ways but only %d ways exist", nonzero, ways),
+		}
 	}
 
 	n := len(shares)

@@ -37,6 +37,7 @@
 package conform
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -157,6 +158,14 @@ func (r *Report) Digests() map[string]string {
 // pure function of the options: digests are bit-stable across runs and
 // across Workers settings (that stability is itself one of the checks).
 func Run(opt Options) (*Report, error) {
+	return RunContext(context.Background(), opt)
+}
+
+// RunContext is Run under a context: the sweep polls ctx before every
+// (family, seed) scenario and stops with ctx.Err() once cancelled, so a
+// Ctrl-C'd conformance run exits within one scenario instead of
+// finishing the whole corpus.
+func RunContext(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.normalized()
 	serial := portfolio.New(portfolio.Config{Workers: 1})
 	parallel := portfolio.New(portfolio.Config{Workers: opt.Workers})
@@ -174,6 +183,9 @@ func Run(opt Options) (*Report, error) {
 		famHash := sha256.New()
 		var gapLogSum float64
 		for i := 0; i < opt.Seeds; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			seed := opt.BaseSeed + uint64(i)
 			in, err := genscen.Generate(fam, seed, opt.Gen)
 			if err != nil {

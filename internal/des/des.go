@@ -27,6 +27,7 @@
 package des
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -177,6 +178,23 @@ type engine struct {
 // that can never finish because no future event would grant them
 // processors).
 func Simulate(sc Scenario) (*Result, error) {
+	return SimulateContext(context.Background(), sc)
+}
+
+// ctxCheckEvery is how many event-loop iterations pass between context
+// polls in SimulateContext. Every iteration already costs at least one
+// policy invocation or heap operation, so 8 keeps the poll overhead
+// unmeasurable while bounding the cancellation latency to a handful of
+// events.
+const ctxCheckEvery = 8
+
+// SimulateContext is Simulate under a context. The event loop polls ctx
+// every ctxCheckEvery events and abandons the run with ctx.Err() once
+// it is cancelled; the partially-advanced simulation state is simply
+// dropped (the engine is per-call, so no pooled state can leak), and a
+// subsequent call with a live context is bit-identical to an
+// uncancelled run.
+func SimulateContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if err := sc.Platform.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,7 +217,12 @@ func Simulate(sc Scenario) (*Result, error) {
 	if e.pq.Len() == 0 {
 		return nil, fmt.Errorf("des: arrival process produced no arrivals within the duration")
 	}
-	for e.pq.Len() > 0 {
+	for steps := 0; e.pq.Len() > 0; steps++ {
+		if steps%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := e.step(); err != nil {
 			return nil, err
 		}

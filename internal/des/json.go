@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/solve"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -247,6 +248,15 @@ func (as *ArrivalSpec) validate() error {
 // process (seeded from Seed) and the policy (portfolio pool bounded by
 // workers).
 func (sp *Spec) Build(workers int) (Scenario, error) {
+	return sp.BuildWith(nil, workers)
+}
+
+// BuildWith is Build with a caller-supplied portfolio engine backing a
+// "portfolio" policy, so the CLI (or a v2 client) can share one worker
+// pool with the simulation instead of building a private engine. A nil
+// engine falls back to a private one bounded by workers; the engine is
+// unused for non-portfolio policies.
+func (sp *Spec) BuildWith(engine *portfolio.Engine, workers int) (Scenario, error) {
 	if err := sp.Validate(); err != nil {
 		return Scenario{}, err
 	}
@@ -271,7 +281,7 @@ func (sp *Spec) Build(workers int) (Scenario, error) {
 	if spec == "" {
 		spec = "DominantMinRatio"
 	}
-	pol, err := ParsePolicy(spec, workers, sp.Seed)
+	pol, err := parsePolicyWith(engine, spec, workers, sp.Seed)
 	if err != nil {
 		return Scenario{}, err
 	}

@@ -92,7 +92,7 @@ func (p *HeuristicPolicy) Allocate(pl model.Platform, residents []Resident) ([]s
 	p.apps = residualApps(p.apps, residents)
 	s, err := p.h.Schedule(pl, p.apps, rng)
 	if err != nil {
-		return nil, err
+		return nil, &sched.HeuristicError{Heuristic: p.h, Err: err}
 	}
 	if s.Sequential {
 		return nil, fmt.Errorf("des: heuristic %v produced a sequential schedule", p.h)
@@ -219,7 +219,7 @@ func (p *NoRepartition) Allocate(pl model.Platform, residents []Resident) ([]sch
 	p.apps = residualApps(p.apps, residents)
 	s, err := p.h.Schedule(pl, p.apps, rng)
 	if err != nil {
-		return nil, err
+		return nil, &sched.HeuristicError{Heuristic: p.h, Err: err}
 	}
 	if s.Sequential {
 		return nil, fmt.Errorf("des: heuristic %v produced a sequential schedule", p.h)
@@ -239,9 +239,15 @@ func (p *NoRepartition) Name() string { return "norepartition:" + p.h.String() }
 // workers bounds the portfolio policy's pool (< 1 = GOMAXPROCS); seed
 // drives every randomized decision.
 func ParsePolicy(spec string, workers int, seed uint64) (Policy, error) {
+	return parsePolicyWith(nil, spec, workers, seed)
+}
+
+// parsePolicyWith is ParsePolicy with an optional shared engine for
+// the portfolio policy (nil = private engine bounded by workers).
+func parsePolicyWith(engine *portfolio.Engine, spec string, workers int, seed uint64) (Policy, error) {
 	switch {
 	case spec == "portfolio":
-		return NewPortfolioPolicy(nil, workers, seed), nil
+		return NewPortfolioPolicy(engine, workers, seed), nil
 	case spec == "norepartition":
 		return NewNoRepartition(sched.DominantMinRatio, seed)
 	case strings.HasPrefix(spec, "norepartition:"):

@@ -1,0 +1,36 @@
+package model
+
+import "fmt"
+
+// ValidationError describes one invalid field of a user-supplied
+// structure — a platform, an application, a schedule, a set of cache
+// shares. It is the typed form of every validation failure in the
+// library, so callers can program against errors.As instead of matching
+// message strings:
+//
+//	var verr *model.ValidationError
+//	if errors.As(err, &verr) {
+//	    log.Printf("bad input %s = %v: %s", verr.Field, verr.Value, verr.Reason)
+//	}
+//
+// Field is a dotted path naming the offending field ("platform.alpha",
+// "apps[3].work", "schedule"), Value the rejected value (nil when the
+// whole structure is missing), and Reason the violated constraint.
+type ValidationError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	if e.Value == nil {
+		return fmt.Sprintf("invalid %s: %s", e.Field, e.Reason)
+	}
+	return fmt.Sprintf("invalid %s: %s, got %v", e.Field, e.Reason, e.Value)
+}
+
+// invalid is the package-internal constructor keeping call sites short.
+func invalid(field string, value any, reason string) *ValidationError {
+	return &ValidationError{Field: field, Value: value, Reason: reason}
+}

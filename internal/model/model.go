@@ -31,15 +31,15 @@ type Platform struct {
 func (pl Platform) Validate() error {
 	switch {
 	case !isFinitePos(pl.Processors):
-		return fmt.Errorf("model: platform needs finite > 0 processors, got %v", pl.Processors)
+		return invalid("platform.processors", pl.Processors, "needs finite > 0 processors")
 	case !isFinitePos(pl.CacheSize):
-		return fmt.Errorf("model: platform needs finite > 0 cache size, got %v", pl.CacheSize)
+		return invalid("platform.cacheSize", pl.CacheSize, "needs finite > 0 cache size")
 	case pl.LatencyS < 0 || math.IsNaN(pl.LatencyS) || math.IsInf(pl.LatencyS, 0):
-		return fmt.Errorf("model: cache latency %v is not finite and >= 0", pl.LatencyS)
+		return invalid("platform.ls", pl.LatencyS, "cache latency is not finite and >= 0")
 	case pl.LatencyL < 0 || math.IsNaN(pl.LatencyL) || math.IsInf(pl.LatencyL, 0):
-		return fmt.Errorf("model: memory latency %v is not finite and >= 0", pl.LatencyL)
+		return invalid("platform.ll", pl.LatencyL, "memory latency is not finite and >= 0")
 	case !isFinitePos(pl.Alpha):
-		return fmt.Errorf("model: power-law exponent must be finite > 0, got %v", pl.Alpha)
+		return invalid("platform.alpha", pl.Alpha, "power-law exponent must be finite > 0")
 	}
 	return nil
 }
@@ -86,22 +86,28 @@ type Application struct {
 // Validate reports the first structural problem with the application, or
 // nil if it is usable.
 func (a Application) Validate() error {
+	field := func(f string) string {
+		if a.Name == "" {
+			return "application." + f
+		}
+		return fmt.Sprintf("application %q.%s", a.Name, f)
+	}
 	switch {
 	case !isFinitePos(a.Work):
-		return fmt.Errorf("model: application %q needs finite positive work, got %v", a.Name, a.Work)
+		return invalid(field("work"), a.Work, "needs finite positive work")
 	case a.SeqFraction < 0 || a.SeqFraction > 1 || math.IsNaN(a.SeqFraction):
-		return fmt.Errorf("model: application %q sequential fraction %v outside [0,1]", a.Name, a.SeqFraction)
+		return invalid(field("seq"), a.SeqFraction, "sequential fraction outside [0,1]")
 	case a.AccessFreq < 0 || math.IsNaN(a.AccessFreq) || math.IsInf(a.AccessFreq, 0):
-		return fmt.Errorf("model: application %q access frequency %v is not finite and >= 0", a.Name, a.AccessFreq)
+		return invalid(field("freq"), a.AccessFreq, "access frequency is not finite and >= 0")
 	case a.RefMissRate < 0 || a.RefMissRate > 1 || math.IsNaN(a.RefMissRate):
-		return fmt.Errorf("model: application %q reference miss rate %v outside [0,1]", a.Name, a.RefMissRate)
+		return invalid(field("missRate"), a.RefMissRate, "reference miss rate outside [0,1]")
 	case !isFinitePos(a.RefCacheSize):
-		return fmt.Errorf("model: application %q needs finite positive reference cache size, got %v", a.Name, a.RefCacheSize)
+		return invalid(field("refCache"), a.RefCacheSize, "needs finite positive reference cache size")
 	case math.IsNaN(a.Footprint) || math.IsInf(a.Footprint, 1):
 		// A non-positive footprint means "unbounded" by convention; NaN
 		// and +Inf must use that convention explicitly rather than
 		// leaking into the footprint-cap arithmetic.
-		return fmt.Errorf("model: application %q footprint %v is not finite (use <= 0 for unbounded)", a.Name, a.Footprint)
+		return invalid(field("footprint"), a.Footprint, "not finite (use <= 0 for unbounded)")
 	}
 	return nil
 }

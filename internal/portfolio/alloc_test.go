@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -19,11 +20,12 @@ func TestCacheHitAllocFree(t *testing.T) {
 	compute := func() (*sched.Schedule, error) {
 		return sched.DominantMinRatio.Schedule(pl, apps, nil)
 	}
-	if _, err, _ := cache.getOrCompute(pl, apps, sched.DominantMinRatio, 0, compute); err != nil {
+	ctx := context.Background()
+	if _, err, _ := cache.getOrCompute(ctx, pl, apps, sched.DominantMinRatio, 0, compute); err != nil {
 		t.Fatal(err)
 	}
 	n := testing.AllocsPerRun(200, func() {
-		s, err, fromCache := cache.getOrCompute(pl, apps, sched.DominantMinRatio, 0, compute)
+		s, err, fromCache := cache.getOrCompute(ctx, pl, apps, sched.DominantMinRatio, 0, compute)
 		if err != nil || s == nil || !fromCache {
 			t.Fatal("expected a cache hit")
 		}

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"sync"
@@ -78,32 +79,55 @@ var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // getOrCompute returns the memoized outcome for the pair, computing it
 // at most once across all concurrent callers. fromCache reports whether
 // this caller got a previously requested entry.
-func (c *Cache) getOrCompute(pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64,
+//
+// Cancellation safety: a computation abandoned because its context was
+// cancelled must not stick — otherwise one cancelled request would
+// serve ctx.Err() to every future caller of the same scenario. When the
+// computed outcome is a context error the entry is evicted; a waiter
+// that collapsed onto a cancelled computation retries with its own
+// (still live) context instead of inheriting a stranger's cancellation.
+func (c *Cache) getOrCompute(ctx context.Context, pl model.Platform, apps []model.Application, h sched.Heuristic, seed uint64,
 	compute func() (*sched.Schedule, error)) (s *sched.Schedule, err error, fromCache bool) {
 	bp := keyBufPool.Get().(*[]byte)
 	key := appendScenarioKey((*bp)[:0], pl, apps, h, seed)
 	sh := &c.shards[shardOf(key)]
-	sh.mu.Lock()
-	ent, ok := sh.m[string(key)]
-	if !ok {
-		ent = &cacheEntry{}
-		sh.m[string(key)] = ent
-	}
-	sh.mu.Unlock()
-	*bp = key[:0]
-	keyBufPool.Put(bp)
+	for {
+		sh.mu.Lock()
+		ent, ok := sh.m[string(key)]
+		if !ok {
+			ent = &cacheEntry{}
+			sh.m[string(key)] = ent
+		}
+		sh.mu.Unlock()
 
-	computed := false
-	ent.once.Do(func() {
-		ent.schedule, ent.err = compute()
-		computed = true
-	})
-	if computed {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
+		computed := false
+		ent.once.Do(func() {
+			ent.schedule, ent.err = compute()
+			computed = true
+		})
+		if ent.err != nil && isContextErr(ent.err) {
+			// Evict the abandoned entry (only if the map still holds this
+			// exact one — a concurrent retry may already have replaced it).
+			sh.mu.Lock()
+			if cur, ok := sh.m[string(key)]; ok && cur == ent {
+				delete(sh.m, string(key))
+			}
+			sh.mu.Unlock()
+			if !computed && ctx.Err() == nil {
+				// We collapsed onto someone else's cancelled computation
+				// but our own context is live: compute it for real.
+				continue
+			}
+		}
+		*bp = key[:0]
+		keyBufPool.Put(bp)
+		if computed {
+			c.misses.Add(1)
+		} else {
+			c.hits.Add(1)
+		}
+		return ent.schedule, ent.err, !computed
 	}
-	return ent.schedule, ent.err, !computed
 }
 
 // scenarioKey builds the canonical key as a string; tests use it to

@@ -22,6 +22,8 @@
 package portfolio
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -146,8 +148,20 @@ func (r *Report) BestSchedule() *sched.Schedule {
 // reports all outcomes. The returned error is non-nil only for invalid
 // scenarios; per-heuristic failures land in the Report.
 func (e *Engine) Evaluate(s Scenario) (*Report, error) {
-	rep := e.EvaluateBatch([]Scenario{s})[0]
-	return rep, rep.Err
+	return e.EvaluateContext(context.Background(), s)
+}
+
+// EvaluateContext is Evaluate under a context: cancellation abandons
+// the remaining heuristics and surfaces ctx.Err() both as the call
+// error and on every unevaluated Result. See EvaluateBatchContext for
+// the cancellation contract.
+func (e *Engine) EvaluateContext(ctx context.Context, s Scenario) (*Report, error) {
+	reports, err := e.EvaluateBatchContext(ctx, []Scenario{s})
+	rep := reports[0]
+	if err == nil {
+		err = rep.Err
+	}
+	return rep, err
 }
 
 // task is one (scenario, heuristic) evaluation cell.
@@ -169,6 +183,12 @@ var taskSlabPool = sync.Pool{New: func() any { return new(taskSlab) }}
 // (scenario, heuristic) pair out to the shared worker pool. The
 // returned slice aligns with scenarios. Scenario-level validation
 // failures are recorded in the corresponding Report's Err.
+func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
+	reports, _ := e.EvaluateBatchContext(context.Background(), scenarios)
+	return reports
+}
+
+// EvaluateBatchContext is EvaluateBatch under a context.
 //
 // The call spawns at most Workers goroutines regardless of batch size
 // (a full paper sweep is tens of thousands of tasks), and each task
@@ -177,7 +197,15 @@ var taskSlabPool = sync.Pool{New: func() any { return new(taskSlab) }}
 // Tasks are drained through an atomic cursor over a pooled slab —
 // results land at fixed (scenario, heuristic) indices, so scheduling
 // order never influences the output.
-func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
+//
+// Cancellation contract: workers poll ctx before claiming each task, so
+// a cancelled batch stops within one in-flight heuristic evaluation per
+// worker. The call then returns ctx.Err() alongside the reports; every
+// task that never ran carries ctx.Err() as its Result.Err (cancelled
+// results never shadow computed ones — pickBest skips errors). Pooled
+// scratch is returned in a reusable state, and a subsequent call on a
+// live context is bit-identical to one on a fresh engine.
+func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario) ([]*Report, error) {
 	reports := make([]*Report, len(scenarios))
 	slab := taskSlabPool.Get().(*taskSlab)
 	tasks := slab.tasks[:0]
@@ -200,13 +228,21 @@ func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		// Serial fast path: no goroutines, no synchronization beyond the
 		// engine-wide semaphore.
 		for i := range tasks {
+			if ctx.Err() != nil {
+				break
+			}
 			t := &tasks[i]
-			e.sem <- struct{}{}
-			t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
+			select {
+			case e.sem <- struct{}{}:
+			case <-done:
+				continue // loop re-checks ctx and breaks
+			}
+			t.rep.Results[t.hi] = e.evalOne(ctx, t.sc, t.h, t.hi)
 			<-e.sem
 		}
 	} else {
@@ -217,18 +253,38 @@ func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(cursor.Add(1)) - 1
 					if i >= len(tasks) {
 						return
 					}
 					t := &tasks[i]
-					e.sem <- struct{}{}
-					t.rep.Results[t.hi] = e.evalOne(t.sc, t.h, t.hi)
+					select {
+					case e.sem <- struct{}{}:
+					case <-done:
+						return
+					}
+					t.rep.Results[t.hi] = e.evalOne(ctx, t.sc, t.h, t.hi)
 					<-e.sem
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	// Tasks skipped by cancellation carry the context error so callers
+	// can tell "not computed" from "computed infeasible". This runs
+	// strictly after every worker exited, so the writes cannot race.
+	if err := ctx.Err(); err != nil {
+		for i := range tasks {
+			t := &tasks[i]
+			res := &t.rep.Results[t.hi]
+			if res.Schedule == nil && res.Err == nil {
+				res.Heuristic = t.h
+				res.Err = err
+			}
+		}
 	}
 	for i := range tasks {
 		tasks[i] = task{}
@@ -238,25 +294,42 @@ func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
 	for _, rep := range reports {
 		rep.pickBest()
 	}
-	return reports
+	return reports, ctx.Err()
 }
 
 // evalOne schedules one heuristic, through the cache when present. Only
 // randomized heuristics get an RNG: the deterministic ones never read
 // it, and skipping the construction keeps the hot path lean without
-// changing any schedule.
-func (e *Engine) evalOne(sc *Scenario, h sched.Heuristic, hi int) Result {
+// changing any schedule. Failures are wrapped in *sched.HeuristicError
+// naming the policy; context errors pass through bare so errors.Is(err,
+// context.Canceled) holds on every layer.
+func (e *Engine) evalOne(ctx context.Context, sc *Scenario, h sched.Heuristic, hi int) Result {
 	seed := sc.Seed ^ uint64(hi+1)*seedStride
 	if e.cache == nil {
-		s, err := h.Schedule(sc.Platform, sc.Apps, rngFor(h, seed))
-		return Result{Heuristic: h, Schedule: s, Err: err}
+		s, err := h.ScheduleContext(ctx, sc.Platform, sc.Apps, rngFor(h, seed))
+		return Result{Heuristic: h, Schedule: s, Err: heuristicErr(h, err)}
 	}
-	s, err, fromCache := e.cache.getOrCompute(sc.Platform, sc.Apps, h, seed, func() (*sched.Schedule, error) {
+	s, err, fromCache := e.cache.getOrCompute(ctx, sc.Platform, sc.Apps, h, seed, func() (*sched.Schedule, error) {
 		// The RNG is built inside the computation so memoized hits do
 		// not pay for a stream they never draw from.
-		return h.Schedule(sc.Platform, sc.Apps, rngFor(h, seed))
+		return h.ScheduleContext(ctx, sc.Platform, sc.Apps, rngFor(h, seed))
 	})
-	return Result{Heuristic: h, Schedule: s, Err: err, FromCache: fromCache}
+	return Result{Heuristic: h, Schedule: s, Err: heuristicErr(h, err), FromCache: fromCache}
+}
+
+// heuristicErr wraps a per-heuristic failure in *sched.HeuristicError.
+// Cancellation is not a property of the heuristic, so context errors
+// stay bare — they mark "not computed", not "policy failed".
+func heuristicErr(h sched.Heuristic, err error) error {
+	if err == nil || isContextErr(err) {
+		return err
+	}
+	return &sched.HeuristicError{Heuristic: h, Err: err}
+}
+
+// isContextErr reports whether err is a cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // rngFor returns the heuristic's seeded stream, or nil for

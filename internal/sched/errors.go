@@ -1,0 +1,29 @@
+package sched
+
+import "fmt"
+
+// HeuristicError reports that one scheduling policy failed on an input,
+// identifying the policy and wrapping the underlying cause. The
+// portfolio engine and the online policies attach it to every
+// per-heuristic failure, so a caller holding only an error can still
+// tell which policy broke and why:
+//
+//	var herr *sched.HeuristicError
+//	if errors.As(err, &herr) {
+//	    log.Printf("%v failed: %v", herr.Heuristic, herr.Err)
+//	}
+//
+// errors.Is sees through it to sentinel causes (ErrInfeasible,
+// context.Canceled, ...) via Unwrap.
+type HeuristicError struct {
+	Heuristic Heuristic
+	Err       error
+}
+
+// Error implements the error interface.
+func (e *HeuristicError) Error() string {
+	return fmt.Sprintf("heuristic %v: %v", e.Heuristic, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *HeuristicError) Unwrap() error { return e.Err }

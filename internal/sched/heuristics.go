@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -146,17 +147,31 @@ func ParseHeuristic(name string) (Heuristic, error) {
 // buffers: beyond the returned Schedule the steady-state evaluation
 // performs no heap allocations.
 func (h Heuristic) Schedule(pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+	return h.ScheduleContext(context.Background(), pl, apps, rng)
+}
+
+// ScheduleContext is Schedule under a context: the iterative heuristics
+// (LocalSearch's membership hill climb) poll ctx between refinement
+// steps and abandon the computation with ctx.Err() once it is
+// cancelled. The closed-form heuristics complete in microseconds and
+// only check ctx on entry. Cancellation never corrupts pooled scratch —
+// buffers return to the pool in a reusable state, and a subsequent call
+// on a live context produces bit-identical schedules.
+func (h Heuristic) ScheduleContext(ctx context.Context, pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := model.ValidateAll(pl, apps); err != nil {
 		return nil, err
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return h.scheduleWith(sc, pl, apps, rng)
+	return h.scheduleWith(ctx, sc, pl, apps, rng)
 }
 
 // scheduleWith dispatches to the heuristic implementations on an
 // already-validated input with a caller-held scratch.
-func (h Heuristic) scheduleWith(sc *scratch, pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
+func (h Heuristic) scheduleWith(ctx context.Context, sc *scratch, pl model.Platform, apps []model.Application, rng *solve.RNG) (*Schedule, error) {
 	switch h {
 	case DominantRandom, DominantMinRatio, DominantMaxRatio,
 		DominantRevRandom, DominantRevMinRatio, DominantRevMaxRatio:
@@ -177,7 +192,7 @@ func (h Heuristic) scheduleWith(sc *scratch, pl model.Platform, apps []model.App
 	case SharedCache:
 		return sharedCacheSchedule(sc, pl, apps)
 	case LocalSearch:
-		return localSearchSchedule(sc, pl, apps, LocalSearchOptions{}, rng)
+		return localSearchSchedule(ctx, sc, pl, apps, LocalSearchOptions{}, rng)
 	default:
 		return nil, fmt.Errorf("sched: unknown heuristic %v", h)
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -178,12 +179,20 @@ func (o LocalSearchOptions) tol() float64 {
 // The returned schedule is never worse than DominantMinRatio's and can
 // strictly improve it when sequential fractions are heterogeneous.
 func LocalSearchSchedule(pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
+	return LocalSearchScheduleContext(context.Background(), pl, apps, opts, rng)
+}
+
+// LocalSearchScheduleContext is LocalSearchSchedule under a context:
+// the hill climb polls ctx before every candidate toggle and returns
+// ctx.Err() promptly once cancelled, leaving the pooled scratch in a
+// reusable state.
+func LocalSearchScheduleContext(ctx context.Context, pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
 	if err := model.ValidateAll(pl, apps); err != nil {
 		return nil, err
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return localSearchSchedule(sc, pl, apps, opts, rng)
+	return localSearchSchedule(ctx, sc, pl, apps, opts, rng)
 }
 
 // localSearchMakespan evaluates one candidate membership: Lemma 4 shares
@@ -210,7 +219,7 @@ func localSearchMakespan(sc *scratch, pl model.Platform, apps []model.Applicatio
 // memberships are scored by localSearchMakespan; only the final winner
 // is materialized as a Schedule (bit-identical to scoring, since both
 // run the same deterministic arithmetic).
-func localSearchSchedule(sc *scratch, pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
+func localSearchSchedule(ctx context.Context, sc *scratch, pl model.Platform, apps []model.Application, opts LocalSearchOptions, rng *solve.RNG) (*Schedule, error) {
 	warm, err := dominantSchedule(sc, pl, apps, DominantMinRatio, rng)
 	if err != nil {
 		return nil, err
@@ -241,6 +250,12 @@ func localSearchSchedule(sc *scratch, pl model.Platform, apps []model.Applicatio
 	for pass := 0; pass < opts.maxPasses(); pass++ {
 		improved := false
 		for i := range apps {
+			// The climb is the only unbounded-iteration loop in the
+			// package; poll the context per candidate toggle so
+			// cancellation returns within one equalizer solve.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			members[i] = !members[i]
 			span, err := localSearchMakespan(sc, pl, apps, members)
 			if err != nil {

@@ -31,16 +31,25 @@ type IntegerSchedule struct {
 // and the total never exceeds the platform's (integral) processor count.
 // It requires n ≤ p, since each application needs at least one processor.
 func RoundProcessors(pl model.Platform, apps []model.Application, s *Schedule) (*IntegerSchedule, error) {
+	if s == nil {
+		return nil, &model.ValidationError{Field: "schedule", Reason: "cannot round a nil schedule"}
+	}
+	if len(s.Assignments) == 0 {
+		return nil, &model.ValidationError{Field: "schedule.assignments", Value: 0, Reason: "cannot round an empty schedule"}
+	}
 	if err := s.Validate(pl, apps); err != nil {
 		return nil, err
 	}
 	if s.Sequential {
-		return nil, fmt.Errorf("sched: sequential schedules already use whole machines")
+		return nil, &model.ValidationError{Field: "schedule.sequential", Value: true, Reason: "sequential schedules already use whole machines"}
 	}
 	n := len(apps)
 	budget := int(math.Floor(pl.Processors))
 	if n > budget {
-		return nil, fmt.Errorf("sched: %d applications cannot each get a whole processor out of %d", n, budget)
+		return nil, &model.ValidationError{
+			Field: "schedule.assignments", Value: n,
+			Reason: fmt.Sprintf("%d applications cannot each get a whole processor out of %d", n, budget),
+		}
 	}
 	counts := make([]int, n)
 	used := 0

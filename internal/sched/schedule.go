@@ -65,30 +65,50 @@ func (s *Schedule) FinishTimes(pl model.Platform, apps []model.Application) []fl
 	return t
 }
 
-// Validate checks structural soundness: matching lengths, non-negative
-// assignments, Σp_i ≤ p and Σx_i ≤ 1 (within tolerance), and for
-// concurrent schedules that Makespan equals max finish time.
+// Validate checks structural soundness: a non-nil schedule, matching
+// lengths, non-negative assignments, Σp_i ≤ p and Σx_i ≤ 1 (within
+// tolerance), and for concurrent schedules that Makespan equals max
+// finish time. Failures are *model.ValidationError values, so callers
+// can inspect the offending field with errors.As.
 func (s *Schedule) Validate(pl model.Platform, apps []model.Application) error {
+	if s == nil {
+		return &model.ValidationError{Field: "schedule", Reason: "schedule is nil"}
+	}
 	if len(s.Assignments) != len(apps) {
-		return fmt.Errorf("sched: %d assignments for %d applications", len(s.Assignments), len(apps))
+		return &model.ValidationError{
+			Field: "schedule.assignments", Value: len(s.Assignments),
+			Reason: fmt.Sprintf("%d assignments for %d applications", len(s.Assignments), len(apps)),
+		}
 	}
 	var sumP, sumX solve.Kahan
 	for i, asg := range s.Assignments {
 		if asg.Processors < 0 || math.IsNaN(asg.Processors) {
-			return fmt.Errorf("sched: app %d has invalid processor count %v", i, asg.Processors)
+			return &model.ValidationError{
+				Field: fmt.Sprintf("schedule.assignments[%d].processors", i), Value: asg.Processors,
+				Reason: "processor count must be finite and >= 0",
+			}
 		}
 		if asg.CacheShare < 0 || asg.CacheShare > 1 || math.IsNaN(asg.CacheShare) {
-			return fmt.Errorf("sched: app %d has invalid cache share %v", i, asg.CacheShare)
+			return &model.ValidationError{
+				Field: fmt.Sprintf("schedule.assignments[%d].cacheShare", i), Value: asg.CacheShare,
+				Reason: "cache share outside [0,1]",
+			}
 		}
 		sumP.Add(asg.Processors)
 		sumX.Add(asg.CacheShare)
 	}
 	if !s.Sequential {
 		if sumP.Sum() > pl.Processors*(1+budgetTol) {
-			return fmt.Errorf("sched: processor budget exceeded: %v > %v", sumP.Sum(), pl.Processors)
+			return &model.ValidationError{
+				Field: "schedule.assignments", Value: sumP.Sum(),
+				Reason: fmt.Sprintf("processor budget exceeded: %v > %v", sumP.Sum(), pl.Processors),
+			}
 		}
 		if sumX.Sum() > 1+budgetTol {
-			return fmt.Errorf("sched: cache budget exceeded: %v > 1", sumX.Sum())
+			return &model.ValidationError{
+				Field: "schedule.assignments", Value: sumX.Sum(),
+				Reason: fmt.Sprintf("cache budget exceeded: %v > 1", sumX.Sum()),
+			}
 		}
 	}
 	ft := s.FinishTimes(pl, apps)
