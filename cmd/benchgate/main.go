@@ -47,6 +47,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		speedupSer   = fs.String("speedup-serial", `^BenchmarkPortfolioSweep/workers=1$`, "serial benchmark regex for the speedup gate")
 		speedupPar   = fs.String("speedup-parallel", `^BenchmarkPortfolioSweep/workers=([2-9]|[1-9][0-9]+)$`, "parallel benchmark regex for the speedup gate")
 		speedupCPUs  = fs.Int("speedup-min-cpus", 4, "skip the speedup gate below this CPU count")
+		minDelta     = fs.Float64("min-delta-speedup", 0, "required full-replan/delta speedup (0 disables)")
+		deltaFull    = fs.String("delta-full", `^BenchmarkDESPortfolioHighRate/full$`, "full-replan benchmark regex for the delta gate")
+		deltaFast    = fs.String("delta-fast", `^BenchmarkDESPortfolioHighRate/delta$`, "delta-rescheduling benchmark regex for the delta gate")
 		quiet        = fs.Bool("quiet", false, "only print failures")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +106,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "benchgate: FAIL: speedup %.3fx below required %.2gx\n", s, *minSpeedup)
 				fail = true
 			}
+		}
+	}
+
+	// The delta gate has no CPU floor: both arms run the engine race
+	// serially (Build(1)), so the ratio measures replanning work alone
+	// and is comparable on any machine.
+	if *minDelta > 0 {
+		s, err := benchgate.Speedup(cur, *deltaFull, *deltaFast)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchgate: delta rescheduling speedup (full replan / delta): %.3fx\n", s)
+		if s < *minDelta {
+			fmt.Fprintf(stderr, "benchgate: FAIL: delta speedup %.3fx below required %.2gx\n", s, *minDelta)
+			fail = true
 		}
 	}
 

@@ -195,6 +195,9 @@ type summaryJSON struct {
 	MaxResponse   float64 `json:"maxResponse"`
 	MeanStretch   float64 `json:"meanStretch"`
 	MaxStretch    float64 `json:"maxStretch"`
+	// Replan reports the delta-rescheduling telemetry: fast-path vs
+	// full-solve allocation counts and plan-memo traffic.
+	Replan des.ReplanStats `json:"replan"`
 }
 
 func summaryOf(sc des.Scenario, res *des.Result) summaryJSON {
@@ -204,6 +207,7 @@ func summaryOf(sc des.Scenario, res *des.Result) summaryJSON {
 		Arrivals:      sc.Arrivals.Name(),
 		Jobs:          len(res.Jobs),
 		Truncated:     res.Truncated,
+		Replan:        res.Replan,
 		Makespan:      res.Makespan,
 		Utilization:   res.Utilization(sc.Platform),
 		CacheOccupied: res.MeanCacheOccupancy(),

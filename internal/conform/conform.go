@@ -114,14 +114,19 @@ type Violation struct {
 
 // FamilyResult aggregates one family's scenarios.
 type FamilyResult struct {
-	Family     string      `json:"family"`
-	Scenarios  int         `json:"scenarios"`
-	OracleRuns int         `json:"oracleRuns"`
-	GapMin     float64     `json:"gapMin"`
-	GapGeoMean float64     `json:"gapGeoMean"`
-	GapMax     float64     `json:"gapMax"`
-	Digest     string      `json:"digest"`
-	Violations []Violation `json:"violations,omitempty"`
+	Family     string  `json:"family"`
+	Scenarios  int     `json:"scenarios"`
+	OracleRuns int     `json:"oracleRuns"`
+	GapMin     float64 `json:"gapMin"`
+	GapGeoMean float64 `json:"gapGeoMean"`
+	GapMax     float64 `json:"gapMax"`
+	Digest     string  `json:"digest"`
+	// Replan aggregates the online runs' delta-rescheduling telemetry
+	// across the family's scenarios (reference 1-worker arm). It rides
+	// along in the NDJSON report but stays out of the golden corpus,
+	// which stores digests only.
+	Replan     des.ReplanStats `json:"replan"`
+	Violations []Violation     `json:"violations,omitempty"`
 }
 
 // Report is the outcome of one harness run.
@@ -134,6 +139,15 @@ type Report struct {
 	MinApps       int            `json:"minApps"`
 	MaxApps       int            `json:"maxApps"`
 	Families      []FamilyResult `json:"families"`
+}
+
+// ReplanTotals sums the per-family delta-rescheduling telemetry.
+func (r *Report) ReplanTotals() des.ReplanStats {
+	var t des.ReplanStats
+	for _, f := range r.Families {
+		t.Add(f.Replan)
+	}
+	return t
 }
 
 // ViolationCount totals violations across families.
@@ -197,6 +211,7 @@ func RunContext(ctx context.Context, opt Options) (*Report, error) {
 			}
 			fr.Scenarios++
 			famHash.Write([]byte(sr.digest))
+			fr.Replan.Add(sr.replan)
 			fr.Violations = append(fr.Violations, sr.violations...)
 			if sr.gap > 0 {
 				fr.OracleRuns++
@@ -220,6 +235,7 @@ func RunContext(ctx context.Context, opt Options) (*Report, error) {
 type scenarioResult struct {
 	digest     string
 	gap        float64 // portfolio-best / oracle; 0 when the oracle was skipped
+	replan     des.ReplanStats
 	violations []Violation
 }
 
@@ -343,10 +359,11 @@ func runScenario(in *genscen.Instance, opt Options, serial, parallel *portfolio.
 	if err != nil {
 		return nil, err
 	}
-	onlineDig, err := checkDESOnline(in, opt, best.Schedule.Makespan, flag)
+	onlineDig, replan, err := checkDESOnline(in, opt, best.Schedule.Makespan, flag)
 	if err != nil {
 		return nil, err
 	}
+	sr.replan = replan
 
 	// The online event log participates in the digest (hashed from the
 	// 1-worker run, so the digest stays worker-invariant): a behavioral
@@ -530,11 +547,12 @@ func checkDESStatic(in *genscen.Instance, flag func(string, string, ...any)) (st
 // (it still proves the scenario simulates); the comparison arm needs a
 // genuinely different pool size to carry signal. The returned string
 // is the 1-worker run's canonical digest, folded into the scenario
-// digest so online-simulator drift fails the golden gate too.
-func checkDESOnline(in *genscen.Instance, opt Options, span float64, flag func(string, string, ...any)) (string, error) {
+// digest so online-simulator drift fails the golden gate too; the
+// second return is that run's delta-rescheduling telemetry.
+func checkDESOnline(in *genscen.Instance, opt Options, span float64, flag func(string, string, ...any)) (string, des.ReplanStats, error) {
 	sp, err := in.OnlineSpec("portfolio", span)
 	if err != nil {
-		return "", err
+		return "", des.ReplanStats{}, err
 	}
 	run := func(workers int) (*des.Result, error) {
 		sc, err := sp.Build(workers)
@@ -545,20 +563,20 @@ func checkDESOnline(in *genscen.Instance, opt Options, span float64, flag func(s
 	}
 	r1, err := run(1)
 	if err != nil {
-		return "", fmt.Errorf("des-online workers=1: %w", err)
+		return "", des.ReplanStats{}, fmt.Errorf("des-online workers=1: %w", err)
 	}
 	d1 := onlineDigest(r1)
 	if opt.Workers <= 1 {
-		return d1, nil
+		return d1, r1.Replan, nil
 	}
 	rp, err := run(opt.Workers)
 	if err != nil {
-		return "", fmt.Errorf("des-online workers=%d: %w", opt.Workers, err)
+		return "", des.ReplanStats{}, fmt.Errorf("des-online workers=%d: %w", opt.Workers, err)
 	}
 	if dp := onlineDigest(rp); d1 != dp {
 		flag("des-online", "online run differs between 1 and %d policy workers", opt.Workers)
 	}
-	return d1, nil
+	return d1, r1.Replan, nil
 }
 
 // hexFloat renders a float64 exactly (hexadecimal mantissa/exponent),

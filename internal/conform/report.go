@@ -57,6 +57,9 @@ func (r *Report) Markdown(out io.Writer) error {
 			f.Family, f.Scenarios, f.OracleRuns, gapMin, gapGeo, gapMax,
 			len(f.Violations), shortDigest(f.Digest))
 	}
+	rt := r.ReplanTotals()
+	fmt.Fprintf(w, "\nreplan: %d fast-path / %d full-solve allocations, memo hit rate %.3f\n",
+		rt.FastPath, rt.FullSolve, rt.HitRate())
 	total := r.ViolationCount()
 	fmt.Fprintf(w, "\n%d violation(s).\n", total)
 	if total > 0 {
@@ -106,10 +109,12 @@ func (r *Report) NDJSON(w io.Writer) error {
 			}
 		}
 	}
+	rt := r.ReplanTotals()
 	return enc.Encode(map[string]any{
 		"type": "summary", "seeds": r.Seeds, "baseSeed": r.BaseSeed,
 		"workers": r.Workers, "families": len(r.Families),
 		"violations": r.ViolationCount(),
+		"replan":     rt, "memoHitRate": rt.HitRate(),
 	})
 }
 

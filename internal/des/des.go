@@ -56,9 +56,11 @@ type Scenario struct {
 	// Policy decides the allocation of the resident set at every
 	// arrival and completion.
 	Policy Policy
-	// Duration, when > 0, cuts off the arrival stream: arrivals after
-	// this virtual time are discarded (counted in Result.Truncated).
-	// Already-admitted jobs always run to completion.
+	// Duration, when > 0, cuts off the arrival stream. The admission
+	// window is the half-open interval [0, Duration): an arrival at
+	// exactly t == Duration is discarded (counted in Result.Truncated),
+	// regardless of which arrival process produced it. Already-admitted
+	// jobs always run to completion.
 	Duration float64
 	// MaxResident, when > 0, bounds how many jobs share the node at
 	// once; excess arrivals wait in a FIFO queue.
@@ -107,6 +109,9 @@ type Result struct {
 	Repartitions int
 	// Truncated counts arrivals discarded by the Duration cutoff.
 	Truncated int
+	// Replan is the policy's delta-rescheduling telemetry (zero for
+	// policies that never take a fast path, e.g. NoRepartition).
+	Replan ReplanStats
 	// Wait, Response and Stretch summarize the per-job metrics.
 	Wait, Response, Stretch stats.Summary
 }
@@ -145,6 +150,13 @@ type jobState struct {
 	frac    float64 // completed fraction of the original work
 	procs   float64
 	cache   float64
+	// exe caches app.Exe(platform, procs, cache) for the current
+	// allocation (+Inf while the job holds nothing). Exe is a pure
+	// function of the allocation, so refreshing the cache exactly when
+	// procs/cache change keeps every read bit-identical to recomputing
+	// — it only spares the event loop an Amdahl/miss-rate evaluation
+	// per resident per event.
+	exe     float64
 	started bool
 	done    bool
 }
@@ -233,6 +245,9 @@ func SimulateContext(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 	}
 	e.finalize()
+	if tp, ok := sc.Policy.(interface{ ReplanStats() ReplanStats }); ok {
+		e.res.Replan = tp.ReplanStats()
+	}
 	return e.res, nil
 }
 
@@ -259,12 +274,14 @@ func (e *engine) pullArrival() error {
 			return fmt.Errorf("des: arrival process %s went backwards: t=%g after t=%g", e.sc.Arrivals.Name(), a.Time, e.lastArrival)
 		}
 		e.lastArrival = a.Time
-		if e.sc.Duration > 0 && a.Time > e.sc.Duration {
+		// Half-open admission window [0, Duration): the boundary arrival
+		// is truncated, for every arrival process alike.
+		if e.sc.Duration > 0 && a.Time >= e.sc.Duration {
 			e.res.Truncated++
 			continue // keep draining to count every truncated arrival
 		}
 		id := len(e.jobs)
-		e.jobs = append(e.jobs, jobState{app: a.App, arrival: a.Time, start: math.NaN(), finish: math.NaN()})
+		e.jobs = append(e.jobs, jobState{app: a.App, arrival: a.Time, start: math.NaN(), finish: math.NaN(), exe: math.Inf(1)})
 		e.pq.push(qEvent{time: a.Time, kind: qArrival, job: id})
 		return nil
 	}
@@ -326,7 +343,29 @@ func (e *engine) step() error {
 		batch = e.absorbAt(t, batch)
 	}
 
+	// Delta-rescheduling short-circuit: a step that neither finished nor
+	// admitted anything (an arrival parked in the FIFO of a saturated
+	// node) leaves every resident's (frac-at-prediction, allocation)
+	// state exactly as the pending completion events assumed, so the
+	// predictions in the heap are still the ones a fresh re-plan would
+	// derive — skipping the policy call AND the re-plan is free. The one
+	// exception is a consumed completion event whose job fell an ulp
+	// short of the tolerance: its prediction is spent, so a re-plan must
+	// reissue it even though no visible state changed.
+	replan := changed
+	if !replan {
+		for _, ev := range batch {
+			if ev.kind == qCompletion {
+				replan = true
+				break
+			}
+		}
+	}
 	e.batch = batch[:0]
+	if !replan {
+		e.recountQueue()
+		return nil
+	}
 	if changed {
 		if err := e.repartition(); err != nil {
 			return err
@@ -350,7 +389,7 @@ func (e *engine) step() error {
 			st.frac = 1
 			st.done = true
 			st.finish = e.now
-			st.procs, st.cache = 0, 0
+			st.procs, st.cache, st.exe = 0, 0, math.Inf(1)
 			e.log(EventFinish, id)
 		}
 		e.pruneResidents()
@@ -399,17 +438,16 @@ func (e *engine) advance(t float64) bool {
 		if st.done {
 			continue
 		}
-		exe := st.app.Exe(e.sc.Platform, st.procs, st.cache)
 		e.res.ProcessorTime += st.procs * dt
 		e.res.CacheTime += st.cache * dt
-		if !math.IsInf(exe, 1) {
-			st.frac += dt / exe
+		if !math.IsInf(st.exe, 1) {
+			st.frac += dt / st.exe
 		}
 		if st.frac >= 1-doneTol {
 			st.frac = 1
 			st.done = true
 			st.finish = t
-			st.procs, st.cache = 0, 0
+			st.procs, st.cache, st.exe = 0, 0, math.Inf(1)
 			finished = true
 			e.log(EventFinish, id)
 		}
@@ -492,7 +530,12 @@ func (e *engine) repartition() error {
 		if a.Processors < 0 || math.IsNaN(a.Processors) || math.IsInf(a.Processors, 0) {
 			return fmt.Errorf("des: policy %s assigned invalid processors %v to job %d", e.sc.Policy.Name(), a.Processors, view[i].Job)
 		}
-		if a.CacheShare < 0 || a.CacheShare > 1 || math.IsNaN(a.CacheShare) {
+		// The share bound gets the same budgetTol slack as the sum
+		// checks below: heuristic share arithmetic (normalization,
+		// footprint caps) can land an ulp above 1, and rejecting that
+		// while tolerating the same slack on the budget would make the
+		// engine stricter than the schedules it replays.
+		if a.CacheShare < 0 || a.CacheShare > 1+budgetTol || math.IsNaN(a.CacheShare) {
 			return fmt.Errorf("des: policy %s assigned invalid cache share %v to job %d", e.sc.Policy.Name(), a.CacheShare, view[i].Job)
 		}
 		sumP.Add(a.Processors)
@@ -509,8 +552,9 @@ func (e *engine) repartition() error {
 		st := &e.jobs[id]
 		if st.procs != asg[i].Processors || st.cache != asg[i].CacheShare {
 			applied = true
+			st.procs, st.cache = asg[i].Processors, asg[i].CacheShare
+			st.exe = st.app.Exe(e.sc.Platform, st.procs, st.cache)
 		}
-		st.procs, st.cache = asg[i].Processors, asg[i].CacheShare
 		if !st.started && st.procs > 0 {
 			st.started = true
 			st.start = e.now
@@ -539,11 +583,10 @@ func (e *engine) planCompletions() (stuck []int) {
 	e.gen++
 	for _, id := range e.residents {
 		st := &e.jobs[id]
-		exe := st.app.Exe(e.sc.Platform, st.procs, st.cache)
-		if math.IsInf(exe, 1) {
+		if math.IsInf(st.exe, 1) {
 			continue // zero allocation: waits for a future repartition
 		}
-		t := e.now + (1-st.frac)*exe
+		t := e.now + (1-st.frac)*st.exe
 		if math.IsInf(t, 1) || math.IsNaN(t) {
 			// Overflowed the clock (extreme work/latency inputs): the
 			// job cannot finish in representable virtual time. Leave it

@@ -2,6 +2,7 @@ package des
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/model"
@@ -43,6 +44,41 @@ type Policy interface {
 // invocations, mirroring the portfolio engine's per-heuristic stride.
 const policySeedStride = 0x9E3779B97F4A7C15
 
+// ReplanStats is the delta-rescheduling telemetry of an online policy:
+// how often an Allocate call was served entirely by certified memoized
+// plans versus falling back to a full solve, plus the underlying plan
+// memo's hit/miss counters (which count per-heuristic lookups, so for
+// the portfolio policy they run ahead of the per-call counters).
+type ReplanStats struct {
+	// FastPath counts Allocate calls answered without running any
+	// deterministic solver: every deterministic plan came from the memo,
+	// certified bit-equivalent by its exact input fingerprint.
+	FastPath uint64 `json:"fastPath"`
+	// FullSolve counts Allocate calls that ran the full (cold) solve —
+	// first-seen resident shapes, evicted entries, or full-replan mode.
+	FullSolve uint64 `json:"fullSolve"`
+	// MemoHits / MemoMisses are the plan memo's per-lookup counters.
+	MemoHits   uint64 `json:"memoHits"`
+	MemoMisses uint64 `json:"memoMisses"`
+}
+
+// Add accumulates s into r (used by conform's per-family aggregation).
+func (r *ReplanStats) Add(s ReplanStats) {
+	r.FastPath += s.FastPath
+	r.FullSolve += s.FullSolve
+	r.MemoHits += s.MemoHits
+	r.MemoMisses += s.MemoMisses
+}
+
+// HitRate returns the memo hit fraction, or 0 for an untouched memo.
+func (r ReplanStats) HitRate() float64 {
+	total := r.MemoHits + r.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.MemoHits) / float64(total)
+}
+
 // residualApps builds the application set a policy hands to the paper's
 // heuristics: each resident's profile with its work scaled to what is
 // left, so remaining work is charged under the shares decided now. A
@@ -59,6 +95,15 @@ func residualApps(buf []model.Application, residents []Resident) []model.Applica
 	for i, r := range residents {
 		a := r.App
 		a.Work *= r.Remaining
+		// A resident parked a hair above the completion tolerance can
+		// have Remaining so small that the product underflows to zero —
+		// an app the model validators reject (Work must be > 0) and the
+		// heuristics would mis-rank. Clamp to the smallest positive
+		// denormal: still "essentially finished" for every ranking
+		// purpose, but a valid application.
+		if a.Work == 0 {
+			a.Work = math.SmallestNonzeroFloat64
+		}
 		apps[i] = a
 	}
 	return apps
@@ -66,11 +111,19 @@ func residualApps(buf []model.Application, residents []Resident) []model.Applica
 
 // HeuristicPolicy repartitions with one of the paper's heuristics at
 // every decision point, rescheduling the residual work of every
-// resident job from scratch.
+// resident job. For deterministic heuristics it replans through a
+// sched.PlanMemo: a recurring resident shape (waves of template jobs
+// under a residency cap) is served by the memoized plan, certified
+// bit-equivalent to a cold solve by its exact input fingerprint.
+// Randomized heuristics always re-solve — their per-call RNG substream
+// never repeats, so no cached plan can be certified.
 type HeuristicPolicy struct {
 	h     sched.Heuristic
 	seed  uint64
 	calls uint64
+	full  bool
+	memo  *sched.PlanMemo
+	stats ReplanStats
 	apps  []model.Application // residual-work plan buffer, recycled
 }
 
@@ -82,17 +135,48 @@ func NewHeuristicPolicy(h sched.Heuristic, seed uint64) (*HeuristicPolicy, error
 	if h == sched.AllProcCache {
 		return nil, fmt.Errorf("des: %v is sequential and cannot drive online repartitioning", h)
 	}
-	return &HeuristicPolicy{h: h, seed: seed}, nil
+	return &HeuristicPolicy{h: h, seed: seed, memo: sched.NewPlanMemo(0)}, nil
+}
+
+// SetFullReplan disables (true) or re-enables (false) the delta
+// fast path, forcing every Allocate call through a cold solve. The
+// conform equivalence sweep runs both modes and compares event logs
+// bit-for-bit; the ":full" policy-spec suffix exposes it on the wire.
+func (p *HeuristicPolicy) SetFullReplan(full bool) { p.full = full }
+
+// ReplanStats reports the delta-rescheduling telemetry; the engine
+// copies it into Result.Replan.
+func (p *HeuristicPolicy) ReplanStats() ReplanStats {
+	st := p.stats
+	ms := p.memo.Stats()
+	st.MemoHits, st.MemoMisses = ms.Hits, ms.Misses
+	return st
 }
 
 // Allocate implements Policy.
 func (p *HeuristicPolicy) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
 	p.calls++
-	rng := solve.NewRNG(p.seed ^ p.calls*policySeedStride)
+	// Deterministic heuristics never read the RNG; skipping its
+	// construction is bit-identical and keeps the fast path
+	// allocation-free. The call counter still advances so the substream
+	// schedule is independent of the heuristic kind.
+	var rng *solve.RNG
+	if p.h.Randomized() {
+		rng = solve.NewRNG(p.seed ^ p.calls*policySeedStride)
+	}
 	p.apps = residualApps(p.apps, residents)
-	s, err := p.h.Schedule(pl, p.apps, rng)
+	memo := p.memo
+	if p.full {
+		memo = nil
+	}
+	s, fromMemo, err := p.h.ScheduleWarm(pl, p.apps, rng, memo)
 	if err != nil {
 		return nil, &sched.HeuristicError{Heuristic: p.h, Err: err}
+	}
+	if fromMemo {
+		p.stats.FastPath++
+	} else {
+		p.stats.FullSolve++
 	}
 	if s.Sequential {
 		return nil, fmt.Errorf("des: heuristic %v produced a sequential schedule", p.h)
@@ -120,26 +204,57 @@ func onlineHeuristics() []sched.Heuristic {
 // portfolio engine turned into an online repartitioner. Concurrency
 // comes from the engine's worker pool; results are bit-deterministic at
 // any pool size, so the simulation is too.
+//
+// Delta rescheduling: the policy keeps a sched.PlanMemo of the
+// deterministic heuristics' plans, keyed by the exact bit pattern of
+// (heuristic, platform, residual apps) — names excluded, so waves of
+// re-stamped template jobs ("cg#17") fingerprint identically. When
+// every deterministic heuristic hits the memo, the policy skips the
+// engine race entirely: it replays the certified plans, re-solves only
+// the randomized heuristics (their per-call substreams never repeat, so
+// they are never memoizable) with exactly the seeds the engine would
+// have derived, and picks the winner with the engine's own selection
+// rule. Any miss falls back to the full race, whose deterministic
+// results then seed the memo. Event logs are bit-identical either way.
 type PortfolioPolicy struct {
 	engine *portfolio.Engine
 	hs     []sched.Heuristic
 	seed   uint64
 	calls  uint64
+	full   bool
+	memo   *sched.PlanMemo
+	stats  ReplanStats
 	apps   []model.Application // residual-work plan buffer, recycled
+	rs     []portfolio.Result  // fast-path result buffer, recycled
 }
 
 // NewPortfolioPolicy returns a portfolio-driven policy. A nil engine
 // gets a private one with the given worker bound (< 1 = GOMAXPROCS)
-// and no memoization cache: online resident sets are almost never
-// repeated (residual work shrinks at every event and job names are
-// unique), so a cache would only accumulate dead entries for the
-// length of the run. Pass an engine to share a worker pool — and, if
-// the workload genuinely repeats, a cache — with other users.
+// and no memoization cache: the engine cache keys on job names, which
+// the online job stream re-stamps per arrival, so it would only
+// accumulate dead entries — recurring resident *shapes* are instead
+// served by the policy's own name-insensitive plan memo. Pass an
+// engine to share a worker pool with other users.
 func NewPortfolioPolicy(engine *portfolio.Engine, workers int, seed uint64) *PortfolioPolicy {
 	if engine == nil {
 		engine = portfolio.New(portfolio.Config{Workers: workers})
 	}
-	return &PortfolioPolicy{engine: engine, hs: onlineHeuristics(), seed: seed}
+	return &PortfolioPolicy{engine: engine, hs: onlineHeuristics(), seed: seed, memo: sched.NewPlanMemo(0)}
+}
+
+// SetFullReplan disables (true) or re-enables (false) the delta
+// fast path, forcing every Allocate call through the full engine race.
+// The conform equivalence sweep runs both modes and compares event logs
+// bit-for-bit; the ":full" policy-spec suffix exposes it on the wire.
+func (p *PortfolioPolicy) SetFullReplan(full bool) { p.full = full }
+
+// ReplanStats reports the delta-rescheduling telemetry; the engine
+// copies it into Result.Replan.
+func (p *PortfolioPolicy) ReplanStats() ReplanStats {
+	st := p.stats
+	ms := p.memo.Stats()
+	st.MemoHits, st.MemoMisses = ms.Hits, ms.Misses
+	return st
 }
 
 // Allocate implements Policy.
@@ -152,20 +267,78 @@ func (p *PortfolioPolicy) Allocate(pl model.Platform, residents []Resident) ([]s
 	// Mixing the per-call seed through SplitMix64 (one RNG step)
 	// decorrelates the two layers.
 	p.apps = residualApps(p.apps, residents)
+	scSeed := solve.NewRNG(p.seed ^ p.calls*policySeedStride).Uint64()
+	if !p.full {
+		if asg, ok, err := p.fastPath(pl, scSeed); ok {
+			p.stats.FastPath++
+			return asg, err
+		}
+	}
+	p.stats.FullSolve++
 	rep, err := p.engine.Evaluate(portfolio.Scenario{
 		Platform:   pl,
 		Apps:       p.apps,
 		Heuristics: p.hs,
-		Seed:       solve.NewRNG(p.seed ^ p.calls*policySeedStride).Uint64(),
+		Seed:       scSeed,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Seed the memo with this race's deterministic plans so the next
+	// recurrence of the same resident shape takes the fast path.
+	for i := range rep.Results {
+		if res := &rep.Results[i]; res.Err == nil {
+			p.memo.Put(p.hs[i], pl, p.apps, res.Schedule)
+		}
 	}
 	best := rep.BestResult()
 	if best == nil {
 		return nil, fmt.Errorf("des: no heuristic produced a feasible repartition")
 	}
 	return best.Schedule.Assignments, nil
+}
+
+// fastPath attempts the certified delta path: every deterministic
+// heuristic's plan must come from the memo (any miss returns ok=false
+// and defers to the full race), the randomized heuristics are re-solved
+// with exactly the per-heuristic seeds engine.Evaluate would derive
+// (portfolio.HeuristicSeed), and the winner is selected with the
+// engine's own rule (portfolio.BestIndex) so ties break identically.
+// Bit-equivalence with the full race follows: memoized plans are
+// certified by their exact input fingerprints, and every non-memoized
+// computation reproduces the engine's arithmetic verbatim.
+func (p *PortfolioPolicy) fastPath(pl model.Platform, scSeed uint64) ([]sched.Assignment, bool, error) {
+	rs := p.rs
+	if cap(rs) < len(p.hs) {
+		rs = make([]portfolio.Result, len(p.hs))
+	}
+	rs = rs[:len(p.hs)]
+	p.rs = rs
+	for hi, h := range p.hs {
+		if h.Randomized() {
+			continue
+		}
+		s, ok := p.memo.Get(h, pl, p.apps)
+		if !ok {
+			return nil, false, nil
+		}
+		rs[hi] = portfolio.Result{Heuristic: h, Schedule: s}
+	}
+	for hi, h := range p.hs {
+		if !h.Randomized() {
+			continue
+		}
+		s, err := h.Schedule(pl, p.apps, solve.NewRNG(portfolio.HeuristicSeed(scSeed, hi)))
+		if err != nil {
+			err = &sched.HeuristicError{Heuristic: h, Err: err}
+		}
+		rs[hi] = portfolio.Result{Heuristic: h, Schedule: s, Err: err}
+	}
+	best := portfolio.BestIndex(rs)
+	if best < 0 {
+		return nil, true, fmt.Errorf("des: no heuristic produced a feasible repartition")
+	}
+	return rs[best].Schedule.Assignments, true, nil
 }
 
 // Name implements Policy.
@@ -196,7 +369,16 @@ func NewNoRepartition(h sched.Heuristic, seed uint64) (*NoRepartition, error) {
 // Allocate implements Policy.
 func (p *NoRepartition) Allocate(pl model.Platform, residents []Resident) ([]sched.Assignment, error) {
 	for _, r := range residents {
-		if r.Assign.Processors > 0 {
+		// A wave counts as running only while some resident is actually
+		// progressing: holding processors AND having a finite execution
+		// time under its current allocation. Gating on Processors > 0
+		// alone deadlocks the node when a resident is stuck with a
+		// nonzero assignment that yields Exe = +Inf (degenerate
+		// work/latency inputs): it never finishes, so the "wave" never
+		// drains and every later arrival is frozen out forever. Such a
+		// stuck resident instead lets the next decision point fall
+		// through to a fresh wave that reschedules everything resident.
+		if r.Assign.Processors > 0 && !math.IsInf(r.App.Exe(pl, r.Assign.Processors, r.Assign.CacheShare), 1) {
 			// A wave is running: freeze every current allocation; new
 			// arrivals keep their zero assignment and wait. The engine
 			// consumes the returned slice before the next Allocate call,
@@ -236,8 +418,12 @@ func (p *NoRepartition) Name() string { return "norepartition:" + p.h.String() }
 //	"<Heuristic>"              repartition with that heuristic every event
 //	"norepartition[:<H>]"      wave scheduling, frozen between drains
 //
-// workers bounds the portfolio policy's pool (< 1 = GOMAXPROCS); seed
-// drives every randomized decision.
+// The replanning policies ("portfolio" and plain heuristics) take the
+// delta-rescheduling fast path by default; appending ":full" (e.g.
+// "portfolio:full") forces full replanning at every event, which is
+// bit-equivalent and only useful for benchmarking and equivalence
+// testing. workers bounds the portfolio policy's pool (< 1 =
+// GOMAXPROCS); seed drives every randomized decision.
 func ParsePolicy(spec string, workers int, seed uint64) (Policy, error) {
 	return parsePolicyWith(nil, spec, workers, seed)
 }
@@ -245,6 +431,18 @@ func ParsePolicy(spec string, workers int, seed uint64) (Policy, error) {
 // parsePolicyWith is ParsePolicy with an optional shared engine for
 // the portfolio policy (nil = private engine bounded by workers).
 func parsePolicyWith(engine *portfolio.Engine, spec string, workers int, seed uint64) (Policy, error) {
+	if base, found := strings.CutSuffix(spec, ":full"); found {
+		pol, err := parsePolicyWith(engine, base, workers, seed)
+		if err != nil {
+			return nil, err
+		}
+		fr, ok := pol.(interface{ SetFullReplan(bool) })
+		if !ok {
+			return nil, fmt.Errorf("des: policy %q has no delta-rescheduling fast path to disable", base)
+		}
+		fr.SetFullReplan(true)
+		return pol, nil
+	}
 	switch {
 	case spec == "portfolio":
 		return NewPortfolioPolicy(engine, workers, seed), nil

@@ -304,7 +304,7 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 // naming the policy; context errors pass through bare so errors.Is(err,
 // context.Canceled) holds on every layer.
 func (e *Engine) evalOne(ctx context.Context, sc *Scenario, h sched.Heuristic, hi int) Result {
-	seed := sc.Seed ^ uint64(hi+1)*seedStride
+	seed := HeuristicSeed(sc.Seed, hi)
 	if e.cache == nil {
 		s, err := h.ScheduleContext(ctx, sc.Platform, sc.Apps, rngFor(h, seed))
 		return Result{Heuristic: h, Schedule: s, Err: heuristicErr(h, err)}
@@ -332,6 +332,17 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// HeuristicSeed derives the RNG seed for the heuristic at index hi of a
+// scenario seeded with scenarioSeed: the substream scenarioSeed ^
+// (hi+1)·seedStride. It is exported as the single source of truth for
+// that derivation — callers that re-solve individual heuristics outside
+// the engine (the DES delta-rescheduling fast path) must reproduce the
+// exact streams Evaluate would have drawn, or their results drift from
+// the full race bit-for-bit determinism forbids.
+func HeuristicSeed(scenarioSeed uint64, hi int) uint64 {
+	return scenarioSeed ^ uint64(hi+1)*seedStride
+}
+
 // rngFor returns the heuristic's seeded stream, or nil for
 // deterministic heuristics, which never read it: skipping the
 // construction keeps the hot path lean without changing any schedule.
@@ -342,19 +353,27 @@ func rngFor(h sched.Heuristic, seed uint64) *solve.RNG {
 	return solve.NewRNG(seed)
 }
 
-// pickBest selects the feasible result with the smallest makespan,
-// breaking ties toward the earlier heuristic. Results with a NaN
-// makespan are treated as infeasible so they can never shadow a finite
-// schedule.
-func (r *Report) pickBest() {
-	r.Best = -1
-	for i := range r.Results {
-		res := &r.Results[i]
+// BestIndex selects the feasible result with the smallest makespan,
+// breaking ties toward the earlier index, or -1 if none is feasible.
+// Results with a NaN makespan are treated as infeasible so they can
+// never shadow a finite schedule. Exported so callers that assemble
+// result slices outside Evaluate (the DES delta-rescheduling fast path)
+// share the engine's exact selection semantics, ties included.
+func BestIndex(results []Result) int {
+	best := -1
+	for i := range results {
+		res := &results[i]
 		if res.Err != nil || res.Schedule == nil || math.IsNaN(res.Schedule.Makespan) {
 			continue
 		}
-		if r.Best < 0 || res.Schedule.Makespan < r.Results[r.Best].Schedule.Makespan {
-			r.Best = i
+		if best < 0 || res.Schedule.Makespan < results[best].Schedule.Makespan {
+			best = i
 		}
 	}
+	return best
+}
+
+// pickBest records BestIndex over the report's results.
+func (r *Report) pickBest() {
+	r.Best = BestIndex(r.Results)
 }

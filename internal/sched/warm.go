@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// This file is the warm-start layer of the incremental-replanning work:
+// instead of re-solving every resident set from a cold start, online
+// callers keep a PlanMemo and go through ScheduleWarm, which serves a
+// previously computed plan whenever it can *certify* bit-equivalence
+// with a cold solve, and falls back to the full solve otherwise.
+//
+// Why the certificate is an exact input fingerprint and not a numeric
+// warm start: the obvious accelerations — seeding the equalizer's
+// bisection bracket from the incumbent makespan, or starting
+// LocalSearch's hill climb from the incumbent membership — are exact in
+// real arithmetic but not in floats. A narrower bracket changes the
+// bisection's iterate sequence, and a different climb origin reaches a
+// different local optimum; either way the resulting schedule can drift
+// by ulps (or more) from the cold solve, which this repository's
+// bit-for-bit determinism discipline (conform golden digests, des
+// event-log equality across worker counts) treats as a behavioral
+// change. The only shortcut the equalizer's arithmetic admits is the
+// trivial one: every deterministic heuristic is a pure function of
+// (platform, applications), so if those inputs match a previous solve
+// bit-for-bit, replaying the stored schedule IS the cold solve. The
+// fingerprint below captures exactly the numeric fields the heuristics
+// read — application names are excluded on purpose, because no
+// heuristic's arithmetic reads them (they only appear in errors and
+// reports) and online callers re-stamp names per job ("cg#17"), which
+// would otherwise defeat the memo on recurring workload shapes.
+
+// PlanMemo memoizes deterministic heuristic plans keyed by the exact
+// bit pattern of (heuristic, platform, applications). It is the plan
+// cache behind ScheduleWarm and the DES delta-rescheduling policies:
+// online resident sets recur (a drained wave re-admits a fresh batch of
+// template jobs), and a recurring set costs one map probe instead of a
+// full solve.
+//
+// Entries are evicted FIFO once capacity is reached, so the memo's
+// content — and therefore the hit/miss sequence — is a deterministic
+// function of the insertion sequence. A PlanMemo is not safe for
+// concurrent use; each online policy owns one (the DES event loop is
+// single-threaded).
+type PlanMemo struct {
+	capacity int
+	plans    map[string]*Schedule
+	order    []string // insertion order, oldest first
+	head     int      // index of the oldest live key in order
+	hits     uint64
+	misses   uint64
+	key      []byte // recycled fingerprint buffer
+}
+
+// DefaultPlanMemoCapacity bounds a policy-owned memo: comfortably more
+// than the distinct resident-set shapes a cyclic template workload can
+// produce (ramp-up prefixes + template rotations + drain suffixes),
+// small enough that a non-recurring stream caps out at a few hundred
+// retained plans.
+const DefaultPlanMemoCapacity = 256
+
+// NewPlanMemo returns an empty memo holding at most capacity plans
+// (capacity < 1 selects DefaultPlanMemoCapacity).
+func NewPlanMemo(capacity int) *PlanMemo {
+	if capacity < 1 {
+		capacity = DefaultPlanMemoCapacity
+	}
+	return &PlanMemo{capacity: capacity, plans: make(map[string]*Schedule)}
+}
+
+// MemoStats are a PlanMemo's monotonic counters.
+type MemoStats struct {
+	Hits    uint64 // lookups served from the memo (certified fast path)
+	Misses  uint64 // lookups that fell back to a full solve
+	Entries int    // plans currently retained
+}
+
+// Stats snapshots the counters.
+func (m *PlanMemo) Stats() MemoStats {
+	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: len(m.plans)}
+}
+
+// fingerprint appends the canonical byte encoding of (h, pl, apps) to
+// m's recycled buffer and returns it. Every numeric field the
+// heuristics read contributes its exact bit pattern; names are excluded
+// (see the package comment above). Distinct inputs cannot collide, and
+// a fingerprint match certifies that a stored plan is bit-identical to
+// what a cold solve would produce.
+func (m *PlanMemo) fingerprint(h Heuristic, pl model.Platform, apps []model.Application) []byte {
+	b := m.key[:0]
+	b = binary.LittleEndian.AppendUint64(b, uint64(h))
+	b = appendBits(b, pl.Processors, pl.CacheSize, pl.LatencyS, pl.LatencyL, pl.Alpha)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(apps)))
+	for _, a := range apps {
+		b = appendBits(b, a.Work, a.SeqFraction, a.AccessFreq, a.Footprint, a.RefMissRate, a.RefCacheSize)
+	}
+	m.key = b
+	return b
+}
+
+func appendBits(b []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// Get returns the memoized plan for a deterministic heuristic on these
+// exact inputs, or (nil, false). The hit path performs no allocation
+// (the map probe elides the string conversion). Returned schedules are
+// shared: callers must treat them as immutable.
+func (m *PlanMemo) Get(h Heuristic, pl model.Platform, apps []model.Application) (*Schedule, bool) {
+	if h.Randomized() {
+		return nil, false
+	}
+	s, ok := m.plans[string(m.fingerprint(h, pl, apps))]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return s, ok
+}
+
+// Put stores a solved plan for a deterministic heuristic. Randomized
+// heuristics are rejected (their plans depend on the RNG stream, which
+// the fingerprint deliberately does not capture), as are nil schedules.
+// The caller must only store plans actually produced by h on exactly
+// (pl, apps); Put trusts that contract.
+func (m *PlanMemo) Put(h Heuristic, pl model.Platform, apps []model.Application, s *Schedule) {
+	if h.Randomized() || s == nil {
+		return
+	}
+	key := string(m.fingerprint(h, pl, apps))
+	if _, ok := m.plans[key]; ok {
+		return
+	}
+	if len(m.plans) >= m.capacity {
+		delete(m.plans, m.order[m.head])
+		m.order[m.head] = ""
+		m.head++
+		// Compact the ring once the dead prefix dominates, keeping
+		// amortized insertion O(1) without unbounded slice growth.
+		if m.head > len(m.order)/2 {
+			m.order = append(m.order[:0], m.order[m.head:]...)
+			m.head = 0
+		}
+	}
+	m.plans[key] = s
+	m.order = append(m.order, key)
+}
+
+// ScheduleWarm is Schedule through a plan memo — the warm-start entry
+// point of the DES delta-rescheduling policies. For a deterministic
+// heuristic whose exact inputs were solved before, it returns the
+// memoized schedule (fromMemo = true) without re-running the solver;
+// the fingerprint match certifies bit-equivalence with a cold solve.
+// Everything else — randomized heuristics, first-seen inputs, a nil
+// memo — falls back to a full Schedule call, and successful
+// deterministic solves are stored for the next recurrence.
+//
+// Returned schedules may be memo-shared between calls: treat them as
+// immutable.
+func (h Heuristic) ScheduleWarm(pl model.Platform, apps []model.Application, rng *solve.RNG, memo *PlanMemo) (*Schedule, bool, error) {
+	if memo != nil {
+		if s, ok := memo.Get(h, pl, apps); ok {
+			return s, true, nil
+		}
+	}
+	s, err := h.Schedule(pl, apps, rng)
+	if err != nil {
+		return nil, false, err
+	}
+	if memo != nil {
+		memo.Put(h, pl, apps, s)
+	}
+	return s, false, nil
+}

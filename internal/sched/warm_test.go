@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+func warmApps(t *testing.T, n int) []model.Application {
+	t.Helper()
+	apps, err := workload.Generate(workload.Config{Generator: workload.GenNPBSynth, N: n}, solve.NewRNG(11))
+	if err != nil {
+		t.Fatalf("generating workload: %v", err)
+	}
+	return apps
+}
+
+// TestScheduleWarmHitIsColdSolve is the certification property: a memo
+// hit must return the exact schedule a cold solve produces — same
+// struct, bit for bit — because the fingerprint covers every numeric
+// input of the (pure) deterministic heuristics.
+func TestScheduleWarmHitIsColdSolve(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := warmApps(t, 6)
+	for _, h := range ExtendedHeuristics {
+		if h.Randomized() || h == AllProcCache {
+			continue
+		}
+		memo := NewPlanMemo(0)
+		cold, err := h.Schedule(pl, apps, nil)
+		if err != nil {
+			t.Fatalf("%v: cold solve: %v", h, err)
+		}
+		first, fromMemo, err := h.ScheduleWarm(pl, apps, nil, memo)
+		if err != nil {
+			t.Fatalf("%v: warm solve: %v", h, err)
+		}
+		if fromMemo {
+			t.Fatalf("%v: first warm solve claimed a memo hit", h)
+		}
+		second, fromMemo, err := h.ScheduleWarm(pl, apps, nil, memo)
+		if err != nil {
+			t.Fatalf("%v: second warm solve: %v", h, err)
+		}
+		if !fromMemo {
+			t.Errorf("%v: second warm solve missed the memo", h)
+		}
+		if second != first {
+			t.Errorf("%v: memo hit returned a different schedule object", h)
+		}
+		if !reflect.DeepEqual(cold, second) {
+			t.Errorf("%v: memoized schedule differs from cold solve:\n  cold %+v\n  warm %+v", h, cold, second)
+		}
+	}
+}
+
+// TestPlanMemoNameInsensitive pins the memo-key contract: application
+// names do not participate in the fingerprint (no heuristic reads
+// them), so re-stamped job names must still hit.
+func TestPlanMemoNameInsensitive(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := warmApps(t, 4)
+	memo := NewPlanMemo(0)
+	s, _, err := DominantMinRatio.ScheduleWarm(pl, apps, nil, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := make([]model.Application, len(apps))
+	copy(renamed, apps)
+	for i := range renamed {
+		renamed[i].Name = "renamed#42"
+	}
+	got, ok := memo.Get(DominantMinRatio, pl, renamed)
+	if !ok {
+		t.Fatal("renamed apps missed the memo; fingerprint must ignore names")
+	}
+	if got != s {
+		t.Fatal("renamed apps hit a different plan")
+	}
+	// A numeric perturbation of one ulp MUST miss: the certificate is
+	// exactness, not similarity.
+	perturbed := make([]model.Application, len(apps))
+	copy(perturbed, apps)
+	perturbed[0].Work = nextUlp(perturbed[0].Work)
+	if _, ok := memo.Get(DominantMinRatio, pl, perturbed); ok {
+		t.Fatal("perturbed apps hit the memo; fingerprint must be bit-exact")
+	}
+}
+
+func nextUlp(v float64) float64 {
+	return v * (1 + 1e-15)
+}
+
+// TestPlanMemoRandomizedBypass: randomized heuristics are never served
+// from (or stored in) the memo — their plans depend on the RNG stream
+// the fingerprint does not capture.
+func TestPlanMemoRandomizedBypass(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := warmApps(t, 4)
+	memo := NewPlanMemo(0)
+	for i := 0; i < 2; i++ {
+		_, fromMemo, err := RandomPart.ScheduleWarm(pl, apps, solve.NewRNG(uint64(i)), memo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromMemo {
+			t.Fatal("randomized heuristic served from the memo")
+		}
+	}
+	if st := memo.Stats(); st.Entries != 0 {
+		t.Fatalf("randomized plans were stored: %+v", st)
+	}
+}
+
+// TestPlanMemoEviction: the memo caps retained plans and evicts FIFO,
+// so its content is a deterministic function of the insertion sequence.
+func TestPlanMemoEviction(t *testing.T) {
+	pl := model.TaihuLight()
+	memo := NewPlanMemo(3)
+	mk := func(w float64) []model.Application {
+		a := warmApps(t, 1)
+		a[0].Work = w
+		return a
+	}
+	for w := 1.0; w <= 5; w++ {
+		if _, _, err := Fair.ScheduleWarm(pl, mk(w), nil, memo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := memo.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d, want capacity 3", st.Entries)
+	}
+	// Oldest two evicted, newest three retained.
+	for w := 1.0; w <= 5; w++ {
+		_, ok := memo.Get(Fair, pl, mk(w))
+		if want := w >= 3; ok != want {
+			t.Errorf("work %v: hit=%v, want %v", w, ok, want)
+		}
+	}
+}
+
+// TestPlanMemoHitAllocs: the certified fast path must not allocate —
+// it is the inner loop of high-rate online replanning.
+func TestPlanMemoHitAllocs(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := warmApps(t, 6)
+	memo := NewPlanMemo(0)
+	if _, _, err := DominantMinRatio.ScheduleWarm(pl, apps, nil, memo); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := memo.Get(DominantMinRatio, pl, apps); !ok {
+			t.Fatal("unexpected miss")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("memo hit allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -9,9 +9,10 @@
 # Environment:
 #   BENCH_TIME        -benchtime (default 30x)
 #   BENCH_COUNT       -count: repeated runs feeding the median/MAD aggregation (default 10)
-#   BENCH_LABEL       trajectory label (default "PR 4")
-#   BENCH_TRAJECTORY  trajectory artifact path (default BENCH_4.json)
+#   BENCH_LABEL       trajectory label (default "PR 6")
+#   BENCH_TRAJECTORY  trajectory artifact path (default BENCH_6.json)
 #   MIN_SPEEDUP       required parallel speedup on >= 4 CPUs (default 2.0)
+#   MIN_DELTA_SPEEDUP required full-replan/delta speedup at high arrival rate (default 5.0)
 #   BENCHGATE_FLAGS   extra flags passed to benchgate (e.g. "-tol-ns 50")
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,9 +22,10 @@ LATEST=$BENCH_DIR/latest.txt
 BASELINE=$BENCH_DIR/baseline.json
 BENCH_TIME=${BENCH_TIME:-30x}
 BENCH_COUNT=${BENCH_COUNT:-10}
-BENCH_LABEL=${BENCH_LABEL:-"PR 4"}
-BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_4.json}
+BENCH_LABEL=${BENCH_LABEL:-"PR 6"}
+BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_6.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+MIN_DELTA_SPEEDUP=${MIN_DELTA_SPEEDUP:-5.0}
 BENCHGATE_FLAGS=${BENCHGATE_FLAGS:-}
 
 run_bench() {
@@ -44,7 +46,7 @@ gate() {
 case "${1:-run}" in
   run)
     run_bench
-    gate -min-speedup "$MIN_SPEEDUP"
+    gate -min-speedup "$MIN_SPEEDUP" -min-delta-speedup "$MIN_DELTA_SPEEDUP"
     ;;
   baseline)
     run_bench
@@ -53,7 +55,8 @@ case "${1:-run}" in
     ;;
   compare)
     run_bench
-    gate -min-speedup "$MIN_SPEEDUP" -trajectory "$BENCH_TRAJECTORY" -label "$BENCH_LABEL"
+    gate -min-speedup "$MIN_SPEEDUP" -min-delta-speedup "$MIN_DELTA_SPEEDUP" \
+      -trajectory "$BENCH_TRAJECTORY" -label "$BENCH_LABEL"
     ;;
   *)
     echo "usage: scripts/bench.sh [run|baseline|compare]" >&2
