@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 )
 
@@ -25,6 +26,7 @@ type Client struct {
 	engine     *portfolio.Engine
 	heuristics []Heuristic
 	seed       uint64
+	desMetrics *des.Metrics
 }
 
 // clientConfig collects the functional options of NewClient.
@@ -33,6 +35,7 @@ type clientConfig struct {
 	cache      bool
 	heuristics []Heuristic
 	seed       uint64
+	metrics    *obs.Registry
 }
 
 // ClientOption configures NewClient.
@@ -63,6 +66,18 @@ func WithHeuristics(hs ...Heuristic) ClientOption {
 	return func(c *clientConfig) { c.heuristics = hs }
 }
 
+// WithMetrics exports the client's runtime telemetry on reg: the
+// portfolio engine's race latency, cache and worker-queue series, and
+// the online simulator's event, replan and per-job series (see the
+// metric catalogs in internal/portfolio and internal/des). Metrics only
+// record — they never feed back into scheduling decisions — so an
+// instrumented client stays bit-identical to a bare one. A nil registry
+// (and the default) leaves the client uninstrumented with zero
+// overhead.
+func WithMetrics(reg *MetricsRegistry) ClientOption {
+	return func(c *clientConfig) { c.metrics = reg }
+}
+
 // WithSeed fixes the master seed driving the randomized heuristics
 // (DominantRandom, DominantRevRandom, RandomPart) in Best and Schedule.
 // Each heuristic draws from an independent substream derived from the
@@ -82,10 +97,12 @@ func NewClient(opts ...ClientOption) *Client {
 	if cfg.cache {
 		pcfg.Cache = portfolio.NewCache()
 	}
+	pcfg.Metrics = portfolio.NewMetrics(cfg.metrics)
 	return &Client{
 		engine:     portfolio.New(pcfg),
 		heuristics: cfg.heuristics,
 		seed:       cfg.seed,
+		desMetrics: des.NewMetrics(cfg.metrics),
 	}
 }
 
@@ -238,5 +255,8 @@ func (c *Client) EvaluateBatch(ctx context.Context, scenarios iter.Seq[Portfolio
 // pool with a portfolio repartition policy, pass Engine() to
 // des.NewPortfolioPolicy.
 func (c *Client) SimulateOnline(ctx context.Context, sc OnlineScenario) (*OnlineResult, error) {
+	if sc.Metrics == nil {
+		sc.Metrics = c.desMetrics
+	}
 	return des.SimulateContext(ctx, sc)
 }

@@ -84,6 +84,63 @@ func TestClientOptions(t *testing.T) {
 	}
 }
 
+// TestWithMetrics: an instrumented client produces bit-identical
+// results to a bare one while its registry observes both the portfolio
+// race and the online simulation; a nil registry is accepted and means
+// off.
+func TestWithMetrics(t *testing.T) {
+	ctx := context.Background()
+	pl := TaihuLight()
+	apps := testApps(0)
+
+	bare, _, err := NewClient(WithCache(false)).Best(ctx, pl, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	c := NewClient(WithCache(false), WithMetrics(reg))
+	got, _, err := c.Best(ctx, pl, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != bare.Makespan {
+		t.Errorf("instrumented Best makespan %v != bare %v", got.Makespan, bare.Makespan)
+	}
+
+	factory, err := CycleJobs(apps[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := PoissonArrivals(2e-9, 6, factory, NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := HeuristicRepartition(DominantMinRatio, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SimulateOnline(ctx, OnlineScenario{Platform: pl, Arrivals: arr, Policy: pol}); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		byName[s.Name] += s.Value
+	}
+	if byName["portfolio_batches_total"] == 0 {
+		t.Error("registry missed the portfolio race")
+	}
+	if byName["des_simulations_total"] == 0 {
+		t.Error("registry missed the online simulation")
+	}
+
+	// A nil registry is the documented off switch.
+	off := NewClient(WithMetrics(nil))
+	if _, _, err := off.Best(ctx, pl, apps); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestClientScheduleMatchesDirect(t *testing.T) {
 	c := NewClient()
 	pl := TaihuLight()

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/conform"
 	"repro/internal/genscen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -71,13 +72,23 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		format    = fs.String("format", "markdown", `report format: "markdown" or "ndjson"`)
 		golden    = fs.String("golden", "", "golden digest corpus to check against (JSON path)")
 		update    = fs.Bool("update", false, "with -golden: rewrite the corpus from this run")
+		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
 	)
+	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0, nil // usage already printed; -h is not a failure
 		}
 		return 2, err
 	}
+	if err := prof.Start(); err != nil {
+		return 2, err
+	}
+	defer func() {
+		if e := prof.Stop(); e != nil {
+			fmt.Fprintln(errOut, "conform:", e)
+		}
+	}()
 	if *format != "markdown" && *format != "ndjson" {
 		return 2, fmt.Errorf("unknown format %q (want markdown or ndjson)", *format)
 	}
@@ -100,6 +111,15 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		OracleMaxApps: *oracleMax,
 		Gen:           genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
 	}
+	if *debugAddr != "" {
+		opt.Metrics = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, opt.Metrics)
+		if err != nil {
+			return 2, err
+		}
+		defer ds.Close()
+		fmt.Fprintf(errOut, "conform: debug listener on http://%s\n", ds.Addr())
+	}
 
 	// A golden check must regenerate exactly the corpus's scenarios, so
 	// its recorded parameters (including the family set, derived from
@@ -113,6 +133,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		}
 		gopt := gold.Options()
 		gopt.Workers = opt.Workers
+		gopt.Metrics = opt.Metrics // digests are metrics-invariant by construction
 		opt = gopt
 		// The override is easy to misread as "my flags applied"; say
 		// what actually runs.

@@ -49,6 +49,7 @@ import (
 	"repro/internal/cat"
 	"repro/internal/des"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -78,9 +79,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("cosched", flag.ContinueOnError)
 	var (
+		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
 		appsPath  = fs.String("apps", "", "JSON file of applications (default: built-in NPB Table 2)")
 		heuristic = fs.String("heuristic", "DominantMinRatio", "scheduling policy (see -list)")
 		list      = fs.Bool("list", false, "list available heuristics and exit")
@@ -101,9 +103,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker pool size for -portfolio/-batch (0 = GOMAXPROCS)")
 		batch     = fs.String("batch", "", "JSON file of scenarios to serve in one invocation ('-' for stdin)")
 	)
+	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil {
+			err = e
+		}
+	}()
 
 	if *list {
 		for _, h := range sched.ExtendedHeuristics {
@@ -116,7 +127,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-localsearch cannot be combined with -portfolio: LocalSearch is already one of the raced heuristics")
 	}
 	pl := model.Platform{Processors: *procs, CacheSize: *cache, LatencyS: *ls, LatencyL: *ll, Alpha: *alpha}
-	client := repro.NewClient(repro.WithWorkers(*workers))
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "cosched: debug listener on http://%s\n", ds.Addr())
+	}
+	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithMetrics(reg))
 
 	if *batch != "" {
 		return runBatch(ctx, client, *batch, pl, *seed, out)

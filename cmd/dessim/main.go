@@ -31,6 +31,15 @@
 // finish, repartition) followed by one summary line ("kind":
 // "summary"). -events=false suppresses the event stream; -gantt draws
 // an ASCII timeline of waits and runs on stderr.
+//
+// Observability: -json appends one "kind": "metrics" NDJSON line with
+// the full metrics snapshot; -metrics FILE writes the Prometheus text
+// exposition; -trace FILE writes the simulator's span/event log as
+// NDJSON; -debug-addr HOST:PORT serves /metrics, /debug/pprof/* and
+// /debug/vars while the run is in flight; -cpuprofile/-memprofile
+// write pprof profiles. All of these are off by default and cost
+// nothing when unset — instrumentation only records, so an
+// instrumented run's event stream is bit-identical to a bare one.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 
 	repro "repro"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -65,23 +75,36 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, out, errOut io.Writer) error {
+func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) {
 	fs := flag.NewFlagSet("dessim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		scenario = fs.String("scenario", "", "scenario JSON file ('-' reads stdin)")
-		arrivals = fs.String("arrivals", "", `arrival spec, e.g. "poisson:rate=0.002,n=64" (overrides scenario)`)
-		policy   = fs.String("policy", "", `online policy: heuristic name, "portfolio" or "norepartition[:H]" (overrides scenario)`)
-		duration = fs.Float64("duration", -1, "cut off arrivals after this virtual time (-1 keeps scenario value, 0 = no cutoff)")
-		maxRes   = fs.Int("maxresident", -1, "max jobs sharing the node, rest queue FIFO (-1 keeps scenario value, 0 = unlimited)")
-		seed     = fs.Uint64("seed", 0, "seed for arrivals and randomized policies (0 keeps scenario value)")
-		workers  = fs.Int("workers", 0, "portfolio policy worker pool (0 = GOMAXPROCS)")
-		events   = fs.Bool("events", true, "stream one NDJSON line per event")
-		gantt    = fs.Bool("gantt", false, "draw an ASCII wait/run timeline on stderr")
+		scenario  = fs.String("scenario", "", "scenario JSON file ('-' reads stdin)")
+		arrivals  = fs.String("arrivals", "", `arrival spec, e.g. "poisson:rate=0.002,n=64" (overrides scenario)`)
+		policy    = fs.String("policy", "", `online policy: heuristic name, "portfolio" or "norepartition[:H]" (overrides scenario)`)
+		duration  = fs.Float64("duration", -1, "cut off arrivals after this virtual time (-1 keeps scenario value, 0 = no cutoff)")
+		maxRes    = fs.Int("maxresident", -1, "max jobs sharing the node, rest queue FIFO (-1 keeps scenario value, 0 = unlimited)")
+		seed      = fs.Uint64("seed", 0, "seed for arrivals and randomized policies (0 keeps scenario value)")
+		workers   = fs.Int("workers", 0, "portfolio policy worker pool (0 = GOMAXPROCS)")
+		events    = fs.Bool("events", true, "stream one NDJSON line per event")
+		gantt     = fs.Bool("gantt", false, "draw an ASCII wait/run timeline on stderr")
+		jsonOut   = fs.Bool("json", false, `append one "kind":"metrics" NDJSON line with the full metrics snapshot`)
+		promPath  = fs.String("metrics", "", "write the Prometheus text exposition to this file on exit")
+		tracePath = fs.String("trace", "", "write the simulator span/event log to this file as NDJSON")
+		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
 	)
+	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil {
+			err = e
+		}
+	}()
 
 	sp, err := loadSpec(*scenario)
 	if err != nil {
@@ -107,14 +130,36 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		sp.Seed = *seed
 	}
 
+	// Instrumentation is opt-in: the registry exists only when some flag
+	// will consume it, so the default run stays zero-overhead.
+	var reg *obs.Registry
+	if *jsonOut || *promPath != "" || *tracePath != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(errOut, "dessim: debug listener on http://%s\n", ds.Addr())
+	}
+
 	// One v2 client per invocation: its worker pool backs the portfolio
 	// policy (when selected) via BuildWith, so -workers genuinely flows
 	// through the client. No cache — online resident sets never repeat.
-	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false))
+	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false), repro.WithMetrics(reg))
 	sc, err := sp.BuildWith(client.Engine(), *workers)
 	if err != nil {
 		return err
 	}
+	// Registration is idempotent, so this handle shares its series with
+	// the client's; holding our own lets us attach the tracer.
+	m := des.NewMetrics(reg)
+	if m != nil && *tracePath != "" {
+		m.Tracer = obs.NewTracer(0)
+	}
+	sc.Metrics = m
 	res, err := client.SimulateOnline(ctx, sc)
 	if err != nil {
 		return err
@@ -133,6 +178,21 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	if err := enc.Encode(summaryOf(sc, res)); err != nil {
 		return err
+	}
+	if *jsonOut {
+		if err := enc.Encode(metricsJSON{Kind: "metrics", Replan: res.Replan, Samples: reg.Snapshot()}); err != nil {
+			return err
+		}
+	}
+	if *promPath != "" {
+		if err := writeProm(*promPath, reg); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, m.Tracer); err != nil {
+			return err
+		}
 	}
 
 	if *gantt {
@@ -163,6 +223,44 @@ func loadSpec(path string) (*des.Spec, error) {
 		r = f
 	}
 	return des.DecodeSpec(r)
+}
+
+// metricsJSON is the trailing machine-readable line emitted by -json:
+// the replan telemetry plus every metric sample of the run.
+type metricsJSON struct {
+	Kind    string          `json:"kind"`
+	Replan  des.ReplanStats `json:"replan"`
+	Samples []obs.Sample    `json:"samples"`
+}
+
+// writeProm dumps the Prometheus text exposition to path ('-' writes
+// stdout).
+func writeProm(path string, reg *obs.Registry) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return reg.WriteProm(w)
+}
+
+// writeTrace dumps the tracer's span/event log as NDJSON to path ('-'
+// writes stdout).
+func writeTrace(path string, tr *obs.Tracer) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteNDJSON(w)
 }
 
 // eventJSON is the NDJSON wire form of one log event.

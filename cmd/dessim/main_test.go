@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // runMain executes the CLI and returns stdout/stderr.
@@ -107,6 +109,81 @@ func TestGanttRendering(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "wait") {
 		t.Errorf("missing timeline header:\n%s", errOut)
+	}
+}
+
+// TestObservabilityOutputs: -json appends a metrics line, -metrics
+// writes a lint-clean Prometheus exposition, -trace writes an NDJSON
+// span log, and none of it perturbs the event stream.
+func TestObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	tracePath := filepath.Join(dir, "t.ndjson")
+	args := []string{"-arrivals", "poisson:rate=2e-9,n=8", "-policy", "DominantMinRatio", "-maxresident", "3", "-seed", "11"}
+
+	bare, _ := runMain(t, args...)
+	out, _ := runMain(t, append(args, "-json", "-metrics", promPath, "-trace", tracePath)...)
+
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var metricsLine map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &metricsLine); err != nil {
+		t.Fatalf("metrics line not JSON: %v", err)
+	}
+	if metricsLine["kind"] != "metrics" {
+		t.Fatalf("last line kind %v, want metrics", metricsLine["kind"])
+	}
+	samples := metricsLine["samples"].([]any)
+	if len(samples) == 0 {
+		t.Error("-json metrics line has no samples")
+	}
+	// Stripping the metrics line must recover the bare output exactly:
+	// instrumentation records, never perturbs.
+	if got := strings.Join(lines[:len(lines)-1], "\n") + "\n"; got != bare {
+		t.Error("-json changed the event/summary stream")
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintProm(bytes.NewReader(prom)); len(errs) != 0 {
+		t.Errorf("-metrics exposition fails lint: %v", errs)
+	}
+	if !strings.Contains(string(prom), "des_events_total") {
+		t.Error("-metrics exposition missing des_events_total")
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := strings.Split(strings.TrimSpace(string(trace)), "\n")
+	if len(tl) < 2 {
+		t.Fatalf("trace has %d lines, want spans + trailer", len(tl))
+	}
+	var trailer map[string]any
+	if err := json.Unmarshal([]byte(tl[len(tl)-1]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer["kind"] != "trace-summary" || trailer["events"].(float64) == 0 {
+		t.Errorf("unexpected trace trailer: %v", trailer)
+	}
+}
+
+// TestProfileFlagsWriteFiles: -cpuprofile/-memprofile produce non-empty
+// pprof files.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pb"), filepath.Join(dir, "mem.pb")
+	runMain(t, "-arrivals", "poisson:rate=2e-9,n=4", "-events=false", "-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }
 

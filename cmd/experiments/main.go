@@ -27,6 +27,7 @@ import (
 
 	repro "repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -47,24 +48,34 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.Int("fig", 0, "figure number to regenerate (1-18)")
-		ext     = fs.Int("ext", 0, "extension experiment to run (1-5, studies beyond the paper)")
-		all     = fs.Bool("all", false, "regenerate every figure")
-		allExt  = fs.Bool("all-ext", false, "run every extension experiment")
-		tables  = fs.Bool("tables", false, "print Tables 1 and 2")
-		reps    = fs.Int("reps", 50, "replicates per configuration (paper: 50)")
-		seed    = fs.Uint64("seed", 0x5EED, "master seed")
-		out     = fs.String("out", "results", "output directory for CSV files")
-		raw     = fs.Bool("raw", false, "print raw makespans instead of the paper's normalization")
-		plot    = fs.Bool("plot", false, "also draw an ASCII plot per figure")
-		workers = fs.Int("workers", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
+		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
+		fig       = fs.Int("fig", 0, "figure number to regenerate (1-18)")
+		ext       = fs.Int("ext", 0, "extension experiment to run (1-5, studies beyond the paper)")
+		all       = fs.Bool("all", false, "regenerate every figure")
+		allExt    = fs.Bool("all-ext", false, "run every extension experiment")
+		tables    = fs.Bool("tables", false, "print Tables 1 and 2")
+		reps      = fs.Int("reps", 50, "replicates per configuration (paper: 50)")
+		seed      = fs.Uint64("seed", 0x5EED, "master seed")
+		out       = fs.String("out", "results", "output directory for CSV files")
+		raw       = fs.Bool("raw", false, "print raw makespans instead of the paper's normalization")
+		plot      = fs.Bool("plot", false, "also draw an ASCII plot per figure")
+		workers   = fs.Int("workers", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
 	)
+	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil {
+			err = e
+		}
+	}()
 
 	if *tables {
 		if err := experiments.WriteTable1(stdout); err != nil {
@@ -76,11 +87,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug listener on http://%s\n", ds.Addr())
+	}
+
 	// One v2 client for the whole invocation: every figure shares its
 	// worker pool (the sweeps consume the underlying engine directly).
 	// No cache — sweep cells never repeat a workload, so memoizing
 	// would only grow memory for zero hits.
-	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false))
+	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithCache(false), repro.WithMetrics(reg))
 	cfg := experiments.Config{Replicates: *reps, Seed: *seed, Engine: client.Engine()}
 	type job struct {
 		n     int

@@ -1,0 +1,53 @@
+// Command promlint validates a Prometheus text exposition (version
+// 0.0.4) against the checks in internal/obs: metric and label name
+// grammar, TYPE/sample ordering, histogram completeness (+Inf bucket,
+// ascending le, cumulative monotonicity, _count consistency) and value
+// parseability. It is the CI gate for the /metrics output of the
+// instrumented binaries.
+//
+// Usage:
+//
+//	promlint file.prom
+//	dessim ... -metrics - | promlint
+//
+// Exit status is 0 when the exposition is clean, 1 when any check
+// fails (one line per violation on stderr), 2 on usage or I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errOut io.Writer) int {
+	if len(args) > 1 {
+		fmt.Fprintln(errOut, "usage: promlint [file]")
+		return 2
+	}
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(errOut, "promlint:", err)
+			return 2
+		}
+		defer f.Close()
+		r, name = f, args[0]
+	}
+	errs := obs.LintProm(r)
+	for _, e := range errs {
+		fmt.Fprintf(errOut, "promlint: %s: %v\n", name, e)
+	}
+	if len(errs) > 0 {
+		return 1
+	}
+	return 0
+}

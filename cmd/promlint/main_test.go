@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanExposition = `# HELP demo_total A counter
+# TYPE demo_total counter
+demo_total 3
+`
+
+func TestCleanFilePasses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.prom")
+	if err := os.WriteFile(path, []byte(cleanExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	if code := run([]string{path}, &errOut); code != 0 {
+		t.Fatalf("clean exposition exited %d: %s", code, errOut.String())
+	}
+}
+
+func TestViolationsFail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.prom")
+	if err := os.WriteFile(path, []byte("bad{metric 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	if code := run([]string{path}, &errOut); code != 1 {
+		t.Fatalf("bad exposition exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unparseable") {
+		t.Errorf("violation not reported: %s", errOut.String())
+	}
+}
+
+func TestUsageAndMissingFile(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"a", "b"}, &errOut); code != 2 {
+		t.Errorf("two args exited %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.prom")}, &errOut); code != 2 {
+		t.Errorf("absent file exited %d, want 2", code)
+	}
+}

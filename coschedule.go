@@ -87,6 +87,7 @@ import (
 	"repro/internal/cat"
 	"repro/internal/des"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -199,6 +200,19 @@ func SimulateRedistribute(pl Platform, apps []Application, s *Schedule) (*Simula
 func LocalSearchSchedule(pl Platform, apps []Application, rng *solve.RNG) (*Schedule, error) {
 	return sched.LocalSearchSchedule(pl, apps, sched.LocalSearchOptions{}, rng)
 }
+
+// MetricsRegistry collects runtime telemetry — counters, gauges and
+// histograms — from an instrumented client (see WithMetrics). Snapshot
+// returns a deterministic sample dump and WriteProm renders the
+// Prometheus text exposition; see internal/obs for the model. A nil
+// registry disables instrumentation everywhere it is accepted.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry ready for
+// concurrent use. Pass it to NewClient(WithMetrics(reg)) and scrape it
+// with reg.WriteProm (or serve it on a debug listener; see the cmd/
+// binaries' -debug-addr flag).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // PortfolioEngine evaluates many heuristics and scenarios concurrently
 // on a bounded worker pool; see portfolio.Engine.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,22 @@ func (t *FitTable) Stats() FitTableStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return FitTableStats{Hits: t.hits, Misses: t.misses, Entries: len(t.m)}
+}
+
+// Instrument exports the table's counters on reg as func metrics
+// (cachesim_fit_hits_total, cachesim_fit_misses_total,
+// cachesim_fit_entries): values are read at scrape time, so the
+// characterization path pays nothing. A nil registry is a no-op.
+func (t *FitTable) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("cachesim_fit_hits_total", "Fit-table hits",
+		func() float64 { return float64(t.Stats().Hits) })
+	reg.CounterFunc("cachesim_fit_misses_total", "Fit-table misses (sweeps run)",
+		func() float64 { return float64(t.Stats().Misses) })
+	reg.GaugeFunc("cachesim_fit_entries", "Memoized characterization cells",
+		func() float64 { return float64(t.Stats().Entries) })
 }
 
 // fingerprintAccesses is how many accesses of a fresh generator

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/trace"
 )
@@ -52,6 +53,21 @@ func TestFitTableMemoizes(t *testing.T) {
 	if st := tbl.Stats(); st.Entries != 3 {
 		t.Errorf("distinct cells collided: %+v", st)
 	}
+
+	// The instrumented view reads the same counters at scrape time.
+	reg := obs.NewRegistry()
+	tbl.Instrument(reg)
+	byName := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		byName[s.Name] = s.Value
+	}
+	st = tbl.Stats()
+	if byName["cachesim_fit_hits_total"] != float64(st.Hits) ||
+		byName["cachesim_fit_misses_total"] != float64(st.Misses) ||
+		byName["cachesim_fit_entries"] != float64(st.Entries) {
+		t.Errorf("instrumented view %v does not match stats %+v", byName, st)
+	}
+	tbl.Instrument(nil) // no-op
 }
 
 // TestFitTableDistinguishesParameterizations guards the collision trap

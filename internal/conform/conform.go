@@ -48,6 +48,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/genscen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
@@ -80,6 +81,12 @@ type Options struct {
 	OracleMaxApps int
 	// Gen bounds generated instance sizes.
 	Gen genscen.Config
+	// Metrics, when non-nil, instruments every layer the harness drives
+	// (both portfolio engines and all DES runs) on this registry. The
+	// report and its digests are identical with and without it — that
+	// invariance is itself a conformance property, pinned by
+	// TestMetricsInvariantDigests.
+	Metrics *obs.Registry
 }
 
 func (o Options) normalized() Options {
@@ -181,8 +188,8 @@ func Run(opt Options) (*Report, error) {
 // finishing the whole corpus.
 func RunContext(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.normalized()
-	serial := portfolio.New(portfolio.Config{Workers: 1})
-	parallel := portfolio.New(portfolio.Config{Workers: opt.Workers})
+	serial := portfolio.New(portfolio.Config{Workers: 1, Metrics: portfolio.NewMetrics(opt.Metrics)})
+	parallel := portfolio.New(portfolio.Config{Workers: opt.Workers, Metrics: portfolio.NewMetrics(opt.Metrics)})
 	rep := &Report{
 		Seeds:         opt.Seeds,
 		BaseSeed:      opt.BaseSeed,
@@ -355,7 +362,7 @@ func runScenario(in *genscen.Instance, opt Options, serial, parallel *portfolio.
 	checkPermutation(in, serial, repS, flag)
 	checkCacheMonotonicity(in, opt, best, oracleRan, oracleMakespan, flag)
 
-	desDigest, err := checkDESStatic(in, flag)
+	desDigest, err := checkDESStatic(in, opt, flag)
 	if err != nil {
 		return nil, err
 	}
@@ -509,7 +516,7 @@ func equalizedMakespan(pl model.Platform, apps []model.Application, shares []flo
 // frozen wave policy must reproduce internal/sim's static execution of
 // the same heuristic bit-for-bit — makespan, per-job finish times and
 // the processor-time integral.
-func checkDESStatic(in *genscen.Instance, flag func(string, string, ...any)) (string, error) {
+func checkDESStatic(in *genscen.Instance, opt Options, flag func(string, string, ...any)) (string, error) {
 	const h = sched.DominantMinRatio
 	s, err := h.Schedule(in.Platform, in.CloneApps(), nil)
 	if err != nil {
@@ -523,6 +530,7 @@ func checkDESStatic(in *genscen.Instance, flag func(string, string, ...any)) (st
 	if err != nil {
 		return "", err
 	}
+	sc.Metrics = des.NewMetrics(opt.Metrics)
 	got, err := des.Simulate(sc)
 	if err != nil {
 		return "", fmt.Errorf("des-static simulate: %w", err)
@@ -559,6 +567,7 @@ func checkDESOnline(in *genscen.Instance, opt Options, span float64, flag func(s
 		if err != nil {
 			return nil, err
 		}
+		sc.Metrics = des.NewMetrics(opt.Metrics)
 		return des.Simulate(sc)
 	}
 	r1, err := run(1)

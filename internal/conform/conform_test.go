@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/genscen"
+	"repro/internal/obs"
 )
 
 // TestGoldenDigests is the regression gate: re-running the committed
@@ -61,6 +62,56 @@ func TestDigestsWorkerInvariant(t *testing.T) {
 	for name, want := range d1 {
 		if d5[name] != want {
 			t.Errorf("family %s: digest differs between 1 and 5 workers", name)
+		}
+	}
+}
+
+// TestMetricsInvariantDigests is the observability non-perturbation
+// gate at the harness level: instrumenting every layer (both portfolio
+// engines, every DES run) must leave the per-family digests — canonical
+// hashes of every schedule and event log produced — bit-identical to a
+// bare run, at one worker and at several. The instrumented registry
+// must also actually have observed the run and export cleanly.
+func TestMetricsInvariantDigests(t *testing.T) {
+	opt := Options{
+		Seeds:    2,
+		Families: []genscen.Family{genscen.AmdahlMix, genscen.NearOverflow},
+	}
+	for _, workers := range []int{1, 5} {
+		opt.Workers = workers
+		opt.Metrics = nil
+		bare, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		opt.Metrics = reg
+		instrumented, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, di := bare.Digests(), instrumented.Digests()
+		for name, want := range db {
+			if di[name] != want {
+				t.Errorf("workers=%d family %s: digest differs with metrics enabled", workers, name)
+			}
+		}
+		if instrumented.ViolationCount() != bare.ViolationCount() {
+			t.Errorf("workers=%d: violation count differs with metrics enabled", workers)
+		}
+		byName := map[string]float64{}
+		for _, s := range reg.Snapshot() {
+			byName[s.Name] += s.Value
+		}
+		if byName["portfolio_batches_total"] == 0 || byName["des_simulations_total"] == 0 {
+			t.Errorf("workers=%d: registry saw no traffic: %v", workers, byName)
+		}
+		var sb strings.Builder
+		if err := reg.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if errs := obs.LintProm(strings.NewReader(sb.String())); len(errs) != 0 {
+			t.Errorf("workers=%d: harness exposition fails lint: %v", workers, errs)
 		}
 	}
 }

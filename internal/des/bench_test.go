@@ -2,6 +2,8 @@ package des
 
 import (
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // BenchmarkDESPoisson measures the full online pipeline — Poisson
@@ -50,6 +52,32 @@ func BenchmarkDESPortfolio(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if _, err := Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESPortfolioMetrics is the instrumented twin of
+// BenchmarkDESPortfolio: the same stream with a live registry counting
+// every event, gauge update and allocation timing. Comparing the pair
+// pins the metrics-on overhead of the event loop's hot path.
+func BenchmarkDESPortfolioMetrics(b *testing.B) {
+	sp := Spec{
+		Arrivals:    ArrivalSpec{Process: "poisson", Rate: 4e-9, N: 32},
+		Policy:      "portfolio",
+		MaxResident: 6,
+		Seed:        42,
+	}
+	m := NewMetrics(obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := sp.Build(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Metrics = m
 		if _, err := Simulate(sc); err != nil {
 			b.Fatal(err)
 		}

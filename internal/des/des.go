@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -65,6 +66,10 @@ type Scenario struct {
 	// MaxResident, when > 0, bounds how many jobs share the node at
 	// once; excess arrivals wait in a FIFO queue.
 	MaxResident int
+	// Metrics instruments the run (see NewMetrics). Nil disables all
+	// observation; the event log and every result are bit-identical
+	// either way.
+	Metrics *Metrics
 }
 
 // JobMetrics is the per-job outcome of an online run.
@@ -245,10 +250,24 @@ func SimulateContext(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 	}
 	e.finalize()
-	if tp, ok := sc.Policy.(interface{ ReplanStats() ReplanStats }); ok {
+	if tp, ok := sc.Policy.(ReplanReporter); ok {
 		e.res.Replan = tp.ReplanStats()
 	}
+	if m := sc.Metrics; m != nil {
+		m.simulations.Inc()
+		m.jobs.Add(uint64(len(e.res.Jobs)))
+		m.observeReplan(e.res.Replan)
+	}
 	return e.res, nil
+}
+
+// ReplanReporter is implemented by policies that expose
+// delta-rescheduling telemetry (HeuristicPolicy, PortfolioPolicy). The
+// engine type-asserts the scenario's policy against it after a run and
+// copies the stats into Result.Replan; policies without a fast path
+// (NoRepartition, custom policies) simply leave Replan zero.
+type ReplanReporter interface {
+	ReplanStats() ReplanStats
 }
 
 // pullArrival fetches the next arrival from the process (unless
@@ -518,7 +537,16 @@ func (e *engine) repartition() error {
 			Started:   st.started,
 		}
 	}
+	m := e.sc.Metrics
+	var allocStart time.Time
+	if m != nil {
+		allocStart = time.Now()
+	}
 	asg, err := e.sc.Policy.Allocate(e.sc.Platform, view)
+	if m != nil {
+		m.allocSeconds.Observe(time.Since(allocStart).Seconds())
+		m.Tracer.Span("allocate", e.sc.Policy.Name(), e.now, -1, allocStart)
+	}
 	if err != nil {
 		return fmt.Errorf("des: policy %s at t=%g: %w", e.sc.Policy.Name(), e.now, err)
 	}
@@ -651,6 +679,12 @@ func (e *engine) log(kind EventKind, job int) {
 		ev.Name = e.jobs[job].app.Name
 	}
 	e.res.Events = append(e.res.Events, ev)
+	if m := e.sc.Metrics; m != nil {
+		m.events[kind].Inc()
+		m.residentJobs.Set(int64(running))
+		m.queueDepth.Set(int64(ev.Queued))
+		m.Tracer.Event(kind.String(), ev.Name, e.now, job)
+	}
 }
 
 // finalize computes per-job metrics and their summaries.
@@ -679,6 +713,10 @@ func (e *engine) finalize() {
 		waits[id], resps[id], stretches[id] = m.Wait, m.Response, m.Stretch
 		if st.finish > e.res.Makespan {
 			e.res.Makespan = st.finish
+		}
+		if om := e.sc.Metrics; om != nil {
+			om.waitHist.Observe(m.Wait)
+			om.stretchHist.Observe(m.Stretch)
 		}
 	}
 	// Summaries: errors impossible for the non-empty sample (Simulate

@@ -60,6 +60,10 @@ type ReplanStats struct {
 	// MemoHits / MemoMisses are the plan memo's per-lookup counters.
 	MemoHits   uint64 `json:"memoHits"`
 	MemoMisses uint64 `json:"memoMisses"`
+	// MemoEvictions counts plans the memo's FIFO capacity bound dropped;
+	// a high rate on a recurring workload means the memo is undersized
+	// for the resident-shape variety.
+	MemoEvictions uint64 `json:"memoEvictions,omitempty"`
 }
 
 // Add accumulates s into r (used by conform's per-family aggregation).
@@ -68,6 +72,7 @@ func (r *ReplanStats) Add(s ReplanStats) {
 	r.FullSolve += s.FullSolve
 	r.MemoHits += s.MemoHits
 	r.MemoMisses += s.MemoMisses
+	r.MemoEvictions += s.MemoEvictions
 }
 
 // HitRate returns the memo hit fraction, or 0 for an untouched memo.
@@ -149,7 +154,7 @@ func (p *HeuristicPolicy) SetFullReplan(full bool) { p.full = full }
 func (p *HeuristicPolicy) ReplanStats() ReplanStats {
 	st := p.stats
 	ms := p.memo.Stats()
-	st.MemoHits, st.MemoMisses = ms.Hits, ms.Misses
+	st.MemoHits, st.MemoMisses, st.MemoEvictions = ms.Hits, ms.Misses, ms.Evictions
 	return st
 }
 
@@ -253,7 +258,7 @@ func (p *PortfolioPolicy) SetFullReplan(full bool) { p.full = full }
 func (p *PortfolioPolicy) ReplanStats() ReplanStats {
 	st := p.stats
 	ms := p.memo.Stats()
-	st.MemoHits, st.MemoMisses = ms.Hits, ms.Misses
+	st.MemoHits, st.MemoMisses, st.MemoEvictions = ms.Hits, ms.Misses, ms.Evictions
 	return st
 }
 

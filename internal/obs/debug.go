@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler serving the debug surface:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/pprof/*    the standard runtime profiles
+//	/debug/vars       expvar (runtime memstats + cmdline)
+//
+// reg may be nil, in which case /metrics serves an empty exposition.
+// The pprof handlers are registered explicitly on a private mux so
+// importing this package never mutates http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// DebugServer is a running -debug-addr listener; Close shuts it down.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug surface on addr (e.g. "localhost:6060";
+// ":0" picks a free port — read it back with Addr). It returns as soon
+// as the listener is bound; serving continues on a background
+// goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug-addr: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

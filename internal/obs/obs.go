@@ -1,0 +1,420 @@
+// Package obs is the repository's observability substrate: a
+// dependency-free, race-safe metrics registry (atomic counters, gauges,
+// fixed-bucket histograms, single-label families, callback metrics)
+// plus a lightweight span/event tracer that records both sim-time and
+// wall-time, with Prometheus text-format and NDJSON export.
+//
+// Two disciplines shape the design:
+//
+//   - Nil is off. Every handle method no-ops on a nil receiver, and
+//     every Registry constructor returns nil handles on a nil Registry,
+//     so instrumented code holds plain handle fields and calls them
+//     unconditionally — a disabled layer costs one nil check per
+//     observation, zero allocations, and zero behavioral drift.
+//   - Observation never perturbs determinism. Metrics record what the
+//     simulation did; they are never read back by any scheduling or
+//     simulation decision. Wall-clock reads happen only behind
+//     enabled-handle guards, so a metrics-off run executes the exact
+//     instruction stream it executed before this package existed.
+//
+// Hot-path cost when enabled is a handful of atomic operations per
+// observation: counters and gauges are single atomics, histograms are
+// pre-allocated at registration and observe with a short linear bucket
+// scan, and labeled children are resolved to plain *Counter handles
+// that can be cached by the caller.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter is a no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic integer gauge (queue depths, occupancies). The
+// zero value is ready to use; a nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat is a float64 updated with a CAS loop over its bit
+// pattern, so histogram sums stay race-safe without a mutex.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// kind enumerates the metric families a Registry can hold.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one registered metric name: its metadata plus its children
+// (one per label value; unlabeled families have a single "" child).
+type family struct {
+	name     string
+	help     string
+	kind     kind
+	labelKey string
+	buckets  []float64 // histogram upper bounds, for re-registration checks
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // label values in first-use order; export sorts
+	funcs    []func() float64
+}
+
+type child struct {
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry holds named metric families. It is safe for concurrent use;
+// a nil *Registry hands out nil (no-op) handles, so "no registry" is
+// the natural disabled state. Use NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// validName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabel reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the family for name, creating it on first use.
+// Registration is idempotent: re-registering an identical spec returns
+// the existing family, so independent layers (two engines, a client and
+// a CLI) can instrument one registry and share the same series. A
+// conflicting spec — different kind, label key or buckets under one
+// name — panics, as does an invalid name: both are programming errors
+// at instrumentation sites with literal names, caught on first run.
+func (r *Registry) register(name, help string, k kind, labelKey string, buckets []float64) *family {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if labelKey != "" && !validLabel(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label name %q on metric %q", labelKey, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != k || f.labelKey != labelKey || !sameBuckets(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a conflicting spec", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labelKey: labelKey,
+		buckets: buckets, children: make(map[string]*child)}
+	r.fams[name] = f
+	return f
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor returns the family's child for one label value, creating it
+// on first use.
+func (f *family) childFor(value string) *child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[value]
+	if !ok {
+		ch = &child{}
+		switch f.kind {
+		case kindCounter:
+			ch.c = &Counter{}
+		case kindGauge:
+			ch.g = &Gauge{}
+		case kindHistogram:
+			ch.h = newHistogram(f.buckets)
+		}
+		f.children[value] = ch
+		f.order = append(f.order, value)
+	}
+	return ch
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, "", nil)
+	if f == nil {
+		return nil
+	}
+	return f.childFor("").c
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, "", nil)
+	if f == nil {
+		return nil
+	}
+	return f.childFor("").g
+}
+
+// Histogram registers (or finds) an unlabeled fixed-bucket histogram;
+// see NewHistogram for the bucket contract.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	checkBuckets(buckets)
+	f := r.register(name, help, kindHistogram, "", buckets)
+	if f == nil {
+		return nil
+	}
+	return f.childFor("").h
+}
+
+// CounterVec is a family of counters keyed by one label. A nil
+// *CounterVec (from a nil registry) hands out nil counters.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	f := r.register(name, help, kindCounter, labelKey, nil)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for one label value, creating the series on
+// first use. The returned handle is stable — resolve once and cache it
+// on hot paths.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.childFor(value).c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collection time — the zero-overhead way to export counters a layer
+// already maintains (cache hit/miss atomics, memo statistics). fn must
+// be monotonic non-decreasing and safe for concurrent use. Multiple
+// registrations under one name sum at collection (several engines
+// sharing a registry aggregate naturally).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounterFunc, "", nil)
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.funcs = append(f.funcs, fn)
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at collection time; like
+// CounterFunc, multiple registrations under one name sum.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGaugeFunc, "", nil)
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.funcs = append(f.funcs, fn)
+	f.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket of a Sample.
+type Bucket struct {
+	LE    float64 `json:"le"` // upper bound, +Inf for the last
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the bound the way Prometheus does — "+Inf" as a
+// string for the last bucket — because encoding/json rejects infinite
+// float64 values outright.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatLE(b.LE), b.Count)), nil
+}
+
+// Sample is one exported series in a Snapshot — the machine-readable
+// form behind `dessim -json`.
+type Sample struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"` // "counter", "gauge" or "histogram"
+	LabelKey   string   `json:"labelKey,omitempty"`
+	LabelValue string   `json:"labelValue,omitempty"`
+	Value      float64  `json:"value"`         // count for histograms
+	Sum        float64  `json:"sum,omitempty"` // histograms only
+	Buckets    []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series in deterministic order (family name,
+// then label value). Func metrics are evaluated at call time.
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		switch f.kind {
+		case kindCounterFunc, kindGaugeFunc:
+			var total float64
+			for _, fn := range f.funcs {
+				total += fn()
+			}
+			out = append(out, Sample{Name: f.name, Kind: f.kind.String(), Value: total})
+		default:
+			values := append([]string(nil), f.order...)
+			sort.Strings(values)
+			for _, v := range values {
+				ch := f.children[v]
+				s := Sample{Name: f.name, Kind: f.kind.String()}
+				if f.labelKey != "" {
+					s.LabelKey, s.LabelValue = f.labelKey, v
+				}
+				switch f.kind {
+				case kindCounter:
+					s.Value = float64(ch.c.Value())
+				case kindGauge:
+					s.Value = float64(ch.g.Value())
+				case kindHistogram:
+					count, sum, buckets := ch.h.snapshot()
+					s.Value, s.Sum, s.Buckets = float64(count), sum, buckets
+				}
+				out = append(out, s)
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

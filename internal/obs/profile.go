@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles is the shared -cpuprofile/-memprofile plumbing for every
+// CLI: register the flags with ProfileFlags, bracket main with
+// Start/Stop. Both flags default to off and cost nothing when unset.
+type Profiles struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on fs and returns
+// the handle that will honor them.
+func ProfileFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call Stop (via
+// defer) to flush profiles; Stop is safe to call even if Start failed.
+func (p *Profiles) Start() error {
+	if p == nil || p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile (if running) and writes the heap
+// profile (if requested). Errors are returned but Stop always releases
+// every resource it holds.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+			return first
+		}
+		// Get up-to-date allocation statistics before snapshotting.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` and `# TYPE` lines per
+// family, then one sample line per series, histograms expanded to
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+// Output is deterministic — families sorted by name, label values
+// sorted within a family — so it goldens cleanly.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case kindCounterFunc, kindGaugeFunc:
+			var total float64
+			for _, fn := range f.funcs {
+				total += fn()
+			}
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(total))
+		default:
+			values := append([]string(nil), f.order...)
+			sort.Strings(values)
+			for _, v := range values {
+				ch := f.children[v]
+				switch f.kind {
+				case kindCounter:
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPair(f.labelKey, v), ch.c.Value())
+				case kindGauge:
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPair(f.labelKey, v), ch.g.Value())
+				case kindHistogram:
+					count, sum, buckets := ch.h.snapshot()
+					for _, b := range buckets {
+						fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", f.name, formatLE(b.LE), b.Count)
+					}
+					fmt.Fprintf(bw, "%s_sum %s\n", f.name, formatValue(sum))
+					fmt.Fprintf(bw, "%s_count %d\n", f.name, count)
+				}
+			}
+		}
+		f.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+// labelPair renders `{key="value"}` or "" for unlabeled series.
+func labelPair(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", key, value)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LintProm validates a Prometheus text-format exposition: metric and
+// label grammar, TYPE declarations preceding their samples, histogram
+// completeness (every histogram has monotone cumulative buckets ending
+// in +Inf whose count equals _count), and parseable sample values. It
+// returns all violations found, or nil when the input is clean. CI
+// runs it against the /metrics output of a short dessim run.
+func LintProm(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type histState struct {
+		buckets  []Bucket
+		hasCount bool
+		count    uint64
+		declared int // line of the TYPE declaration
+	}
+	types := map[string]string{} // family name -> declared type
+	hists := map[string]*histState{}
+	seenSample := map[string]bool{} // family names that already emitted samples
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				fail(n, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					fail(n, "TYPE line for %q missing type", name)
+					continue
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(n, "unknown type %q for metric %q", typ, name)
+				}
+				if _, dup := types[name]; dup {
+					fail(n, "duplicate TYPE declaration for %q", name)
+				}
+				if seenSample[name] {
+					fail(n, "TYPE for %q appears after its samples", name)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					hists[name] = &histState{declared: n}
+				}
+			}
+			continue
+		}
+
+		name, labels, valueStr, ok := splitSample(line)
+		if !ok {
+			fail(n, "unparseable sample line %q", line)
+			continue
+		}
+		if !validName(name) {
+			fail(n, "invalid metric name %q", name)
+			continue
+		}
+		value, err := parseValue(valueStr)
+		if err != nil {
+			fail(n, "unparseable value %q for %q", valueStr, name)
+			continue
+		}
+		for _, lb := range labels {
+			if !validLabel(lb.key) {
+				fail(n, "invalid label name %q on %q", lb.key, name)
+			}
+		}
+
+		// Resolve histogram component samples to their family.
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		seenSample[fam] = true
+		if _, declared := types[fam]; !declared {
+			fail(n, "sample for %q without a preceding TYPE declaration", fam)
+			continue
+		}
+
+		if h, isHist := hists[fam]; isHist {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, found := "", false
+				for _, lb := range labels {
+					if lb.key == "le" {
+						le, found = lb.value, true
+					}
+				}
+				if !found {
+					fail(n, "histogram bucket for %q missing le label", fam)
+					continue
+				}
+				bound, err := parseValue(le)
+				if err != nil {
+					fail(n, "unparseable le=%q on %q", le, fam)
+					continue
+				}
+				if value < 0 || value != math.Trunc(value) {
+					fail(n, "bucket count %v for %q is not a non-negative integer", value, fam)
+					continue
+				}
+				h.buckets = append(h.buckets, Bucket{LE: bound, Count: uint64(value)})
+			case strings.HasSuffix(name, "_count"):
+				h.hasCount = true
+				h.count = uint64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for name, h := range hists {
+		if len(h.buckets) == 0 {
+			fail(h.declared, "histogram %q declared but has no buckets", name)
+			continue
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(last.LE, 1) {
+			fail(h.declared, "histogram %q missing +Inf bucket", name)
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if h.buckets[i].LE <= h.buckets[i-1].LE {
+				fail(h.declared, "histogram %q buckets not ascending by le", name)
+			}
+			if h.buckets[i].Count < h.buckets[i-1].Count {
+				fail(h.declared, "histogram %q cumulative counts not monotone", name)
+			}
+		}
+		if !h.hasCount {
+			fail(h.declared, "histogram %q missing _count sample", name)
+		} else if math.IsInf(last.LE, 1) && h.count != last.Count {
+			fail(h.declared, "histogram %q _count %d != +Inf bucket %d", name, h.count, last.Count)
+		}
+	}
+	return errs
+}
+
+type labelEntry struct{ key, value string }
+
+// splitSample parses `name{k="v",...} value` or `name value`.
+func splitSample(line string) (name string, labels []labelEntry, value string, ok bool) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, "", false
+		}
+		body := rest[brace+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		for body != "" {
+			eq := strings.IndexByte(body, '=')
+			if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+				return "", nil, "", false
+			}
+			key := body[:eq]
+			val, tail, perr := unquotePrefix(body[eq+1:])
+			if perr {
+				return "", nil, "", false
+			}
+			labels = append(labels, labelEntry{key: key, value: val})
+			body = strings.TrimPrefix(strings.TrimSpace(tail), ",")
+			body = strings.TrimSpace(body)
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, "", false
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	// Value, optionally followed by a timestamp we ignore.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// unquotePrefix consumes a leading double-quoted string (with \" \\ \n
+// escapes) and returns the decoded value plus the remaining input.
+func unquotePrefix(s string) (value, rest string, bad bool) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", true
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", true
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", true
+			}
+		case '"':
+			return b.String(), s[i+1:], false
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exact exposition text for a small
+// registry — the format contract scrapers and the CI lint depend on.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("des_events_total", "Events processed").Add(7)
+	r.Gauge("des_resident_jobs", "Jobs sharing the node").Set(3)
+	h := r.Histogram("portfolio_race_seconds", "Race latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	vec := r.CounterVec("portfolio_wins_total", "Wins per heuristic", "heuristic")
+	vec.With("DominantMinRatio").Add(2)
+	vec.With("Balanced").Inc()
+	r.CounterFunc("memo_hits_total", "Plan-memo hits", func() float64 { return 41 })
+	r.CounterFunc("memo_hits_total", "Plan-memo hits", func() float64 { return 1 })
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP des_events_total Events processed
+# TYPE des_events_total counter
+des_events_total 7
+# HELP des_resident_jobs Jobs sharing the node
+# TYPE des_resident_jobs gauge
+des_resident_jobs 3
+# HELP memo_hits_total Plan-memo hits
+# TYPE memo_hits_total counter
+memo_hits_total 42
+# HELP portfolio_race_seconds Race latency
+# TYPE portfolio_race_seconds histogram
+portfolio_race_seconds_bucket{le="0.001"} 1
+portfolio_race_seconds_bucket{le="0.01"} 2
+portfolio_race_seconds_bucket{le="+Inf"} 3
+portfolio_race_seconds_sum 5.0055
+portfolio_race_seconds_count 3
+# HELP portfolio_wins_total Wins per heuristic
+# TYPE portfolio_wins_total counter
+portfolio_wins_total{heuristic="Balanced"} 1
+portfolio_wins_total{heuristic="DominantMinRatio"} 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The golden text must also satisfy our own linter.
+	if errs := LintProm(strings.NewReader(sb.String())); len(errs) != 0 {
+		t.Errorf("LintProm rejected golden output: %v", errs)
+	}
+}
+
+func TestLintPromAccepts(t *testing.T) {
+	good := `# some free-form comment
+# HELP x_total help text
+# TYPE x_total counter
+x_total 5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.3
+lat_seconds_count 2
+# TYPE labeled_total counter
+labeled_total{k="a b",other="x\ny"} 1 1712000000
+`
+	if errs := LintProm(strings.NewReader(good)); len(errs) != 0 {
+		t.Errorf("LintProm(good) = %v", errs)
+	}
+}
+
+func TestLintPromRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "x_total 5\n",
+		"bad metric name":       "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":             "# TYPE x counter\nx five\n",
+		"missing +Inf bucket":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-monotone buckets":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count != +Inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+		"missing _count":        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\n",
+		"TYPE after sample":     "# TYPE x counter\nx 1\n# TYPE x counter\n",
+		"unterminated label":    "# TYPE x counter\nx{k=\"v 1\n",
+		"bad label name":        "# TYPE x counter\nx{9k=\"v\"} 1\n",
+		"fractional bucket":     "# TYPE h histogram\nh_bucket{le=\"1\"} 1.5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"histogram sans bucket": "# TYPE h histogram\nh_sum 1\nh_count 0\n",
+	}
+	for name, in := range cases {
+		if errs := LintProm(strings.NewReader(in)); len(errs) == 0 {
+			t.Errorf("LintProm accepted %s:\n%s", name, in)
+		}
+	}
+}
+
+func TestSplitSample(t *testing.T) {
+	name, labels, value, ok := splitSample(`x_total{a="1",b="two words"} 3.5`)
+	if !ok || name != "x_total" || value != "3.5" || len(labels) != 2 {
+		t.Fatalf("splitSample = %q %v %q %v", name, labels, value, ok)
+	}
+	if labels[1].key != "b" || labels[1].value != "two words" {
+		t.Errorf("label[1] = %+v", labels[1])
+	}
+	if _, _, _, ok := splitSample("lonely"); ok {
+		t.Error("splitSample accepted a value-less line")
+	}
+}

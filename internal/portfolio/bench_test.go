@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/workload"
 )
@@ -58,6 +59,28 @@ func BenchmarkPortfolioSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPortfolioSweepMetrics is the instrumented twin of the
+// GOMAXPROCS arm of BenchmarkPortfolioSweep: same sweep, with a live
+// registry recording every series. Comparing the two pins the
+// metrics-on overhead; the benchgate tolerance is the regression gate.
+func BenchmarkPortfolioSweepMetrics(b *testing.B) {
+	scenarios := npbSweepScenarios()
+	reg := obs.NewRegistry()
+	eng := New(Config{Workers: runtime.GOMAXPROCS(0), Metrics: NewMetrics(reg)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reports := eng.EvaluateBatch(scenarios)
+		for _, rep := range reports {
+			if rep.Err != nil {
+				b.Fatal(rep.Err)
+			}
+			if rep.Best < 0 {
+				b.Fatal("no feasible schedule")
+			}
+		}
 	}
 }
 

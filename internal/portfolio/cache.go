@@ -25,6 +25,7 @@ const numShards = 64
 type Cache struct {
 	shards       [numShards]cacheShard
 	hits, misses atomic.Uint64
+	evictions    atomic.Uint64
 }
 
 type cacheShard struct {
@@ -51,15 +52,18 @@ func NewCache() *Cache {
 // that found its entry already computed (or in flight); a "miss" is a
 // request that triggered the computation.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries dropped because their computation was
+	// abandoned by context cancellation.
+	Evictions uint64
+	Entries   int
 }
 
 // Stats snapshots the counters. Hits+Misses equals the number of
 // getOrCompute calls that completed.
 func (c *Cache) Stats() CacheStats {
-	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -111,6 +115,7 @@ func (c *Cache) getOrCompute(ctx context.Context, pl model.Platform, apps []mode
 			sh.mu.Lock()
 			if cur, ok := sh.m[string(key)]; ok && cur == ent {
 				delete(sh.m, string(key))
+				c.evictions.Add(1)
 			}
 			sh.mu.Unlock()
 			if !computed && ctx.Err() == nil {

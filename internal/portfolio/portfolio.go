@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -50,13 +51,18 @@ type Config struct {
 	// Cache memoizes solved (scenario, heuristic) pairs. Nil disables
 	// memoization. A Cache may be shared between engines.
 	Cache *Cache
+	// Metrics instruments the engine (see NewMetrics). Nil disables all
+	// observation: the engine then pays one nil check per site and its
+	// hot path stays allocation-free.
+	Metrics *Metrics
 }
 
 // Engine is a concurrent portfolio scheduler. It is safe for use from
 // multiple goroutines; all evaluations share one worker pool.
 type Engine struct {
-	sem   chan struct{}
-	cache *Cache
+	sem     chan struct{}
+	cache   *Cache
+	metrics *Metrics
 }
 
 // New returns an Engine with the given configuration.
@@ -65,7 +71,8 @@ func New(cfg Config) *Engine {
 	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{sem: make(chan struct{}, w), cache: cfg.Cache}
+	cfg.Metrics.bindCache(cfg.Cache)
+	return &Engine{sem: make(chan struct{}, w), cache: cfg.Cache, metrics: cfg.Metrics}
 }
 
 // Workers reports the size of the engine's worker pool.
@@ -206,6 +213,11 @@ func (e *Engine) EvaluateBatch(scenarios []Scenario) []*Report {
 // scratch is returned in a reusable state, and a subsequent call on a
 // live context is bit-identical to one on a fresh engine.
 func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario) ([]*Report, error) {
+	m := e.metrics
+	var raceStart time.Time
+	if m != nil {
+		raceStart = time.Now()
+	}
 	reports := make([]*Report, len(scenarios))
 	slab := taskSlabPool.Get().(*taskSlab)
 	tasks := slab.tasks[:0]
@@ -222,6 +234,16 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 		for hi := range hs {
 			tasks = append(tasks, task{sc, rep, hi, hs[hi]})
 		}
+	}
+
+	if m != nil {
+		m.batches.Inc()
+		m.scenarios.Add(uint64(len(scenarios)))
+		m.evals.Add(uint64(len(tasks)))
+		// Depth rises by the whole admission and falls once per resolved
+		// task (computed or cancellation-filled), so it always returns to
+		// its pre-call level.
+		m.queueDepth.Add(int64(len(tasks)))
 	}
 
 	workers := cap(e.sem)
@@ -244,6 +266,9 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 			}
 			t.rep.Results[t.hi] = e.evalOne(ctx, t.sc, t.h, t.hi)
 			<-e.sem
+			if m != nil {
+				m.queueDepth.Dec()
+			}
 		}
 	} else {
 		var cursor atomic.Int64
@@ -268,6 +293,9 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 					}
 					t.rep.Results[t.hi] = e.evalOne(ctx, t.sc, t.h, t.hi)
 					<-e.sem
+					if m != nil {
+						m.queueDepth.Dec()
+					}
 				}
 			}()
 		}
@@ -283,6 +311,9 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 			if res.Schedule == nil && res.Err == nil {
 				res.Heuristic = t.h
 				res.Err = err
+				if m != nil {
+					m.queueDepth.Dec()
+				}
 			}
 		}
 	}
@@ -294,16 +325,38 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, scenarios []Scenario)
 	for _, rep := range reports {
 		rep.pickBest()
 	}
+	if m != nil {
+		for _, rep := range reports {
+			if br := rep.BestResult(); br != nil {
+				m.wins.With(br.Heuristic.String()).Inc()
+			}
+		}
+		m.raceSeconds.Observe(time.Since(raceStart).Seconds())
+	}
 	return reports, ctx.Err()
 }
 
-// evalOne schedules one heuristic, through the cache when present. Only
-// randomized heuristics get an RNG: the deterministic ones never read
-// it, and skipping the construction keeps the hot path lean without
-// changing any schedule. Failures are wrapped in *sched.HeuristicError
-// naming the policy; context errors pass through bare so errors.Is(err,
-// context.Canceled) holds on every layer.
+// evalOne times one heuristic evaluation into the eval-latency
+// histogram when metrics are on; the wall-clock read happens only on
+// the enabled path, so a metrics-off run never touches the clock.
 func (e *Engine) evalOne(ctx context.Context, sc *Scenario, h sched.Heuristic, hi int) Result {
+	m := e.metrics
+	if m == nil {
+		return e.solveOne(ctx, sc, h, hi)
+	}
+	start := time.Now()
+	res := e.solveOne(ctx, sc, h, hi)
+	m.evalSeconds.Observe(time.Since(start).Seconds())
+	return res
+}
+
+// solveOne schedules one heuristic, through the cache when present.
+// Only randomized heuristics get an RNG: the deterministic ones never
+// read it, and skipping the construction keeps the hot path lean
+// without changing any schedule. Failures are wrapped in
+// *sched.HeuristicError naming the policy; context errors pass through
+// bare so errors.Is(err, context.Canceled) holds on every layer.
+func (e *Engine) solveOne(ctx context.Context, sc *Scenario, h sched.Heuristic, hi int) Result {
 	seed := HeuristicSeed(sc.Seed, hi)
 	if e.cache == nil {
 		s, err := h.ScheduleContext(ctx, sc.Platform, sc.Apps, rngFor(h, seed))

@@ -47,13 +47,14 @@ import (
 // concurrent use; each online policy owns one (the DES event loop is
 // single-threaded).
 type PlanMemo struct {
-	capacity int
-	plans    map[string]*Schedule
-	order    []string // insertion order, oldest first
-	head     int      // index of the oldest live key in order
-	hits     uint64
-	misses   uint64
-	key      []byte // recycled fingerprint buffer
+	capacity  int
+	plans     map[string]*Schedule
+	order     []string // insertion order, oldest first
+	head      int      // index of the oldest live key in order
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	key       []byte // recycled fingerprint buffer
 }
 
 // DefaultPlanMemoCapacity bounds a policy-owned memo: comfortably more
@@ -74,14 +75,15 @@ func NewPlanMemo(capacity int) *PlanMemo {
 
 // MemoStats are a PlanMemo's monotonic counters.
 type MemoStats struct {
-	Hits    uint64 // lookups served from the memo (certified fast path)
-	Misses  uint64 // lookups that fell back to a full solve
-	Entries int    // plans currently retained
+	Hits      uint64 // lookups served from the memo (certified fast path)
+	Misses    uint64 // lookups that fell back to a full solve
+	Evictions uint64 // plans dropped by the FIFO capacity bound
+	Entries   int    // plans currently retained
 }
 
 // Stats snapshots the counters.
 func (m *PlanMemo) Stats() MemoStats {
-	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: len(m.plans)}
+	return MemoStats{Hits: m.hits, Misses: m.misses, Evictions: m.evictions, Entries: len(m.plans)}
 }
 
 // fingerprint appends the canonical byte encoding of (h, pl, apps) to
@@ -143,6 +145,7 @@ func (m *PlanMemo) Put(h Heuristic, pl model.Platform, apps []model.Application,
 		delete(m.plans, m.order[m.head])
 		m.order[m.head] = ""
 		m.head++
+		m.evictions++
 		// Compact the ring once the dead prefix dominates, keeping
 		// amortized insertion O(1) without unbounded slice growth.
 		if m.head > len(m.order)/2 {

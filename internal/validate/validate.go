@@ -18,6 +18,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/cat"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -44,6 +45,12 @@ type TracedApp struct {
 // get distinct cells; characterization is deterministic, so the
 // memoized result is bit-identical to a fresh one.
 var fitTable = cachesim.NewFitTable()
+
+// Instrument exports the process-wide fit table's counters on reg (see
+// cachesim.FitTable.Instrument). A nil registry is a no-op.
+func Instrument(reg *obs.Registry) {
+	fitTable.Instrument(reg)
+}
 
 // Characterize builds a model.Application from a trace generator by
 // sweeping the cache simulator over sizes and fitting the Power Law —

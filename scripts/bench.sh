@@ -22,8 +22,8 @@ LATEST=$BENCH_DIR/latest.txt
 BASELINE=$BENCH_DIR/baseline.json
 BENCH_TIME=${BENCH_TIME:-30x}
 BENCH_COUNT=${BENCH_COUNT:-10}
-BENCH_LABEL=${BENCH_LABEL:-"PR 6"}
-BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_6.json}
+BENCH_LABEL=${BENCH_LABEL:-"PR 7"}
+BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_7.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_DELTA_SPEEDUP=${MIN_DELTA_SPEEDUP:-5.0}
 BENCHGATE_FLAGS=${BENCHGATE_FLAGS:-}
