@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 
 	"repro/internal/benchgate"
@@ -50,6 +51,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		minDelta     = fs.Float64("min-delta-speedup", 0, "required full-replan/delta speedup (0 disables)")
 		deltaFull    = fs.String("delta-full", `^BenchmarkDESPortfolioHighRate/full$`, "full-replan benchmark regex for the delta gate")
 		deltaFast    = fs.String("delta-fast", `^BenchmarkDESPortfolioHighRate/delta$`, "delta-rescheduling benchmark regex for the delta gate")
+		only         = fs.String("only", "", "gate only benchmarks matching this regex (applied to run and baseline)")
+		skip         = fs.String("skip", "", "exclude benchmarks matching this regex (applied to run and baseline)")
 		quiet        = fs.Bool("quiet", false, "only print failures")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +69,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cur := benchgate.Aggregate(ms)
+	keep, err := nameFilter(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for name := range cur {
+		if !keep(name) {
+			delete(cur, name)
+		}
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(stderr, "benchgate: -only/-skip filtered out every benchmark in the input")
+		return 2
+	}
 
 	if *update {
 		b := benchgate.NewBaseline(cur, ctx)
@@ -81,6 +98,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	// The filter applies to both sides, so baseline entries outside the
+	// selection are out of scope rather than "missing from the run".
+	for name := range base.Benchmarks {
+		if !keep(name) {
+			delete(base.Benchmarks, name)
+		}
 	}
 	tol := benchgate.Tolerances{NsPct: *tolNs, BPct: *tolB, AllocsPct: *tolAllocs, MADK: *madK}
 	rep := benchgate.Compare(base, cur, tol)
@@ -143,6 +167,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "benchgate: OK (%d benchmarks gated)\n", len(base.Benchmarks))
 	return 0
+}
+
+// nameFilter compiles the -only/-skip selection into a predicate over
+// benchmark names. Empty patterns match everything / exclude nothing.
+func nameFilter(only, skip string) (func(string) bool, error) {
+	var onlyRe, skipRe *regexp.Regexp
+	var err error
+	if only != "" {
+		if onlyRe, err = regexp.Compile(only); err != nil {
+			return nil, fmt.Errorf("benchgate: -only: %w", err)
+		}
+	}
+	if skip != "" {
+		if skipRe, err = regexp.Compile(skip); err != nil {
+			return nil, fmt.Errorf("benchgate: -skip: %w", err)
+		}
+	}
+	return func(name string) bool {
+		if onlyRe != nil && !onlyRe.MatchString(name) {
+			return false
+		}
+		return skipRe == nil || !skipRe.MatchString(name)
+	}, nil
 }
 
 // parseInputs reads bench output from the named files, or stdin when

@@ -120,6 +120,36 @@ func TestGateRejectsMalformedInput(t *testing.T) {
 	}
 }
 
+// TestGateOnlySkipFilters covers the -only/-skip selection: a filtered
+// baseline entry is out of scope (not MISSING), a filtered regression
+// does not gate, and the selection applies to both sides symmetrically.
+func TestGateOnlySkipFilters(t *testing.T) {
+	base := benchLog(1000, 2000, 300)
+	// The DES benchmark both regresses and vanishes in the cases below;
+	// the filters must make the gate indifferent to it.
+	sweepOnly := "goos: linux\nBenchmarkPortfolioSweep/workers=1-8\t 50\t 1000 ns/op\t 1000 B/op\t 300 allocs/op\nPASS\n"
+
+	if code, out := gate(t, base, sweepOnly, "-only", "^BenchmarkPortfolioSweep"); code != 0 {
+		t.Errorf("-only did not scope out the absent benchmark (%d):\n%s", code, out)
+	}
+	if code, out := gate(t, base, sweepOnly, "-skip", "^BenchmarkDES"); code != 0 {
+		t.Errorf("-skip did not scope out the absent benchmark (%d):\n%s", code, out)
+	}
+	if code, out := gate(t, base, benchLog(1000, 9000, 300), "-skip", "^BenchmarkDES"); code != 0 {
+		t.Errorf("-skip did not exclude the regressed benchmark (%d):\n%s", code, out)
+	}
+	// Without the filter the same inputs must still fail.
+	if code, _ := gate(t, base, benchLog(1000, 9000, 300)); code == 0 {
+		t.Error("regression passed without a filter")
+	}
+	if code, _ := gate(t, base, sweepOnly, "-only", "nomatch"); code != 2 {
+		t.Error("empty selection should be a usage error")
+	}
+	if code, _ := gate(t, base, sweepOnly, "-only", "("); code != 2 {
+		t.Error("invalid regex should be a usage error")
+	}
+}
+
 func TestGateReadsFiles(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "baseline.json")

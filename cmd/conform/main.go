@@ -111,13 +111,14 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		OracleMaxApps: *oracleMax,
 		Gen:           genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
 	}
+	var ds *obs.DebugServer
 	if *debugAddr != "" {
 		opt.Metrics = obs.NewRegistry()
-		ds, err := obs.ServeDebug(*debugAddr, opt.Metrics)
+		ds, err = obs.ServeDebug(*debugAddr, opt.Metrics)
 		if err != nil {
 			return 2, err
 		}
-		defer ds.Close()
+		defer ds.Close() // error paths only; Close is idempotent
 		fmt.Fprintf(errOut, "conform: debug listener on http://%s\n", ds.Addr())
 	}
 
@@ -143,6 +144,12 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 
 	rep, err := conform.RunContext(ctx, opt)
 	if err != nil {
+		return 2, err
+	}
+	// Drain-then-flush: the run is complete, so let any in-flight
+	// scrape finish against the final metric state before the report is
+	// emitted and the process exits.
+	if err := ds.Close(); err != nil {
 		return 2, err
 	}
 	switch *format {

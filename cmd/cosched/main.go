@@ -33,7 +33,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -51,6 +50,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/solve"
 	"repro/internal/workload"
@@ -128,19 +128,26 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	}
 	pl := model.Platform{Processors: *procs, CacheSize: *cache, LatencyS: *ls, LatencyL: *ll, Alpha: *alpha}
 	var reg *obs.Registry
+	var ds *obs.DebugServer
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err = obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
-		defer ds.Close()
+		defer ds.Close() // error paths only; Close is idempotent
 		fmt.Fprintf(os.Stderr, "cosched: debug listener on http://%s\n", ds.Addr())
 	}
 	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithMetrics(reg))
 
 	if *batch != "" {
-		return runBatch(ctx, client, *batch, pl, *seed, out)
+		if err := runBatch(ctx, client, *batch, pl, *seed, out); err != nil {
+			return err
+		}
+		// Drain-then-exit: the report stream is already flushed, so let
+		// any in-flight scrape of the final metric state complete before
+		// the listener goes away with the process.
+		return ds.Close()
 	}
 
 	apps, err := loadApps(*appsPath)
@@ -249,6 +256,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}
 
+	// Drain-then-flush: every compute phase is done and the metrics are
+	// final; finish in-flight scrapes before the last artifact is
+	// written and the process exits.
+	if err := ds.Close(); err != nil {
+		return err
+	}
+
 	if *jsonOut != "" {
 		w := out
 		var closer io.Closer
@@ -317,14 +331,10 @@ func writeRanking(out io.Writer, rep *repro.PortfolioReport) error {
 	return nil
 }
 
-// Batch-mode JSON shapes: the input scenarios and the output reports.
-type scenarioJSON struct {
-	Platform   *des.PlatformSpec `json:"platform,omitempty"`
-	Apps       []des.AppSpec     `json:"apps"`
-	Heuristics []string          `json:"heuristics,omitempty"`
-	Seed       *uint64           `json:"seed,omitempty"`
-}
-
+// Batch-mode output shapes. The input side (scenario JSON) is shared
+// with the coschedd service — see serve.ScenarioWire — but the CLI
+// report keeps its cache-provenance bit, which the service deliberately
+// omits.
 type resultJSON struct {
 	Heuristic string  `json:"heuristic"`
 	Makespan  float64 `json:"makespan,omitempty"`
@@ -368,7 +378,7 @@ func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl 
 	// EvaluateBatch returns (which happens-after the iterator finished).
 	var decodeErr error
 	scenarios := func(yield func(repro.PortfolioScenario) bool) {
-		decodeErr = decodeScenarios(r, path, defaultPl, defaultSeed, yield)
+		decodeErr = serve.DecodeScenarios(r, path, serve.Defaults{Platform: defaultPl, Seed: defaultSeed}, yield)
 	}
 	enc := json.NewEncoder(out)
 	if err := client.EvaluateBatch(ctx, scenarios, func(br repro.BatchResult) error {
@@ -377,79 +387,6 @@ func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl 
 		return err
 	}
 	return decodeErr
-}
-
-// decodeScenarios parses the batch input — a JSON array of scenario
-// objects, or a bare NDJSON/whitespace-separated stream of them —
-// invoking emit for each scenario as it is decoded; emit returning
-// false stops the stream early (consumer gone). Heuristic names are
-// resolved during decoding, so a typo stops the stream at the
-// offending scenario.
-func decodeScenarios(r io.Reader, path string, defaultPl model.Platform, defaultSeed uint64, emit func(repro.PortfolioScenario) bool) error {
-	br := bufio.NewReader(r)
-	array := false
-	for {
-		b, err := br.ReadByte()
-		if err != nil {
-			return fmt.Errorf("parsing batch %s: %w", path, err)
-		}
-		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
-			continue
-		}
-		array = b == '['
-		if err := br.UnreadByte(); err != nil {
-			return err
-		}
-		break
-	}
-	dec := json.NewDecoder(br)
-	if array {
-		if _, err := dec.Token(); err != nil { // consume '['
-			return fmt.Errorf("parsing batch %s: %w", path, err)
-		}
-	}
-	for n := 0; ; n++ {
-		if array && !dec.More() {
-			if _, err := dec.Token(); err != nil { // consume ']'
-				return fmt.Errorf("parsing batch %s: %w", path, err)
-			}
-			switch tok, err := dec.Token(); {
-			case err == io.EOF:
-			case err != nil:
-				return fmt.Errorf("parsing batch %s: trailing data after the scenario array: %v", path, err)
-			default:
-				return fmt.Errorf("parsing batch %s: trailing data after the scenario array (%v)", path, tok)
-			}
-			return nil
-		}
-		var sj scenarioJSON
-		if err := dec.Decode(&sj); err != nil {
-			if !array && err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("parsing batch %s scenario %d: %w", path, n, err)
-		}
-		sc := repro.PortfolioScenario{Platform: defaultPl, Seed: defaultSeed}
-		if sj.Platform != nil {
-			sc.Platform = sj.Platform.Platform()
-		}
-		if sj.Seed != nil {
-			sc.Seed = *sj.Seed
-		}
-		for _, a := range sj.Apps {
-			sc.Apps = append(sc.Apps, a.Application())
-		}
-		for _, name := range sj.Heuristics {
-			h, err := sched.ParseHeuristic(name)
-			if err != nil {
-				return fmt.Errorf("batch scenario %d: %w", n, err)
-			}
-			sc.Heuristics = append(sc.Heuristics, h)
-		}
-		if !emit(sc) {
-			return nil
-		}
-	}
 }
 
 // reportOf converts an engine report to its wire form.

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer boots run() on a free port and waits for the address
+// file, returning the base URL and a cancel-and-wait function.
+func startServer(t *testing.T, extra ...string) (string, func() (string, string)) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errOut bytes.Buffer
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-drain", "5s"}, extra...)
+	go func() { done <- run(ctx, args, &out, &errOut) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("address file never appeared; stderr:\n%s", errOut.String())
+	}
+	stop := func() (string, string) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run = %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("run did not return after cancel")
+		}
+		return out.String(), errOut.String()
+	}
+	return "http://" + addr, stop
+}
+
+func TestServeAndDrain(t *testing.T) {
+	url, stop := startServer(t)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"apps": [{"name": "CG", "work": 5.7e10, "seq": 0.05, "freq": 0.535, "missRate": 6.59e-4, "refCache": 4e7}]}`
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/schedule", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "smoke")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || !strings.Contains(string(sb), "makespan") {
+		t.Fatalf("schedule = %d: %s", sresp.StatusCode, sb)
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "coschedd_admitted_total 1") {
+		t.Errorf("metrics missing admission counter:\n%s", mb)
+	}
+
+	out, errOut := stop()
+	if !strings.Contains(out, "drained: 1 admitted, 0 shed") {
+		t.Errorf("missing drain summary in stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "draining (deadline") {
+		t.Errorf("missing drain notice in stderr:\n%s", errOut)
+	}
+
+	// The listener must actually be gone after run returns.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &out, &errOut); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// target boots a real serve.Server behind httptest, the same handler
+// stack coschedd mounts.
+func target(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(serve.New(serve.Config{
+		Client:   repro.NewClient(repro.WithMetrics(reg)),
+		Registry: reg,
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func readSummary(t *testing.T, dir string) summary {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadRunArtifacts(t *testing.T) {
+	ts := target(t)
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-arrivals", "poisson", "-rate", "500", "-n", "20",
+		"-tenants", "3", "-out", dir,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run = %v\nstderr: %s", err, errOut.String())
+	}
+
+	sum := readSummary(t, dir)
+	if sum.Sent != 20 || sum.OK != 20 || sum.Shed != 0 || sum.Errors != 0 {
+		t.Errorf("summary counts = sent %d ok %d shed %d errors %d, want 20/20/0/0",
+			sum.Sent, sum.OK, sum.Shed, sum.Errors)
+	}
+	if sum.P99 < sum.P50 || sum.P50 <= 0 {
+		t.Errorf("quantiles implausible: p50 %v p99 %v", sum.P50, sum.P99)
+	}
+	if sum.RPS <= 0 {
+		t.Errorf("rps = %v", sum.RPS)
+	}
+
+	// The generator's own exposition must lint.
+	lp, err := os.ReadFile(filepath.Join(dir, "latency.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintProm(bytes.NewReader(lp)); err != nil {
+		t.Errorf("latency.prom does not lint: %v", err)
+	}
+	if !strings.Contains(string(lp), "coscheload_latency_seconds_count 20") {
+		t.Errorf("latency.prom missing observations:\n%s", lp)
+	}
+
+	// bench.txt must parse as go-bench lines with ns/op on every line.
+	bt, err := os.ReadFile(filepath.Join(dir, "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkServeLoad/schedule/p50 1 ",
+		"BenchmarkServeLoad/schedule/p99 1 ",
+		"BenchmarkServeLoad/schedule/sustained 1 ",
+	} {
+		if !strings.Contains(string(bt), want) {
+			t.Errorf("bench.txt missing %q:\n%s", want, bt)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(bt)), "\n") {
+		if !strings.HasSuffix(line, " ns/op") {
+			t.Errorf("bench line %q lacks ns/op", line)
+		}
+	}
+
+	// The scraped target exposition must exist and lint too.
+	mp, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintProm(bytes.NewReader(mp)); err != nil {
+		t.Errorf("metrics.prom does not lint: %v", err)
+	}
+	if !strings.Contains(string(mp), "coschedd_admitted_total 20") {
+		t.Errorf("target scrape missing admissions:\n%s", mp)
+	}
+
+	if !strings.Contains(out.String(), "sent 20, ok 20") {
+		t.Errorf("stdout summary missing:\n%s", out.String())
+	}
+}
+
+func TestLoadEndpoints(t *testing.T) {
+	ts := target(t)
+	for _, ep := range []string{"evaluate", "simulate"} {
+		dir := t.TempDir()
+		var out, errOut bytes.Buffer
+		err := run(context.Background(), []string{
+			"-target", ts.URL, "-endpoint", ep, "-rate", "1000", "-n", "4",
+			"-out", dir, "-scrape=false",
+		}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s: run = %v\nstderr: %s", ep, err, errOut.String())
+		}
+		if sum := readSummary(t, dir); sum.OK != 4 {
+			t.Errorf("%s: ok = %d, want 4", ep, sum.OK)
+		}
+	}
+}
+
+func TestLoadArrivalFamilies(t *testing.T) {
+	ts := target(t)
+	for _, arr := range []string{"gamma", "batch", "trace", "poisson:rate=800,n=6"} {
+		dir := t.TempDir()
+		var out, errOut bytes.Buffer
+		err := run(context.Background(), []string{
+			"-target", ts.URL, "-arrivals", arr, "-rate", "800", "-n", "6",
+			"-out", dir, "-scrape=false",
+		}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s: run = %v\nstderr: %s", arr, err, errOut.String())
+		}
+		if sum := readSummary(t, dir); sum.OK != 6 {
+			t.Errorf("%s: ok = %d, want 6", arr, sum.OK)
+		}
+	}
+}
+
+// TestLoadInterruptLosesNothing cancels mid-run and checks the
+// invariant the ISSUE demands: everything dispatched is accounted for
+// (completed, shed or errored — never dropped) and the artifacts are
+// still written.
+func TestLoadInterruptLosesNothing(t *testing.T) {
+	ts := target(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var out, errOut bytes.Buffer
+	// 2 req/s for 100 requests would take 50s; the cancel must cut
+	// issuing short while the artifacts still appear.
+	err := run(ctx, []string{
+		"-target", ts.URL, "-rate", "2", "-n", "100", "-out", dir,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run = %v\nstderr: %s", err, errOut.String())
+	}
+	sum := readSummary(t, dir)
+	if !sum.Interrupted {
+		t.Error("summary not marked interrupted")
+	}
+	if sum.Sent >= 100 {
+		t.Errorf("sent = %d, interrupt did not stop issuing", sum.Sent)
+	}
+	if got := sum.OK + sum.Shed + sum.Errors; got != sum.Sent {
+		t.Errorf("lost requests: sent %d but accounted %d", sum.Sent, got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bench.txt")); err != nil {
+		t.Errorf("bench.txt missing after interrupt: %v", err)
+	}
+}
+
+func TestLoadSheddingCounted(t *testing.T) {
+	// A 1-slot server under a 20-request burst must shed; shed responses
+	// are counted, not treated as errors, and the run still succeeds.
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(serve.New(serve.Config{
+		Client:      repro.NewClient(repro.WithMetrics(reg)),
+		Registry:    reg,
+		MaxInflight: 1,
+	}))
+	defer ts.Close()
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL, "-arrivals", "batch:size=20,interval=1,n=20",
+		"-n", "20", "-out", dir, "-scrape=false",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run = %v\nstderr: %s", err, errOut.String())
+	}
+	sum := readSummary(t, dir)
+	if sum.Errors != 0 {
+		t.Errorf("shed responses counted as errors: %+v", sum)
+	}
+	if sum.OK+sum.Shed != 20 {
+		t.Errorf("ok %d + shed %d != 20", sum.OK, sum.Shed)
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	cases := [][]string{
+		{}, // no target
+		{"-target", "x", "-endpoint", "bogus"},
+		{"-target", "x", "-arrivals", "bogus"},
+		{"-target", "x", "-rate", "0"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestLoadUnhealthyTarget(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", "http://127.0.0.1:1", "-wait", "200ms", "-n", "1",
+		"-out", t.TempDir(),
+	}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Errorf("err = %v, want health-wait failure", err)
+	}
+}

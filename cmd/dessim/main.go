@@ -136,12 +136,13 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 	if *jsonOut || *promPath != "" || *tracePath != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	var ds *obs.DebugServer
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err = obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
-		defer ds.Close()
+		defer ds.Close() // error paths only; Close is idempotent
 		fmt.Fprintf(errOut, "dessim: debug listener on http://%s\n", ds.Addr())
 	}
 
@@ -162,6 +163,13 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 	sc.Metrics = m
 	res, err := client.SimulateOnline(ctx, sc)
 	if err != nil {
+		return err
+	}
+
+	// Drain-then-flush: let any in-flight scrape finish against the
+	// final metric state before the summary is emitted and the process
+	// exits, so a scraper polling the run never reads a torn exposition.
+	if err := ds.Close(); err != nil {
 		return err
 	}
 

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -167,6 +169,57 @@ func TestObservabilityOutputs(t *testing.T) {
 	}
 	if trailer["kind"] != "trace-summary" || trailer["events"].(float64) == 0 {
 		t.Errorf("unexpected trace trailer: %v", trailer)
+	}
+}
+
+// drainProbe is an output writer that, on its first write, checks
+// whether the -debug-addr listener is still accepting connections.
+// Drain-then-flush ordering requires the listener to be gone by then:
+// output used to be written first, leaving a window where a scrape of
+// the final state raced process exit.
+type drainProbe struct {
+	bytes.Buffer
+	addr   func() string
+	probed bool
+	open   bool
+}
+
+func (p *drainProbe) Write(b []byte) (int, error) {
+	if !p.probed && p.addr() != "" {
+		p.probed = true
+		conn, err := net.DialTimeout("tcp", p.addr(), time.Second)
+		if err == nil {
+			conn.Close()
+			p.open = true
+		}
+	}
+	return p.Buffer.Write(b)
+}
+
+// TestDebugServerDrainedBeforeFlush pins the drain-then-flush ordering:
+// by the time the first event/summary byte is emitted, the debug
+// listener has been drained and closed.
+func TestDebugServerDrainedBeforeFlush(t *testing.T) {
+	var errOut bytes.Buffer
+	out := &drainProbe{addr: func() string {
+		_, after, found := strings.Cut(errOut.String(), "debug listener on http://")
+		if !found {
+			return ""
+		}
+		return strings.TrimSpace(strings.SplitN(after, "\n", 2)[0])
+	}}
+	args := []string{"-arrivals", "poisson:rate=2e-9,n=4", "-policy", "DominantMinRatio", "-seed", "3", "-debug-addr", "127.0.0.1:0"}
+	if err := run(context.Background(), args, out, &errOut); err != nil {
+		t.Fatalf("dessim %s: %v", strings.Join(args, " "), err)
+	}
+	if !out.probed {
+		t.Fatal("probe never fired: no output or no listener line")
+	}
+	if out.open {
+		t.Error("debug listener still accepting connections while final output was being flushed")
+	}
+	if !strings.Contains(out.String(), `"kind":"summary"`) {
+		t.Errorf("run produced no summary:\n%s", out.String())
 	}
 }
 

@@ -88,13 +88,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	}
 
 	var reg *obs.Registry
+	var ds *obs.DebugServer
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err = obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
-		defer ds.Close()
+		defer ds.Close() // error paths only; Close is idempotent
 		fmt.Fprintf(os.Stderr, "experiments: debug listener on http://%s\n", ds.Addr())
 	}
 
@@ -188,5 +189,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 		}
 		fmt.Fprintf(stdout, "wrote %s (%.1fs)\n\n", csvPath, time.Since(start).Seconds())
 	}
-	return nil
+	// Drain-then-exit: all figures are written; let any in-flight
+	// scrape of the final metric state complete before the listener
+	// disappears with the process.
+	return ds.Close()
 }

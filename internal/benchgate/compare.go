@@ -64,7 +64,9 @@ func (f Finding) String() string {
 	case VerdictNew:
 		return fmt.Sprintf("new       %s: not in baseline (refresh to gate it)", f.Benchmark)
 	default:
-		return fmt.Sprintf("%-10s%s %s: %.6g -> %.6g (%+.1f%%)",
+		// "improvement" is 11 runes, wider than the pad: the explicit
+		// space keeps verdict and benchmark name separated either way.
+		return fmt.Sprintf("%-10s %s %s: %.6g -> %.6g (%+.1f%%)",
 			f.Verdict, f.Benchmark, f.Metric, f.Base, f.New, f.DeltaPct)
 	}
 }

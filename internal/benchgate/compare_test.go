@@ -3,6 +3,7 @@ package benchgate
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -155,6 +156,17 @@ func TestCompareZeroBaseline(t *testing.T) {
 	rep := Compare(base, cur, DefaultTolerances())
 	if f := findingFor(t, rep, "B/op"); f.Verdict != VerdictRegression {
 		t.Errorf("0 → 64 B/op verdict %s, want regression", f.Verdict)
+	}
+}
+
+func TestFindingStringSeparatesVerdict(t *testing.T) {
+	// "improvement" is wider than the column pad; the verdict must still
+	// be separated from the benchmark name in the log line.
+	for _, v := range []Verdict{VerdictOK, VerdictImprovement, VerdictRegression} {
+		f := Finding{Benchmark: "BenchmarkX", Metric: "ns/op", Base: 2, New: 1, Verdict: v}
+		if got := f.String(); !strings.Contains(got, string(v)+" ") {
+			t.Errorf("verdict %s runs into the benchmark name: %q", v, got)
+		}
 	}
 }
 

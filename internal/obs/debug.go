@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -36,10 +39,20 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
-// DebugServer is a running -debug-addr listener; Close shuts it down.
+// DefaultDrainTimeout bounds how long Close waits for in-flight
+// requests to complete before aborting them.
+const DefaultDrainTimeout = 5 * time.Second
+
+// DebugServer is a running HTTP listener with a graceful, bounded
+// shutdown path; the -debug-addr servers of the CLIs and the coschedd
+// API listener are both built on it. Close drains in-flight requests.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServeDebug starts the debug surface on addr (e.g. "localhost:6060";
@@ -47,13 +60,23 @@ type DebugServer struct {
 // as the listener is bound; serving continues on a background
 // goroutine until Close.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler on addr,
+// sharing the debug surface's lifecycle: bind synchronously, serve in
+// the background, drain gracefully on Close. cmd/coschedd mounts its
+// API mux through this so its SIGTERM drain and the -debug-addr drain
+// are one code path.
+func ServeHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("debug-addr: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
-	return &DebugServer{ln: ln, srv: srv}, nil
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	s := &DebugServer{ln: ln, srv: srv, serveErr: make(chan error, 1)}
+	go func() { s.serveErr <- srv.Serve(ln) }()
+	return s, nil
 }
 
 // Addr returns the bound listen address.
@@ -64,10 +87,43 @@ func (s *DebugServer) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and in-flight handlers.
-func (s *DebugServer) Close() error {
+// Close gracefully drains the server with DefaultDrainTimeout; see
+// CloseTimeout.
+func (s *DebugServer) Close() error { return s.CloseTimeout(DefaultDrainTimeout) }
+
+// CloseTimeout stops accepting new connections, waits up to d (values
+// ≤ 0 mean DefaultDrainTimeout) for in-flight handlers — a last
+// /metrics scrape, a pprof dump, an API request — to complete, and
+// aborts whatever is still running after the deadline. It returns any
+// error the background Serve goroutine died with (an abrupt
+// http.Server.Close used to abort scrapes mid-body and discard that
+// error). Safe on a nil receiver and idempotent: every call returns
+// the first call's result.
+func (s *DebugServer) CloseTimeout(d time.Duration) error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.closeOnce.Do(func() {
+		if d <= 0 {
+			d = DefaultDrainTimeout
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline exceeded: abort the stragglers so Close
+			// still terminates the server.
+			if cerr := s.srv.Close(); cerr != nil && !errors.Is(cerr, http.ErrServerClosed) && err == nil {
+				err = cerr
+			}
+		}
+		// Shutdown (or Close) makes Serve return; a real serve failure
+		// (e.g. the listener died mid-run) surfaces instead of being
+		// discarded, while the expected ErrServerClosed does not.
+		if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }

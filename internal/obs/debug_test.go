@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugServerDrainsInFlight starts a scrape whose GaugeFunc blocks
+// mid-collection, closes the server while the scrape is in flight, and
+// checks the scrape still completes with a full body. The old Close
+// called http.Server.Close, which tears down the connection and
+// truncates the response.
+func TestDebugServerDrainsInFlight(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("drained_total", "sentinel that must survive the drain").Add(7)
+	scraping := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	reg.GaugeFunc("slow_gauge", "blocks collection until released", func() float64 {
+		once.Do(func() { close(scraping); <-release })
+		return 1
+	})
+
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), err: err}
+	}()
+
+	<-scraping // handler is inside WriteProm now
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Close must wait for the handler, not race it: give the drain a
+	// moment to (incorrectly) abort the connection before releasing.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a scrape was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	if err := <-closed; err != nil {
+		t.Errorf("Close = %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape aborted by drain: %v", s.err)
+	}
+	if !strings.Contains(s.body, "drained_total 7") {
+		t.Errorf("drained scrape body truncated:\n%s", s.body)
+	}
+
+	// New connections are refused once drained.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("drained server accepted a new scrape")
+	}
+}
+
+// TestDebugServerCloseIdempotent: the CLIs keep a deferred Close for
+// error paths plus an explicit drain-then-flush Close on success, so
+// double Close must be safe and return the first result; nil receivers
+// stay no-ops.
+func TestDebugServerCloseIdempotent(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("first Close = %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	if err := srv.CloseTimeout(time.Millisecond); err != nil {
+		t.Errorf("CloseTimeout after Close = %v", err)
+	}
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+// TestDebugServerSurfacesServeError kills the listener out from under
+// the background Serve goroutine; Close must report that failure
+// instead of discarding it like the old fire-and-forget goroutine did.
+func TestDebugServerSurfacesServeError(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ln.Close()
+	// Serve returns with a non-ErrServerClosed accept error; wait for
+	// it to land in the buffered channel before draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.serveErr) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err == nil {
+		t.Error("Close discarded the Serve error")
+	}
+}
+
+// TestDebugServerDrainDeadline: a handler that never finishes must not
+// wedge Close forever — the bounded context aborts it at the deadline.
+func TestDebugServerDrainDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		http.Get("http://" + srv.Addr() + "/") //nolint:errcheck // aborted by design
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	done := make(chan struct{})
+	go func() { srv.CloseTimeout(50 * time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CloseTimeout did not return after its deadline")
+	}
+}

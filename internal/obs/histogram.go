@@ -116,7 +116,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
+	// The q-quantile is the observation of (1-based) rank ⌈q·count⌉,
+	// clamped to at least 1: a rank of 0 would "find" the first bucket
+	// even when it is empty (0 ≥ 0) and return its bound, so q = 0 must
+	// instead estimate the minimum, which lives in the first *occupied*
+	// bucket.
 	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
 	for i, b := range buckets {
 		if float64(b.Count) >= rank {
 			if math.IsInf(b.LE, 1) {

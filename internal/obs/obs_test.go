@@ -222,6 +222,50 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins q=0, q=1 and single-bucket behavior.
+// Quantile(0) used to return the first bucket's bound even when that
+// bucket was empty (rank 0 satisfies Count >= 0), i.e. an upper bound
+// on values the histogram never saw.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// All mass in the second bucket: q=0 must land inside (10, 20],
+	// not on the empty first bucket's bound 10... and certainly not
+	// below it.
+	h := newHistogram([]float64{10, 20, 30})
+	for i := 0; i < 4; i++ {
+		h.Observe(15)
+	}
+	if q := h.Quantile(0); q <= 10 || q > 20 {
+		t.Errorf("Quantile(0) = %v, want a value in the occupied bucket (10, 20]", q)
+	}
+	if lo, hi := h.Quantile(0), h.Quantile(1); lo > hi {
+		t.Errorf("Quantile(0)=%v > Quantile(1)=%v", lo, hi)
+	}
+	if q := h.Quantile(1); q != 20 {
+		t.Errorf("Quantile(1) = %v, want 20 (upper bound of the occupied bucket)", q)
+	}
+
+	// Single occupied bucket, single observation: every quantile
+	// interpolates within (0, 5].
+	one := newHistogram([]float64{5})
+	one.Observe(2)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if v := one.Quantile(q); v != 5 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want 5 (rank 1 of 1 fills the bucket)", q, v)
+		}
+	}
+
+	// Out-of-range q clamps rather than extrapolating.
+	if v := one.Quantile(-3); v != one.Quantile(0) {
+		t.Errorf("Quantile(-3) = %v, want Quantile(0)", v)
+	}
+	if v := one.Quantile(7); v != one.Quantile(1) {
+		t.Errorf("Quantile(7) = %v, want Quantile(1)", v)
+	}
+	if v := one.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", v)
+	}
+}
+
 func TestBucketHelpers(t *testing.T) {
 	exp := ExpBuckets(0.001, 10, 4)
 	want := []float64{0.001, 0.01, 0.1, 1}

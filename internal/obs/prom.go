@@ -61,7 +61,33 @@ func labelPair(key, value string) string {
 	if key == "" {
 		return ""
 	}
-	return fmt.Sprintf("{%s=%q}", key, value)
+	return "{" + key + "=\"" + escapeLabel(value) + "\"}"
+}
+
+// escapeLabel escapes a label value for the Prometheus text format,
+// which defines exactly three escapes — `\\`, `\"` and `\n` — and
+// passes every other byte through raw. Go's %q must not be used here:
+// it emits escapes like `\t` and `\x00` that no Prometheus parser
+// accepts (LintProm rejects them too).
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 func escapeHelp(s string) string {
@@ -154,9 +180,9 @@ func LintProm(r io.Reader) []error {
 			continue
 		}
 
-		name, labels, valueStr, ok := splitSample(line)
-		if !ok {
-			fail(n, "unparseable sample line %q", line)
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			fail(n, "unparseable sample line %q: %v", line, err)
 			continue
 		}
 		if !validName(name) {
@@ -251,26 +277,26 @@ func LintProm(r io.Reader) []error {
 type labelEntry struct{ key, value string }
 
 // splitSample parses `name{k="v",...} value` or `name value`.
-func splitSample(line string) (name string, labels []labelEntry, value string, ok bool) {
+func splitSample(line string) (name string, labels []labelEntry, value string, err error) {
 	rest := line
 	brace := strings.IndexByte(rest, '{')
 	if brace >= 0 {
 		name = rest[:brace]
 		end := strings.LastIndexByte(rest, '}')
 		if end < brace {
-			return "", nil, "", false
+			return "", nil, "", fmt.Errorf("unterminated label set")
 		}
 		body := rest[brace+1 : end]
 		rest = strings.TrimSpace(rest[end+1:])
 		for body != "" {
 			eq := strings.IndexByte(body, '=')
 			if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
-				return "", nil, "", false
+				return "", nil, "", fmt.Errorf("label not of the form key=%q", "value")
 			}
 			key := body[:eq]
 			val, tail, perr := unquotePrefix(body[eq+1:])
-			if perr {
-				return "", nil, "", false
+			if perr != nil {
+				return "", nil, "", fmt.Errorf("label %s: %w", key, perr)
 			}
 			labels = append(labels, labelEntry{key: key, value: val})
 			body = strings.TrimPrefix(strings.TrimSpace(tail), ",")
@@ -279,7 +305,7 @@ func splitSample(line string) (name string, labels []labelEntry, value string, o
 	} else {
 		sp := strings.IndexAny(rest, " \t")
 		if sp < 0 {
-			return "", nil, "", false
+			return "", nil, "", fmt.Errorf("missing value")
 		}
 		name = rest[:sp]
 		rest = strings.TrimSpace(rest[sp:])
@@ -287,23 +313,27 @@ func splitSample(line string) (name string, labels []labelEntry, value string, o
 	// Value, optionally followed by a timestamp we ignore.
 	fields := strings.Fields(rest)
 	if len(fields) == 0 || len(fields) > 2 {
-		return "", nil, "", false
+		return "", nil, "", fmt.Errorf("want value [timestamp] after the name, got %q", rest)
 	}
-	return name, labels, fields[0], true
+	return name, labels, fields[0], nil
 }
 
-// unquotePrefix consumes a leading double-quoted string (with \" \\ \n
-// escapes) and returns the decoded value plus the remaining input.
-func unquotePrefix(s string) (value, rest string, bad bool) {
+// unquotePrefix consumes a leading double-quoted string and returns the
+// decoded value plus the remaining input. Only the three escapes the
+// Prometheus text format defines — `\\`, `\"`, `\n` — are accepted;
+// Go-style escapes (`\t`, `\x00`, `\u...`) are explicit violations, so
+// expositions rendered with %q fail the lint instead of slipping
+// through as plausible-looking garbage.
+func unquotePrefix(s string) (value, rest string, err error) {
 	if len(s) == 0 || s[0] != '"' {
-		return "", "", true
+		return "", "", fmt.Errorf("value is not quoted")
 	}
 	var b strings.Builder
 	for i := 1; i < len(s); i++ {
 		switch s[i] {
 		case '\\':
 			if i+1 >= len(s) {
-				return "", "", true
+				return "", "", fmt.Errorf("dangling backslash")
 			}
 			i++
 			switch s[i] {
@@ -312,15 +342,15 @@ func unquotePrefix(s string) (value, rest string, bad bool) {
 			case '\\', '"':
 				b.WriteByte(s[i])
 			default:
-				return "", "", true
+				return "", "", fmt.Errorf(`invalid escape \%c (the text format defines only \\, \" and \n)`, s[i])
 			}
 		case '"':
-			return b.String(), s[i+1:], false
+			return b.String(), s[i+1:], nil
 		default:
 			b.WriteByte(s[i])
 		}
 	}
-	return "", "", true
+	return "", "", fmt.Errorf("unterminated quoted value")
 }
 
 func parseValue(s string) (float64, error) {

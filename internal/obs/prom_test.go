@@ -97,14 +97,72 @@ func TestLintPromRejects(t *testing.T) {
 }
 
 func TestSplitSample(t *testing.T) {
-	name, labels, value, ok := splitSample(`x_total{a="1",b="two words"} 3.5`)
-	if !ok || name != "x_total" || value != "3.5" || len(labels) != 2 {
-		t.Fatalf("splitSample = %q %v %q %v", name, labels, value, ok)
+	name, labels, value, err := splitSample(`x_total{a="1",b="two words"} 3.5`)
+	if err != nil || name != "x_total" || value != "3.5" || len(labels) != 2 {
+		t.Fatalf("splitSample = %q %v %q %v", name, labels, value, err)
 	}
 	if labels[1].key != "b" || labels[1].value != "two words" {
 		t.Errorf("label[1] = %+v", labels[1])
 	}
-	if _, _, _, ok := splitSample("lonely"); ok {
+	if _, _, _, err := splitSample("lonely"); err == nil {
 		t.Error("splitSample accepted a value-less line")
+	}
+	// The three defined escapes decode; unknown escapes are errors.
+	_, labels, _, err = splitSample(`x_total{k="a\\b\"c\nd"} 1`)
+	if err != nil || labels[0].value != "a\\b\"c\nd" {
+		t.Errorf("escape decode = %+v, %v", labels, err)
+	}
+	if _, _, _, err := splitSample(`x_total{k="a\tb"} 1`); err == nil {
+		t.Error(`splitSample accepted the Go-only escape \t`)
+	}
+}
+
+// TestPromLabelEscaping pins the exposition/lint round trip for label
+// values the text format has to escape. The old renderer used Go's %q,
+// which emitted escapes like \t and \x00 that no Prometheus parser —
+// including our own LintProm — accepts.
+func TestPromLabelEscaping(t *testing.T) {
+	exotic := "tab\there \"quoted\" back\\slash\nnewline \x00nul é€"
+	r := NewRegistry()
+	r.CounterVec("exotic_total", "exotic label values", "k").With(exotic).Inc()
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if errs := LintProm(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("LintProm rejected escaped exposition:\n%s\nerrors: %v", out, errs)
+	}
+	// Raw tab and nul bytes pass through unescaped; only \, " and \n
+	// are rewritten.
+	want := `exotic_total{k="tab	here \"quoted\" back\\slash\nnewline ` + "\x00" + `nul é€"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+	// And the lint parser decodes back to the original value.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "exotic_total{") {
+			continue
+		}
+		_, labels, _, err := splitSample(line)
+		if err != nil || len(labels) != 1 || labels[0].value != exotic {
+			t.Errorf("round trip = %+v, %v; want value %q", labels, err, exotic)
+		}
+	}
+}
+
+// TestLintPromRejectsGoQuoting feeds LintProm the output the old
+// %q-based labelPair produced: the gate must flag it, not let it
+// through as plausible-looking garbage.
+func TestLintPromRejectsGoQuoting(t *testing.T) {
+	old := "# TYPE x_total counter\nx_total{k=\"a\\tb\"} 1\n"
+	if errs := LintProm(strings.NewReader(old)); len(errs) == 0 {
+		t.Fatalf("LintProm accepted Go-style \\t escape:\n%s", old)
+	} else if !strings.Contains(errs[0].Error(), `invalid escape`) {
+		t.Errorf("error does not name the invalid escape: %v", errs[0])
+	}
+	if errs := LintProm(strings.NewReader("# TYPE x_total counter\nx_total{k=\"a\\x00b\"} 1\n")); len(errs) == 0 {
+		t.Error(`LintProm accepted Go-style \x00 escape`)
 	}
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end serving load test: boot cmd/coschedd on a free port, drive
+# it with cmd/coscheload replaying a Poisson arrival stream as real HTTP
+# requests, lint the scraped exposition, verify SIGTERM drains cleanly,
+# and hold the observed tail latency and sustained throughput to the
+# BenchmarkServeLoad/* budgets in benchmarks/baseline.json.
+#
+#   scripts/loadtest.sh                       poisson at $LOAD_RATE rps
+#   LOAD_ARRIVALS=gamma scripts/loadtest.sh   bursty arrivals instead
+#
+# Environment:
+#   LOAD_RATE      request rate per second (default 50)
+#   LOAD_N         number of requests (default 200)
+#   LOAD_ARRIVALS  arrival process: poisson, gamma, batch, trace or a
+#                  full "process:key=value,..." spec (default poisson)
+#   LOAD_ENDPOINT  endpoint to drive (default schedule)
+#   LOAD_OUT       run directory (default runs/load-<stamp>)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOAD_RATE=${LOAD_RATE:-50}
+LOAD_N=${LOAD_N:-200}
+LOAD_ARRIVALS=${LOAD_ARRIVALS:-poisson}
+LOAD_ENDPOINT=${LOAD_ENDPOINT:-schedule}
+LOAD_OUT=${LOAD_OUT:-runs/load-$(date -u +%Y%m%d-%H%M%S)}
+
+mkdir -p "$LOAD_OUT"
+
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/coschedd" ./cmd/coschedd
+go build -o "$bin/coscheload" ./cmd/coscheload
+go build -o "$bin/benchgate" ./cmd/benchgate
+go build -o "$bin/promlint" ./cmd/promlint
+
+addr_file="$bin/addr"
+"$bin/coschedd" -addr 127.0.0.1:0 -addr-file "$addr_file" \
+  >"$LOAD_OUT/coschedd.out" 2>"$LOAD_OUT/coschedd.err" &
+coschedd_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$addr_file" ] && break
+  sleep 0.1
+done
+if ! [ -s "$addr_file" ]; then
+  echo "loadtest: coschedd never wrote its address file" >&2
+  cat "$LOAD_OUT/coschedd.err" >&2
+  exit 1
+fi
+target="http://$(cat "$addr_file")"
+echo "loadtest: coschedd (pid $coschedd_pid) on $target"
+
+"$bin/coscheload" -target "$target" -endpoint "$LOAD_ENDPOINT" \
+  -arrivals "$LOAD_ARRIVALS" -rate "$LOAD_RATE" -n "$LOAD_N" \
+  -out "$LOAD_OUT"
+
+# The live exposition under load must lint as text-format 0.0.4.
+"$bin/promlint" "$LOAD_OUT/metrics.prom"
+echo "loadtest: scraped exposition lints"
+
+# A mid-run-style SIGTERM must drain: coschedd exits 0 and reports the
+# admission totals it served.
+kill -TERM "$coschedd_pid"
+if ! wait "$coschedd_pid"; then
+  echo "loadtest: coschedd did not exit cleanly on SIGTERM" >&2
+  exit 1
+fi
+grep -q "drained:" "$LOAD_OUT/coschedd.out" || {
+  echo "loadtest: drain summary missing from coschedd stdout" >&2
+  exit 1
+}
+echo "loadtest: SIGTERM drain clean: $(cat "$LOAD_OUT/coschedd.out")"
+
+# Gate the observed latency/throughput against the committed budgets.
+"$bin/benchgate" -only "^BenchmarkServeLoad/$LOAD_ENDPOINT/" \
+  -tol-ns 0 -mad-k 0 "$LOAD_OUT/bench.txt"
+echo "loadtest: artifacts in $LOAD_OUT"
