@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/portfolio"
 )
@@ -259,4 +260,24 @@ func (c *Client) SimulateOnline(ctx context.Context, sc OnlineScenario) (*Online
 		sc.Metrics = c.desMetrics
 	}
 	return des.SimulateContext(ctx, sc)
+}
+
+// SimulateFleet runs a multi-node fleet scenario to completion: every
+// arrival is routed to one of the scenario's nodes by its routing
+// policy, each node runs the single-node online simulator with its own
+// platform and repartitioning policy, and the aggregate (routing log,
+// per-node event logs, fleet-wide wait/response/stretch summaries) is
+// returned. A scenario without its own Engine shares the client's
+// worker pool for "portfolio" node policies, and one without Metrics
+// inherits the client's instrumentation. Deterministic per seed and
+// bit-identical at any worker count; cancellation aborts within a few
+// arrivals with ctx.Err().
+func (c *Client) SimulateFleet(ctx context.Context, sc FleetScenario) (*FleetResult, error) {
+	if sc.Engine == nil {
+		sc.Engine = c.engine
+	}
+	if sc.Metrics == nil {
+		sc.Metrics = c.desMetrics
+	}
+	return fleet.SimulateContext(ctx, sc)
 }

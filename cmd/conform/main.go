@@ -15,6 +15,16 @@
 //	                                         # regression-check committed digests
 //	conform -golden ... -update              # re-baseline the corpus
 //
+// With -fleet the harness instead sweeps the multi-node fleet families
+// (internal/fleet behind internal/genscen's fleet generators), checking
+// routing determinism across worker counts, the single-node reduction
+// to internal/des and the fleet-vs-best-solo stretch invariant, against
+// its own golden corpus:
+//
+//	conform -fleet -seeds 4
+//	conform -fleet -golden internal/conform/testdata/golden_fleet.json
+//	conform -fleet -golden ... -update
+//
 // The exit status is 0 only when every cross-check passed (and, with
 // -golden, every digest matched). A failing seed prints a one-line
 // reproduction command.
@@ -72,6 +82,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		format    = fs.String("format", "markdown", `report format: "markdown" or "ndjson"`)
 		golden    = fs.String("golden", "", "golden digest corpus to check against (JSON path)")
 		update    = fs.Bool("update", false, "with -golden: rewrite the corpus from this run")
+		fleetRun  = fs.Bool("fleet", false, "sweep the fleet families (multi-node routing checks) instead of the single-node harness")
 		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
 	)
 	prof := obs.ProfileFlags(fs)
@@ -98,6 +109,27 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 	if *seeds < 1 {
 		return 2, fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
 	}
+	var metrics *obs.Registry
+	var ds *obs.DebugServer
+	if *debugAddr != "" {
+		metrics = obs.NewRegistry()
+		var err error
+		ds, err = obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return 2, err
+		}
+		defer ds.Close() // error paths only; Close is idempotent
+		fmt.Fprintf(errOut, "conform: debug listener on http://%s\n", ds.Addr())
+	}
+
+	if *fleetRun {
+		return runFleet(ctx, fleetArgs{
+			seeds: *seeds, baseSeed: *baseSeed, families: *families,
+			workers: *workers, format: *format, golden: *golden, update: *update,
+			metrics: metrics, debug: ds,
+		}, out, errOut)
+	}
+
 	fams, err := genscen.ParseFamilies(*families)
 	if err != nil {
 		return 2, err
@@ -110,16 +142,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		Grid:          *grid,
 		OracleMaxApps: *oracleMax,
 		Gen:           genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
-	}
-	var ds *obs.DebugServer
-	if *debugAddr != "" {
-		opt.Metrics = obs.NewRegistry()
-		ds, err = obs.ServeDebug(*debugAddr, opt.Metrics)
-		if err != nil {
-			return 2, err
-		}
-		defer ds.Close() // error paths only; Close is idempotent
-		fmt.Fprintf(errOut, "conform: debug listener on http://%s\n", ds.Addr())
+		Metrics:       metrics,
 	}
 
 	// A golden check must regenerate exactly the corpus's scenarios, so
@@ -186,6 +209,87 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 			code = 1
 		} else {
 			fmt.Fprintf(errOut, "conform: golden digests match (%d families)\n", len(rep.Families))
+		}
+	}
+	return code, nil
+}
+
+// fleetArgs carries the flag values the fleet mode consumes.
+type fleetArgs struct {
+	seeds    int
+	baseSeed uint64
+	families string
+	workers  int
+	format   string
+	golden   string
+	update   bool
+	metrics  *obs.Registry
+	debug    *obs.DebugServer
+}
+
+// runFleet executes the fleet harness — the multi-node analogue of the
+// main path, with its own family enum and its own golden corpus.
+func runFleet(ctx context.Context, a fleetArgs, out, errOut io.Writer) (int, error) {
+	fams, err := genscen.ParseFleetFamilies(a.families)
+	if err != nil {
+		return 2, err
+	}
+	opt := conform.FleetOptions{
+		Seeds: a.seeds, BaseSeed: a.baseSeed, Families: fams,
+		Workers: a.workers, Metrics: a.metrics,
+	}
+	var gold *conform.FleetGolden
+	if a.golden != "" && !a.update {
+		gold, err = conform.LoadFleetGolden(a.golden)
+		if err != nil {
+			return 2, err
+		}
+		gopt := gold.Options()
+		gopt.Workers = opt.Workers
+		gopt.Metrics = opt.Metrics // digests are metrics-invariant by construction
+		opt = gopt
+		fmt.Fprintf(errOut, "conform: checking against %s: using its recorded parameters (seeds=%d baseSeed=%d, %d families); generation flags are ignored in check mode\n",
+			a.golden, gopt.Seeds, gopt.BaseSeed, len(gopt.Families))
+	}
+	rep, err := conform.RunFleetContext(ctx, opt)
+	if err != nil {
+		return 2, err
+	}
+	// Drain-then-flush, exactly like the single-node path.
+	if err := a.debug.Close(); err != nil {
+		return 2, err
+	}
+	switch a.format {
+	case "markdown":
+		err = rep.Markdown(out)
+	case "ndjson":
+		err = rep.NDJSON(out)
+	}
+	if err != nil {
+		return 2, err
+	}
+	code := 0
+	if n := rep.ViolationCount(); n > 0 {
+		fmt.Fprintf(errOut, "conform: %d fleet cross-check violation(s)\n", n)
+		code = 1
+	}
+	switch {
+	case a.golden != "" && a.update:
+		if code != 0 {
+			return code, fmt.Errorf("refusing to update %s: this run has cross-check violations", a.golden)
+		}
+		if err := conform.SaveFleetGolden(a.golden, rep.Golden()); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(errOut, "conform: wrote fleet golden corpus %s (%d families)\n", a.golden, len(rep.Families))
+	case gold != nil:
+		if diffs := gold.Compare(rep); len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Fprintf(errOut, "conform: golden mismatch: %s\n", d)
+			}
+			code = 1
+		} else {
+			fmt.Fprintf(errOut, "conform: fleet golden digests match (%d families)\n", len(rep.Families))
 		}
 	}
 	return code, nil

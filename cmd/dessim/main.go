@@ -32,6 +32,22 @@
 // "summary"). -events=false suppresses the event stream; -gantt draws
 // an ASCII timeline of waits and runs on stderr.
 //
+// With -fleet the scenario is a multi-node fleet spec (see
+// internal/fleet): a node list, a routing policy and one fleet-wide
+// arrival stream. Every arrival is routed to a node — least-loaded,
+// cache-affinity, power-of-two-choices or join-shortest-queue — and
+// each node runs the single-node simulator with its own platform and
+// policy. Output becomes one "route" line per routing decision, one
+// "node" line per node and a trailing "fleet-summary" line:
+//
+//	dessim -fleet -scenario fleet.json
+//	dessim -fleet -routing cache-affinity -arrivals poisson:rate=0.002,n=64
+//
+// Without -scenario, -fleet simulates two identical TaihuLight nodes
+// over the NPB templates. -policy, -maxresident and -gantt are
+// single-node flags and are rejected with -fleet (use the spec's
+// per-node fields).
+//
 // Observability: -json appends one "kind": "metrics" NDJSON line with
 // the full metrics snapshot; -metrics FILE writes the Prometheus text
 // exposition; -trace FILE writes the simulator's span/event log as
@@ -53,6 +69,7 @@ import (
 
 	repro "repro"
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -86,6 +103,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 		maxRes    = fs.Int("maxresident", -1, "max jobs sharing the node, rest queue FIFO (-1 keeps scenario value, 0 = unlimited)")
 		seed      = fs.Uint64("seed", 0, "seed for arrivals and randomized policies (0 keeps scenario value)")
 		workers   = fs.Int("workers", 0, "portfolio policy worker pool (0 = GOMAXPROCS)")
+		fleetRun  = fs.Bool("fleet", false, "simulate a multi-node fleet (scenario JSON is the fleet spec format)")
+		routing   = fs.String("routing", "", "fleet routing policy: least-loaded, cache-affinity, power-of-two-choices or join-shortest-queue (overrides scenario)")
 		events    = fs.Bool("events", true, "stream one NDJSON line per event")
 		gantt     = fs.Bool("gantt", false, "draw an ASCII wait/run timeline on stderr")
 		jsonOut   = fs.Bool("json", false, `append one "kind":"metrics" NDJSON line with the full metrics snapshot`)
@@ -105,6 +124,21 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 			err = e
 		}
 	}()
+
+	if *routing != "" && !*fleetRun {
+		return fmt.Errorf("-routing requires -fleet")
+	}
+	if *fleetRun {
+		if *policy != "" || *maxRes >= 0 || *gantt {
+			return fmt.Errorf("-policy, -maxresident and -gantt are single-node flags; with -fleet use the fleet spec's per-node fields")
+		}
+		return runFleet(ctx, fleetFlags{
+			scenario: *scenario, arrivals: *arrivals, routing: *routing,
+			duration: *duration, seed: *seed, workers: *workers,
+			events: *events, jsonOut: *jsonOut, promPath: *promPath,
+			tracePath: *tracePath, debugAddr: *debugAddr,
+		}, out, errOut)
+	}
 
 	sp, err := loadSpec(*scenario)
 	if err != nil {
@@ -327,4 +361,186 @@ func summaryOf(sc des.Scenario, res *des.Result) summaryJSON {
 		MeanStretch:   res.Stretch.Mean,
 		MaxStretch:    res.Stretch.Max,
 	}
+}
+
+// fleetFlags carries the flag values the fleet mode consumes.
+type fleetFlags struct {
+	scenario, arrivals, routing    string
+	duration                       float64
+	seed                           uint64
+	workers                        int
+	events, jsonOut                bool
+	promPath, tracePath, debugAddr string
+}
+
+// runFleet simulates a multi-node fleet: the scenario is the fleet
+// spec format, the output one "route" NDJSON line per routing
+// decision, one "node" line per node and a trailing "fleet-summary".
+func runFleet(ctx context.Context, f fleetFlags, out, errOut io.Writer) error {
+	sp, err := loadFleetSpec(f.scenario)
+	if err != nil {
+		return err
+	}
+	if f.arrivals != "" {
+		as, err := des.ParseArrivalSpec(f.arrivals)
+		if err != nil {
+			return err
+		}
+		sp.Arrivals = as
+	}
+	if f.routing != "" {
+		sp.Routing = f.routing
+	}
+	if f.duration >= 0 {
+		sp.Duration = f.duration
+	}
+	if f.seed != 0 {
+		sp.Seed = f.seed
+	}
+
+	var reg *obs.Registry
+	if f.jsonOut || f.promPath != "" || f.tracePath != "" || f.debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var ds *obs.DebugServer
+	if f.debugAddr != "" {
+		ds, err = obs.ServeDebug(f.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close() // error paths only; Close is idempotent
+		fmt.Fprintf(errOut, "dessim: debug listener on http://%s\n", ds.Addr())
+	}
+
+	// The client's pool backs every "portfolio" node policy, so -workers
+	// bounds the whole fleet's policy parallelism through one semaphore.
+	client := repro.NewClient(repro.WithWorkers(f.workers), repro.WithCache(false), repro.WithMetrics(reg))
+	sc, err := sp.BuildWith(client.Engine(), f.workers)
+	if err != nil {
+		return err
+	}
+	m := des.NewMetrics(reg)
+	if m != nil && f.tracePath != "" {
+		m.Tracer = obs.NewTracer(0)
+	}
+	sc.Metrics = m
+	res, err := client.SimulateFleet(ctx, sc)
+	if err != nil {
+		return err
+	}
+
+	// Drain-then-flush, exactly like the single-node path.
+	if err := ds.Close(); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(out)
+	if f.events {
+		for _, rt := range res.Routes {
+			if err := enc.Encode(routeJSON{
+				Kind: "route", Job: rt.Job, Time: rt.Time,
+				Node: rt.Node, Name: res.Nodes[rt.Node].Name,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	totalProcs := 0.0
+	var replan des.ReplanStats
+	for i := range res.Nodes {
+		totalProcs += sc.Nodes[i].Platform.Processors
+		replan.Add(res.Nodes[i].Result.Replan)
+		if err := enc.Encode(nodeJSON{
+			Kind: "node", Name: res.Nodes[i].Name, Jobs: res.Nodes[i].Jobs,
+			Makespan:     res.Nodes[i].Result.Makespan,
+			Utilization:  res.Nodes[i].Result.Utilization(sc.Nodes[i].Platform),
+			Repartitions: res.Nodes[i].Result.Repartitions,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(fleetSummaryJSON{
+		Kind: "fleet-summary", Routing: res.Routing, Arrivals: sc.Arrivals.Name(),
+		Nodes: len(res.Nodes), Jobs: res.Jobs, Truncated: res.Truncated,
+		Makespan: res.Makespan, Utilization: res.Utilization(totalProcs),
+		MeanWait: res.Wait.Mean, MaxWait: res.Wait.Max,
+		MeanResponse: res.Response.Mean, MaxResponse: res.Response.Max,
+		MeanStretch: res.Stretch.Mean, MaxStretch: res.Stretch.Max,
+		Replan: replan,
+	}); err != nil {
+		return err
+	}
+	if f.jsonOut {
+		if err := enc.Encode(metricsJSON{Kind: "metrics", Replan: replan, Samples: reg.Snapshot()}); err != nil {
+			return err
+		}
+	}
+	if f.promPath != "" {
+		if err := writeProm(f.promPath, reg); err != nil {
+			return err
+		}
+	}
+	if f.tracePath != "" {
+		if err := writeTrace(f.tracePath, m.Tracer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadFleetSpec reads the fleet scenario file, or returns the default
+// two-node fleet (identical TaihuLight nodes, NPB templates,
+// flag-driven arrivals) when no file is given.
+func loadFleetSpec(path string) (*fleet.Spec, error) {
+	if path == "" {
+		return &fleet.Spec{Nodes: []fleet.NodeSpec{{}, {}}}, nil
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return fleet.DecodeSpec(r)
+}
+
+// routeJSON is the NDJSON wire form of one routing decision.
+type routeJSON struct {
+	Kind string  `json:"kind"`
+	Job  int     `json:"job"`
+	Time float64 `json:"t"`
+	Node int     `json:"node"`
+	Name string  `json:"name"`
+}
+
+// nodeJSON is the NDJSON wire form of one node's outcome.
+type nodeJSON struct {
+	Kind         string  `json:"kind"`
+	Name         string  `json:"name"`
+	Jobs         int     `json:"jobs"`
+	Makespan     float64 `json:"makespan"`
+	Utilization  float64 `json:"utilization"`
+	Repartitions int     `json:"repartitions"`
+}
+
+// fleetSummaryJSON is the final NDJSON line of a fleet run.
+type fleetSummaryJSON struct {
+	Kind         string          `json:"kind"`
+	Routing      string          `json:"routing"`
+	Arrivals     string          `json:"arrivals"`
+	Nodes        int             `json:"nodes"`
+	Jobs         int             `json:"jobs"`
+	Truncated    int             `json:"truncated,omitempty"`
+	Makespan     float64         `json:"makespan"`
+	Utilization  float64         `json:"utilization"`
+	MeanWait     float64         `json:"meanWait"`
+	MaxWait      float64         `json:"maxWait"`
+	MeanResponse float64         `json:"meanResponse"`
+	MaxResponse  float64         `json:"maxResponse"`
+	MeanStretch  float64         `json:"meanStretch"`
+	MaxStretch   float64         `json:"maxStretch"`
+	Replan       des.ReplanStats `json:"replan"`
 }

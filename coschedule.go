@@ -86,6 +86,7 @@ import (
 
 	"repro/internal/cat"
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/portfolio"
@@ -351,6 +352,33 @@ func PortfolioRepartition(workers int, seed uint64) OnlinePolicy {
 func NoRepartitionPolicy(h Heuristic, seed uint64) (OnlinePolicy, error) {
 	return des.NewNoRepartition(h, seed)
 }
+
+// Fleet simulation (internal/fleet): N heterogeneous nodes, each
+// running the single-node online simulator, behind a deterministic
+// routing layer.
+
+// FleetScenario is one multi-node simulation problem; see
+// fleet.Scenario.
+type FleetScenario = fleet.Scenario
+
+// FleetNode configures one node of a fleet; see fleet.Node.
+type FleetNode = fleet.Node
+
+// FleetResult is the outcome of a fleet simulation: routing log,
+// per-node results and fleet-wide summaries; see fleet.Result.
+type FleetResult = fleet.Result
+
+// FleetNodeResult is one node's outcome within a fleet; see
+// fleet.NodeResult.
+type FleetNodeResult = fleet.NodeResult
+
+// FleetRoute records one routing decision; see fleet.Route.
+type FleetRoute = fleet.Route
+
+// FleetRoutings lists the routing policy names accepted by
+// FleetScenario.Routing: least-loaded, cache-affinity,
+// power-of-two-choices and join-shortest-queue.
+func FleetRoutings() []string { return append([]string(nil), fleet.Routings...) }
 
 // IntegerSchedule realizes a rational schedule with whole processors; see
 // sched.IntegerSchedule.

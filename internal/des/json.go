@@ -160,6 +160,11 @@ func (sp *Spec) platform() model.Platform {
 	return sp.Platform.Platform()
 }
 
+// Validate checks the arrival spec alone — the same field-level checks
+// Spec.Validate applies — for scenario formats that embed an
+// ArrivalSpec without the rest of the single-node spec.
+func (as *ArrivalSpec) Validate() error { return as.validate() }
+
 func (as *ArrivalSpec) validate() error {
 	checkN := func() error {
 		if as.N <= 0 || as.N > maxSpecArrivals {
@@ -292,6 +297,18 @@ func (sp *Spec) BuildWith(engine *portfolio.Engine, workers int) (Scenario, erro
 		Duration:    sp.Duration,
 		MaxResident: sp.MaxResident,
 	}, nil
+}
+
+// BuildProcess validates the spec and constructs its arrival process
+// over the given factory and RNG — the same construction Build performs
+// for a full Spec, exposed for composite scenario formats (the fleet
+// spec) that own their platform/policy wiring but reuse this package's
+// arrival processes.
+func (as *ArrivalSpec) BuildProcess(factory JobFactory, rng *solve.RNG) (ArrivalProcess, error) {
+	if err := as.validate(); err != nil {
+		return nil, err
+	}
+	return as.build(factory, rng)
 }
 
 // build constructs the configured arrival process.

@@ -1,0 +1,230 @@
+package des
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// driveNode replays an arrival stream through a Node the way the fleet
+// router does — advance to each arrival instant, inject, drain at the
+// end — and returns the result.
+func driveNode(t *testing.T, cfg NodeConfig, proc ArrivalProcess) *Result {
+	t.Helper()
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	for {
+		a, ok := proc.Next()
+		if !ok {
+			break
+		}
+		if err := n.AdvanceBefore(a.Time); err != nil {
+			t.Fatalf("AdvanceBefore(%g): %v", a.Time, err)
+		}
+		if err := n.Inject(a); err != nil {
+			t.Fatalf("Inject(t=%g): %v", a.Time, err)
+		}
+	}
+	res, err := n.Finish(context.Background())
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res
+}
+
+// TestNodeMatchesSimulate is the node layer's defining property: a
+// single Node fed an arrival stream one arrival at a time — the fleet
+// driving pattern — produces a Result bit-identical to Simulate
+// consuming the same stream in its closed loop, for every policy kind
+// and for arrival processes with simultaneous arrivals (whose
+// same-instant batching is the delicate part of the equivalence).
+func TestNodeMatchesSimulate(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := testApps(t, 5)
+	factory, err := CycleApps(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]func() ArrivalProcess{
+		"poisson": func() ArrivalProcess {
+			p, err := NewPoisson(2e-9, 24, factory, solve.NewRNG(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"batch": func() ArrivalProcess {
+			// Simultaneous arrivals every interval: exercises the
+			// same-instant event batching across the Inject boundary.
+			p, err := NewBatch(4e8, 3, 12, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"gamma": func() ArrivalProcess {
+			p, err := NewGammaBursts(2, 3e8, 4, 16, factory, solve.NewRNG(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for _, spec := range []string{"DominantMinRatio", "portfolio", "norepartition"} {
+		for name, mk := range procs {
+			mkPolicy := func() Policy {
+				pol, err := ParsePolicy(spec, 2, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pol
+			}
+			want, err := Simulate(Scenario{
+				Platform: pl, Arrivals: mk(), Policy: mkPolicy(), MaxResident: 3,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: Simulate: %v", spec, name, err)
+			}
+			got := driveNode(t, NodeConfig{Platform: pl, Policy: mkPolicy(), MaxResident: 3}, mk())
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: node-driven result differs from Simulate\nsim:  makespan=%v events=%d reparts=%d\nnode: makespan=%v events=%d reparts=%d",
+					spec, name, want.Makespan, len(want.Events), want.Repartitions,
+					got.Makespan, len(got.Events), got.Repartitions)
+			}
+		}
+	}
+}
+
+// TestNodeAccessors sanity-checks the router-facing state queries.
+func TestNodeAccessors(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := testApps(t, 2)
+	pol, err := ParsePolicy("DominantMinRatio", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(NodeConfig{Platform: pl, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.JobsInSystem(); got != 0 {
+		t.Errorf("idle node: JobsInSystem = %d, want 0", got)
+	}
+	if got := n.BacklogAt(0); got != 0 {
+		t.Errorf("idle node: BacklogAt(0) = %v, want 0", got)
+	}
+	for i, a := range apps {
+		if err := n.Inject(Arrival{Time: float64(i), App: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AdvanceBefore(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.JobsInSystem(); got != 2 {
+		t.Errorf("JobsInSystem = %d, want 2", got)
+	}
+	b2 := n.BacklogAt(2)
+	if !(b2 > 0) {
+		t.Errorf("BacklogAt(2) = %v, want > 0", b2)
+	}
+	if b3 := n.BacklogAt(3); b3 > b2 {
+		t.Errorf("backlog grew with t: BacklogAt(3)=%v > BacklogAt(2)=%v", b3, b2)
+	}
+	names := 0
+	n.VisitUnfinished(func(name string, remaining float64) {
+		names++
+		if name == "" || !(remaining > 0) || remaining > 1 {
+			t.Errorf("VisitUnfinished(%q, %v): malformed", name, remaining)
+		}
+	})
+	if names != 2 {
+		t.Errorf("VisitUnfinished visited %d jobs, want 2", names)
+	}
+	if _, err := n.Finish(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeValidation covers construction and injection error paths.
+func TestNodeValidation(t *testing.T) {
+	pl := model.TaihuLight()
+	pol, err := ParsePolicy("DominantMinRatio", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(NodeConfig{Platform: pl}); err == nil {
+		t.Error("NewNode accepted a nil policy")
+	}
+	if _, err := NewNode(NodeConfig{Platform: model.Platform{}, Policy: pol}); err == nil {
+		t.Error("NewNode accepted an invalid platform")
+	}
+	if _, err := NewNode(NodeConfig{Platform: pl, Policy: pol, MaxResident: -1}); err == nil {
+		t.Error("NewNode accepted a negative residency cap")
+	}
+
+	n, err := NewNode(NodeConfig{Platform: pl, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApps(t, 1)[0]
+	if err := n.Inject(Arrival{Time: math.NaN(), App: app}); err == nil {
+		t.Error("Inject accepted a NaN arrival time")
+	}
+	if err := n.Inject(Arrival{Time: 5, App: app}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject(Arrival{Time: 4, App: app}); err == nil {
+		t.Error("Inject accepted arrivals going backwards")
+	}
+	// Drain past the job's completion so the node clock runs ahead of
+	// the last arrival time; an injection between the two must fail.
+	exe := app.Exe(pl, pl.Processors, 1)
+	if err := n.AdvanceBefore(5 + 2*exe); err != nil {
+		t.Fatal(err)
+	}
+	if n.Now() <= 6 {
+		t.Fatalf("node clock %v did not pass the completion", n.Now())
+	}
+	if err := n.Inject(Arrival{Time: 6, App: app}); err == nil {
+		t.Error("Inject accepted an arrival behind the node clock")
+	}
+	if _, err := n.Finish(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject(Arrival{Time: 99, App: app}); err == nil {
+		t.Error("Inject accepted work on a finished node")
+	}
+	if err := n.AdvanceBefore(99); err == nil {
+		t.Error("AdvanceBefore ran on a finished node")
+	}
+	if _, err := n.Finish(context.Background()); err == nil {
+		t.Error("Finish ran twice")
+	}
+}
+
+// TestNodeEmpty: a node that never received a job drains to an empty
+// result.
+func TestNodeEmpty(t *testing.T) {
+	pol, err := ParsePolicy("DominantMinRatio", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(NodeConfig{Platform: model.TaihuLight(), Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Finish(context.Background())
+	if err != nil {
+		t.Fatalf("Finish on an empty node: %v", err)
+	}
+	if len(res.Jobs) != 0 || len(res.Events) != 0 || res.Makespan != 0 {
+		t.Errorf("empty node produced a non-empty result: %+v", res)
+	}
+}

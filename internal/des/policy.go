@@ -433,6 +433,15 @@ func ParsePolicy(spec string, workers int, seed uint64) (Policy, error) {
 	return parsePolicyWith(nil, spec, workers, seed)
 }
 
+// ParsePolicyShared is ParsePolicy with a caller-supplied portfolio
+// engine backing a "portfolio" policy, so many policies (one per fleet
+// node) can share a single worker pool instead of each building a
+// private one. A nil engine falls back to ParsePolicy's behavior; the
+// engine is unused for non-portfolio policies.
+func ParsePolicyShared(engine *portfolio.Engine, spec string, workers int, seed uint64) (Policy, error) {
+	return parsePolicyWith(engine, spec, workers, seed)
+}
+
 // parsePolicyWith is ParsePolicy with an optional shared engine for
 // the portfolio policy (nil = private engine bounded by workers).
 func parsePolicyWith(engine *portfolio.Engine, spec string, workers int, seed uint64) (Policy, error) {

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// benchSpec is the common fleet shape of the benchmarks: four
+// heterogeneous nodes behind the router, a 64-job Poisson stream over
+// the NPB templates.
+func benchSpec(routing, policy string) *Spec {
+	nodes := make([]NodeSpec, 4)
+	for i := range nodes {
+		nodes[i] = NodeSpec{Policy: policy, MaxResident: 4}
+	}
+	return &Spec{
+		Nodes:    nodes,
+		Routing:  routing,
+		Arrivals: des.ArrivalSpec{Process: "poisson", Rate: 8e-9, N: 64},
+		Seed:     42,
+	}
+}
+
+// BenchmarkFleetRoute measures the routing layer itself: per-arrival
+// node advancement, state scoring (backlog, occupancy, affinity) and
+// the routing decision, with the cheapest repartitioning policy so the
+// router dominates the profile.
+func BenchmarkFleetRoute(b *testing.B) {
+	sp := benchSpec("cache-affinity", "DominantMinRatio")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := sp.Build(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Simulate(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Jobs != 64 {
+			b.Fatalf("routed %d jobs", res.Jobs)
+		}
+	}
+}
+
+// BenchmarkFleetDES measures the full fleet pipeline with
+// portfolio-repartitioning nodes sharing one worker pool — the
+// production shape, and the upper bound of per-event decision cost
+// across the fleet.
+func BenchmarkFleetDES(b *testing.B) {
+	sp := benchSpec("least-loaded", "portfolio")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := sp.Build(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package fleet simulates a multi-node co-scheduling deployment: N
+// heterogeneous cache-partitioned nodes — each running the single-node
+// online solver of internal/des with its own processor count, cache
+// size and repartitioning policy — behind a routing layer that decides,
+// per arriving job, which node it lands on. The paper solves one node;
+// this package is the production shape the ROADMAP targets, where an
+// arrival stream exercises routing and per-node incremental
+// repartitioning together.
+//
+// Routing policies (see routing.go): least-loaded, cache-affinity
+// (route to the node whose resident footprint overlaps the job's, the
+// co-scheduling analog of prefix-affinity routing in inference
+// serving), power-of-two-choices and join-shortest-queue.
+//
+// Determinism: the simulation is a pure function of the Scenario. Node
+// i's policy seed is derived from the fleet seed with the repository's
+// golden-ratio stride (NodePolicySeed), the router's stream is salted
+// and split off separately, arrivals are routed serially in stream
+// order, and the per-node event loops are internal/des verbatim —
+// bit-deterministic at any worker count. Workers only bounds *how* the
+// independent node advancements and the shared portfolio pool execute,
+// never what they compute; the conform fleet harness pins digests at 1
+// and 8 workers against a committed golden corpus.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/model"
+	"repro/internal/portfolio"
+	"repro/internal/stats"
+)
+
+// Node configures one node of the fleet.
+type Node struct {
+	// Name labels the node in results ("node<i>" when empty).
+	Name string
+	// Platform is the node's hardware.
+	Platform model.Platform
+	// Policy is the node's online repartitioning policy, in
+	// des.ParsePolicy syntax; empty means DominantMinRatio.
+	Policy string
+	// MaxResident, when > 0, bounds how many jobs share the node at
+	// once; excess jobs wait in the node-local FIFO.
+	MaxResident int
+}
+
+// Scenario is one fleet simulation problem.
+type Scenario struct {
+	// Nodes is the fleet; at least one node is required.
+	Nodes []Node
+	// Routing selects the routing policy (see Routings); empty means
+	// least-loaded.
+	Routing string
+	// Arrivals produces the fleet-wide job stream. The process is
+	// consumed by the run; build a fresh one per Simulate call.
+	Arrivals des.ArrivalProcess
+	// Duration, when > 0, cuts off the arrival stream: the admission
+	// window is [0, Duration), arrivals at or past the boundary are
+	// counted in Result.Truncated and never routed — the same half-open
+	// semantics as des.Scenario.Duration, enforced at the router so all
+	// nodes share one clock cutoff.
+	Duration float64
+	// Seed drives every random draw: node policy substreams and the
+	// router's stream are both derived from it.
+	Seed uint64
+	// Workers bounds the parallelism of the run: the shared portfolio
+	// pool backing "portfolio" node policies and the concurrent
+	// advancement of independent nodes (< 1 = GOMAXPROCS). Results are
+	// bit-identical at any value.
+	Workers int
+	// Engine optionally supplies the shared portfolio engine backing
+	// "portfolio" node policies (nil = a private pool bounded by
+	// Workers).
+	Engine *portfolio.Engine
+	// Metrics instruments every node of the run (counters are atomic,
+	// so one registry serves the whole fleet). Nil disables
+	// observation; results are bit-identical either way.
+	Metrics *des.Metrics
+}
+
+// Route records one routing decision.
+type Route struct {
+	// Job is the fleet-wide job id, dense in arrival order.
+	Job int
+	// Time is the arrival's virtual time.
+	Time float64
+	// Node is the destination node index.
+	Node int
+}
+
+// NodeResult is one node's outcome.
+type NodeResult struct {
+	// Name is the node's label.
+	Name string
+	// Jobs is how many jobs the router sent to this node.
+	Jobs int
+	// Result is the node's full single-node outcome (event log, per-job
+	// metrics, integrals). A node that received no jobs has an empty
+	// result with Makespan 0.
+	Result *des.Result
+}
+
+// Result is the outcome of a fleet simulation.
+type Result struct {
+	// Routing is the resolved routing policy name.
+	Routing string
+	// Nodes holds the per-node outcomes, in Scenario.Nodes order.
+	Nodes []NodeResult
+	// Routes is the append-only routing log, one entry per admitted
+	// job in arrival order.
+	Routes []Route
+	// Jobs counts admitted jobs across the fleet.
+	Jobs int
+	// Truncated counts arrivals discarded by the Duration cutoff.
+	Truncated int
+	// Makespan is the latest node makespan: when the whole fleet
+	// drained.
+	Makespan float64
+	// ProcessorTime sums the nodes' allocated-processor integrals.
+	ProcessorTime float64
+	// Wait, Response and Stretch summarize the per-job metrics across
+	// the whole fleet (fleet-wide arrival order).
+	Wait, Response, Stretch stats.Summary
+}
+
+// Utilization returns ProcessorTime normalized by the fleet's total
+// processor capacity over the run, or 0 for an empty run.
+func (r *Result) Utilization(totalProcs float64) float64 {
+	if r.Makespan <= 0 || totalProcs <= 0 {
+		return 0
+	}
+	return r.ProcessorTime / (totalProcs * r.Makespan)
+}
+
+// Simulate runs the fleet scenario to completion: every arrival routed,
+// every node drained. See SimulateContext.
+func Simulate(sc Scenario) (*Result, error) {
+	return SimulateContext(context.Background(), sc)
+}
+
+// ctxCheckEvery mirrors internal/des: the routing loop polls the
+// context every few arrivals (each iteration already advances node
+// event loops, which poll on their own during the final drain).
+const ctxCheckEvery = 8
+
+// SimulateContext is Simulate under a context; cancellation abandons
+// the run with ctx.Err() within a few arrivals.
+func SimulateContext(ctx context.Context, sc Scenario) (*Result, error) {
+	if len(sc.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet: scenario needs at least one node")
+	}
+	if sc.Arrivals == nil {
+		return nil, fmt.Errorf("fleet: scenario needs an arrival process")
+	}
+	if math.IsNaN(sc.Duration) || math.IsInf(sc.Duration, 0) || sc.Duration < 0 {
+		return nil, fmt.Errorf("fleet: duration must be finite and >= 0, got %v", sc.Duration)
+	}
+	router, err := ParseRouter(sc.Routing, routerSeed(sc.Seed))
+	if err != nil {
+		return nil, err
+	}
+	engine := sc.Engine
+	if engine == nil {
+		engine = portfolio.New(portfolio.Config{Workers: sc.Workers})
+	}
+	nodes := make([]*des.Node, len(sc.Nodes))
+	names := make([]string, len(sc.Nodes))
+	for i, nc := range sc.Nodes {
+		names[i] = nc.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("node%d", i)
+		}
+		spec := nc.Policy
+		if spec == "" {
+			spec = "DominantMinRatio"
+		}
+		pol, err := des.ParsePolicyShared(engine, spec, sc.Workers, NodePolicySeed(sc.Seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %s: %w", names[i], err)
+		}
+		nodes[i], err = des.NewNode(des.NodeConfig{
+			Platform:    nc.Platform,
+			Policy:      pol,
+			MaxResident: nc.MaxResident,
+			Metrics:     sc.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %s: %w", names[i], err)
+		}
+	}
+
+	res := &Result{Routing: router.Name()}
+	states := make([]NodeState, len(nodes))
+	lastArrival := 0.0
+	for iter := 0; ; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		a, ok := sc.Arrivals.Next()
+		if !ok {
+			break
+		}
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
+			return nil, fmt.Errorf("fleet: arrival process %s emitted invalid time %v", sc.Arrivals.Name(), a.Time)
+		}
+		if err := a.App.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: arrival process %s emitted an invalid application: %w", sc.Arrivals.Name(), err)
+		}
+		if a.Time < lastArrival {
+			return nil, fmt.Errorf("fleet: arrival process %s went backwards: t=%g after t=%g", sc.Arrivals.Name(), a.Time, lastArrival)
+		}
+		lastArrival = a.Time
+		if sc.Duration > 0 && a.Time >= sc.Duration {
+			res.Truncated++
+			continue // keep draining to count every truncated arrival
+		}
+		// Advance every node to the arrival instant, then score them.
+		// Nodes are independent simulations, so the advancement
+		// parallelizes without affecting any result bit.
+		if err := eachNode(nodes, sc.Workers, func(i int) error {
+			if err := nodes[i].AdvanceBefore(a.Time); err != nil {
+				return err
+			}
+			states[i] = NodeState{
+				Index:    i,
+				Backlog:  nodes[i].BacklogAt(a.Time),
+				InSystem: nodes[i].JobsInSystem(),
+				Affinity: affinity(nodes[i], a.App.Name),
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		pick := router.Pick(states, a)
+		if pick < 0 || pick >= len(nodes) {
+			return nil, fmt.Errorf("fleet: router %s picked node %d of %d", router.Name(), pick, len(nodes))
+		}
+		if err := nodes[pick].Inject(a); err != nil {
+			return nil, fmt.Errorf("fleet: node %s: %w", names[pick], err)
+		}
+		res.Routes = append(res.Routes, Route{Job: res.Jobs, Time: a.Time, Node: pick})
+		res.Jobs++
+	}
+	if res.Jobs == 0 {
+		return nil, fmt.Errorf("fleet: arrival process produced no arrivals within the duration")
+	}
+
+	// Drain every node and collect the per-node outcomes.
+	res.Nodes = make([]NodeResult, len(nodes))
+	if err := eachNode(nodes, sc.Workers, func(i int) error {
+		nr, err := nodes[i].Finish(ctx)
+		if err != nil {
+			return fmt.Errorf("fleet: node %s: %w", names[i], err)
+		}
+		res.Nodes[i] = NodeResult{Name: names[i], Jobs: len(nr.Jobs), Result: nr}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	aggregate(res)
+	return res, nil
+}
+
+// affinity scores a node's footprint overlap with an arriving job: the
+// summed remaining fractions of unfinished jobs stamped from the same
+// template (see NodeState.Affinity).
+func affinity(n *des.Node, name string) float64 {
+	base := baseName(name)
+	score := 0.0
+	n.VisitUnfinished(func(resident string, remaining float64) {
+		if baseName(resident) == base {
+			score += remaining
+		}
+	})
+	return score
+}
+
+// aggregate folds the per-node outcomes into the fleet-wide result:
+// makespan, processor-time and per-job summaries in fleet arrival
+// order (the routing log maps global job ids to node-local ones, which
+// are dense in injection order).
+func aggregate(res *Result) {
+	waits := make([]float64, res.Jobs)
+	resps := make([]float64, res.Jobs)
+	stretches := make([]float64, res.Jobs)
+	next := make([]int, len(res.Nodes))
+	for _, rt := range res.Routes {
+		jm := res.Nodes[rt.Node].Result.Jobs[next[rt.Node]]
+		next[rt.Node]++
+		waits[rt.Job], resps[rt.Job], stretches[rt.Job] = jm.Wait, jm.Response, jm.Stretch
+	}
+	for i := range res.Nodes {
+		nr := res.Nodes[i].Result
+		if nr.Makespan > res.Makespan {
+			res.Makespan = nr.Makespan
+		}
+		res.ProcessorTime += nr.ProcessorTime
+	}
+	// Errors impossible: the run rejects empty arrival streams.
+	res.Wait, _ = stats.Summarize(waits)
+	res.Response, _ = stats.Summarize(resps)
+	res.Stretch, _ = stats.Summarize(stretches)
+}
+
+// eachNode runs fn(i) for every node — serially at workers ≤ 1 or for
+// a single node, concurrently otherwise. fn touches only node i's
+// state, so the schedule cannot affect results; the first error in
+// index order wins, matching the serial path.
+func eachNode(nodes []*des.Node, workers int, fn func(i int) error) error {
+	if workers == 1 || len(nodes) == 1 {
+		for i := range nodes {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(nodes))
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

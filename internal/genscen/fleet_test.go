@@ -1,0 +1,119 @@
+package genscen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func TestGenerateFleetDeterministic(t *testing.T) {
+	for _, f := range FleetFamilies {
+		a, err := GenerateFleet(f, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		b, err := GenerateFleet(f, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: instance not deterministic in (family, seed)", f)
+		}
+		c, err := GenerateFleet(f, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if reflect.DeepEqual(a.Apps, c.Apps) && reflect.DeepEqual(a.Offsets, c.Offsets) {
+			t.Errorf("%s: seeds 3 and 4 generated identical streams", f)
+		}
+	}
+}
+
+func TestGenerateFleetShapes(t *testing.T) {
+	for _, f := range FleetFamilies {
+		for seed := uint64(1); seed <= 6; seed++ {
+			in, err := GenerateFleet(f, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f, seed, err)
+			}
+			if len(in.Nodes) < 2 || len(in.Nodes) > 4 {
+				t.Errorf("%s seed %d: %d nodes, want 2–4", f, seed, len(in.Nodes))
+			}
+			if len(in.Apps) < 3*len(in.Nodes) {
+				t.Errorf("%s seed %d: %d jobs for %d nodes", f, seed, len(in.Apps), len(in.Nodes))
+			}
+			if len(in.Offsets) != len(in.Apps) {
+				t.Fatalf("%s seed %d: %d offsets for %d jobs", f, seed, len(in.Offsets), len(in.Apps))
+			}
+			prev := 0.0
+			for i, off := range in.Offsets {
+				if off < prev || off < 0 || off >= 1 {
+					t.Errorf("%s seed %d: offset %d = %v out of order or range", f, seed, i, off)
+				}
+				prev = off
+			}
+			if f == FleetHetero {
+				same := true
+				for _, n := range in.Nodes[1:] {
+					if n.Platform != in.Nodes[0].Platform {
+						same = false
+					}
+				}
+				if same {
+					t.Errorf("%s seed %d: all node platforms identical", f, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetSpecBuildsAndRuns: every (family, seed) projects into a
+// wire spec that decodes, builds and simulates under every routing
+// policy.
+func TestFleetSpecBuildsAndRuns(t *testing.T) {
+	for _, f := range FleetFamilies {
+		in, err := GenerateFleet(f, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, routing := range fleet.Routings {
+			sp, err := in.FleetSpec(routing, 1e9)
+			if err != nil {
+				t.Fatalf("%s/%s: spec: %v", f, routing, err)
+			}
+			sc, err := sp.Build(1)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", f, routing, err)
+			}
+			res, err := fleet.Simulate(sc)
+			if err != nil {
+				t.Fatalf("%s/%s: simulate: %v", f, routing, err)
+			}
+			if res.Jobs != len(in.Apps) {
+				t.Errorf("%s/%s: simulated %d jobs, want %d", f, routing, res.Jobs, len(in.Apps))
+			}
+		}
+	}
+}
+
+func TestParseFleetFamilies(t *testing.T) {
+	all, err := ParseFleetFamilies("")
+	if err != nil || len(all) != len(FleetFamilies) {
+		t.Fatalf("empty spec: %v, %d families", err, len(all))
+	}
+	got, err := ParseFleetFamilies("fleet-burst, fleet-uniform")
+	if err != nil || len(got) != 2 || got[0] != FleetBurst || got[1] != FleetUniform {
+		t.Fatalf("two-family spec: %v %v", got, err)
+	}
+	if _, err := ParseFleetFamilies("fleet-bogus"); err == nil ||
+		!strings.Contains(err.Error(), "fleet-bogus") {
+		t.Errorf("unknown family: %v", err)
+	}
+	// The single-node parser must not silently accept fleet names (the
+	// two enums are deliberately distinct).
+	if _, err := ParseFamilies("fleet-uniform"); err == nil {
+		t.Error("ParseFamilies accepted a fleet family name")
+	}
+}

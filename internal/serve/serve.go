@@ -9,6 +9,8 @@
 //	                         one NDJSON report line per scenario, in
 //	                         input order, streamed in bounded memory
 //	POST /v1/simulate        a des scenario spec in, the run summary out
+//	POST /v1/simulate-fleet  a fleet scenario spec in (N nodes + routing
+//	                         policy), the fleet-wide summary out
 //	GET  /healthz            liveness
 //
 // Every other path falls through to the obs debug surface (/metrics,
@@ -38,6 +40,7 @@ import (
 
 	repro "repro"
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -114,6 +117,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/evaluate", s.admitted1(s.handleEvaluate))
 	mux.HandleFunc("POST /v1/evaluate-batch", s.admitted1(s.handleEvaluateBatch))
 	mux.HandleFunc("POST /v1/simulate", s.admitted1(s.handleSimulate))
+	mux.HandleFunc("POST /v1/simulate-fleet", s.admitted1(s.handleSimulateFleet))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -293,6 +297,39 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, SummaryOf(sc, res))
+}
+
+// handleSimulateFleet mirrors handleSimulate for multi-node fleet
+// scenarios: decode the fleet spec, default the seed from the tenant,
+// share the client's worker pool with every "portfolio" node policy,
+// and return the fleet-wide summary.
+func (s *Server) handleSimulateFleet(w http.ResponseWriter, r *http.Request) {
+	sp, err := fleet.DecodeSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if sp.Seed == 0 {
+		sp.Seed = TenantSeed(s.baseSeed, r.Header.Get(TenantHeader))
+	}
+	sc, err := sp.BuildWith(s.client.Engine(), s.client.Workers())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var start time.Time
+	if s.schedLat != nil {
+		start = time.Now()
+	}
+	res, err := s.client.SimulateFleet(r.Context(), sc)
+	if s.schedLat != nil {
+		s.schedLat.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, FleetSummaryOf(sc, res))
 }
 
 // decodeOne reads exactly one JSON document from the request body.

@@ -232,6 +232,63 @@ func SummaryOf(sc des.Scenario, res *des.Result) SummaryWire {
 	}
 }
 
+// FleetNodeWire is one node's outcome in a fleet response.
+type FleetNodeWire struct {
+	Name         string  `json:"name"`
+	Jobs         int     `json:"jobs"`
+	Makespan     float64 `json:"makespan"`
+	Utilization  float64 `json:"utilization"`
+	Repartitions int     `json:"repartitions"`
+}
+
+// FleetSummaryWire is the /v1/simulate-fleet response: the fleet-wide
+// aggregate plus one entry per node — the same summary dessim -fleet
+// prints as its final NDJSON lines.
+type FleetSummaryWire struct {
+	Routing      string          `json:"routing"`
+	Arrivals     string          `json:"arrivals"`
+	Nodes        []FleetNodeWire `json:"nodes"`
+	Jobs         int             `json:"jobs"`
+	Truncated    int             `json:"truncated,omitempty"`
+	Makespan     float64         `json:"makespan"`
+	Utilization  float64         `json:"utilization"`
+	MeanWait     float64         `json:"meanWait"`
+	MaxWait      float64         `json:"maxWait"`
+	MeanResponse float64         `json:"meanResponse"`
+	MaxResponse  float64         `json:"maxResponse"`
+	MeanStretch  float64         `json:"meanStretch"`
+	MaxStretch   float64         `json:"maxStretch"`
+	Replan       des.ReplanStats `json:"replan"`
+}
+
+// FleetSummaryOf condenses a finished fleet run.
+func FleetSummaryOf(sc repro.FleetScenario, res *repro.FleetResult) FleetSummaryWire {
+	out := FleetSummaryWire{
+		Routing:   res.Routing,
+		Arrivals:  sc.Arrivals.Name(),
+		Jobs:      res.Jobs,
+		Truncated: res.Truncated,
+		Makespan:  res.Makespan,
+		MeanWait:  res.Wait.Mean, MaxWait: res.Wait.Max,
+		MeanResponse: res.Response.Mean, MaxResponse: res.Response.Max,
+		MeanStretch: res.Stretch.Mean, MaxStretch: res.Stretch.Max,
+	}
+	totalProcs := 0.0
+	for i := range res.Nodes {
+		totalProcs += sc.Nodes[i].Platform.Processors
+		out.Replan.Add(res.Nodes[i].Result.Replan)
+		out.Nodes = append(out.Nodes, FleetNodeWire{
+			Name:         res.Nodes[i].Name,
+			Jobs:         res.Nodes[i].Jobs,
+			Makespan:     res.Nodes[i].Result.Makespan,
+			Utilization:  res.Nodes[i].Result.Utilization(sc.Nodes[i].Platform),
+			Repartitions: res.Nodes[i].Result.Repartitions,
+		})
+	}
+	out.Utilization = res.Utilization(totalProcs)
+	return out
+}
+
 // TenantSeed derives the effective base seed for one tenant: the
 // service seed XOR an FNV-1a hash of the tenant name. Deterministic and
 // stateless, so identical (tenant, body) requests produce bit-identical

@@ -22,8 +22,8 @@ LATEST=$BENCH_DIR/latest.txt
 BASELINE=$BENCH_DIR/baseline.json
 BENCH_TIME=${BENCH_TIME:-30x}
 BENCH_COUNT=${BENCH_COUNT:-10}
-BENCH_LABEL=${BENCH_LABEL:-"PR 8"}
-BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_8.json}
+BENCH_LABEL=${BENCH_LABEL:-"PR 9"}
+BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_9.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_DELTA_SPEEDUP=${MIN_DELTA_SPEEDUP:-5.0}
 BENCHGATE_FLAGS=${BENCHGATE_FLAGS:-}
@@ -37,6 +37,8 @@ run_bench() {
       -count "$BENCH_COUNT" ./internal/des
     go test -run '^$' -bench 'BenchmarkServe' -benchmem -benchtime "$BENCH_TIME" \
       -count "$BENCH_COUNT" ./internal/serve
+    go test -run '^$' -bench 'BenchmarkFleet' -benchmem -benchtime "$BENCH_TIME" \
+      -count "$BENCH_COUNT" ./internal/fleet
   } | tee "$LATEST"
 }
 

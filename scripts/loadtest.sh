@@ -27,7 +27,17 @@ LOAD_OUT=${LOAD_OUT:-runs/load-$(date -u +%Y%m%d-%H%M%S)}
 mkdir -p "$LOAD_OUT"
 
 bin=$(mktemp -d)
-trap 'rm -rf "$bin"' EXIT
+coschedd_pid=
+# One trap covers success and every `set -e` exit: no orphaned daemon
+# survives a failed run, and the scratch dir always goes.
+cleanup() {
+  if [ -n "$coschedd_pid" ] && kill -0 "$coschedd_pid" 2>/dev/null; then
+    kill "$coschedd_pid" 2>/dev/null || true
+    wait "$coschedd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$bin"
+}
+trap cleanup EXIT
 go build -o "$bin/coschedd" ./cmd/coschedd
 go build -o "$bin/coscheload" ./cmd/coscheload
 go build -o "$bin/benchgate" ./cmd/benchgate
@@ -65,6 +75,7 @@ if ! wait "$coschedd_pid"; then
   echo "loadtest: coschedd did not exit cleanly on SIGTERM" >&2
   exit 1
 fi
+coschedd_pid=
 grep -q "drained:" "$LOAD_OUT/coschedd.out" || {
   echo "loadtest: drain summary missing from coschedd stdout" >&2
   exit 1
@@ -72,6 +83,9 @@ grep -q "drained:" "$LOAD_OUT/coschedd.out" || {
 echo "loadtest: SIGTERM drain clean: $(cat "$LOAD_OUT/coschedd.out")"
 
 # Gate the observed latency/throughput against the committed budgets.
-"$bin/benchgate" -only "^BenchmarkServeLoad/$LOAD_ENDPOINT/" \
+# The baseline is named explicitly: the gate must not silently follow a
+# changed benchgate default.
+"$bin/benchgate" -baseline benchmarks/baseline.json \
+  -only "^BenchmarkServeLoad/$LOAD_ENDPOINT/" \
   -tol-ns 0 -mad-k 0 "$LOAD_OUT/bench.txt"
 echo "loadtest: artifacts in $LOAD_OUT"
