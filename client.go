@@ -9,6 +9,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/portfolio"
+	"repro/internal/selector"
 )
 
 // Client is the library's v2 front door: a long-lived, concurrency-safe
@@ -28,6 +29,8 @@ type Client struct {
 	heuristics []Heuristic
 	seed       uint64
 	desMetrics *des.Metrics
+	sel        *portfolio.SelectorPolicy
+	selEnabled bool
 }
 
 // clientConfig collects the functional options of NewClient.
@@ -37,6 +40,9 @@ type clientConfig struct {
 	heuristics []Heuristic
 	seed       uint64
 	metrics    *obs.Registry
+	ledger     *selector.Ledger
+	selTh      selector.Thresholds
+	selEnabled bool
 }
 
 // ClientOption configures NewClient.
@@ -79,6 +85,22 @@ func WithMetrics(reg *MetricsRegistry) ClientOption {
 	return func(c *clientConfig) { c.metrics = reg }
 }
 
+// WithSelector arms the client with a trained win-rate ledger: Best
+// routes through the predicted-winner-first selector (see
+// Client.Select) instead of always racing the full set. A nil ledger
+// means an empty one — every scenario falls back to the full race, so
+// an unarmed selector is bit-identical to the plain portfolio. The
+// zero Thresholds value means selector.DefaultThresholds(). The ledger
+// is read-only under this client (serving never learns); train and
+// persist ledgers with cmd/ledger.
+func WithSelector(l *SelectorLedger, th SelectorThresholds) ClientOption {
+	return func(c *clientConfig) {
+		c.ledger = l
+		c.selTh = th
+		c.selEnabled = true
+	}
+}
+
 // WithSeed fixes the master seed driving the randomized heuristics
 // (DominantRandom, DominantRevRandom, RandomPart) in Best and Schedule.
 // Each heuristic draws from an independent substream derived from the
@@ -99,11 +121,19 @@ func NewClient(opts ...ClientOption) *Client {
 		pcfg.Cache = portfolio.NewCache()
 	}
 	pcfg.Metrics = portfolio.NewMetrics(cfg.metrics)
+	engine := portfolio.New(pcfg)
 	return &Client{
-		engine:     portfolio.New(pcfg),
+		engine:     engine,
 		heuristics: cfg.heuristics,
 		seed:       cfg.seed,
 		desMetrics: des.NewMetrics(cfg.metrics),
+		selEnabled: cfg.selEnabled,
+		sel: portfolio.NewSelector(portfolio.SelectorConfig{
+			Engine:     engine,
+			Ledger:     cfg.ledger,
+			Thresholds: cfg.selTh,
+			Metrics:    portfolio.NewSelectorMetrics(cfg.metrics),
+		}),
 	}
 }
 
@@ -152,8 +182,24 @@ func (c *Client) Schedule(ctx context.Context, h Heuristic, pl Platform, apps []
 // returns ErrInfeasible when no heuristic produced a feasible schedule,
 // and ctx.Err() — within one in-flight heuristic evaluation per worker
 // — when cancelled.
+//
+// On a client armed with WithSelector, Best serves the ledger's
+// predicted winner when the prediction clears the confidence
+// thresholds — the report then audits only that single heuristic —
+// and races the full set otherwise.
 func (c *Client) Best(ctx context.Context, pl Platform, apps []Application) (*Schedule, *PortfolioReport, error) {
-	rep, err := c.Evaluate(ctx, PortfolioScenario{Platform: pl, Apps: apps, Heuristics: c.heuristics, Seed: c.seed})
+	sc := PortfolioScenario{Platform: pl, Apps: apps, Heuristics: c.heuristics, Seed: c.seed}
+	var rep *PortfolioReport
+	var err error
+	if c.selEnabled {
+		var d *SelectorDecision
+		d, err = c.Select(ctx, sc)
+		if d != nil {
+			rep = d.Report
+		}
+	} else {
+		rep, err = c.Evaluate(ctx, sc)
+	}
 	if err != nil {
 		return nil, rep, err
 	}
@@ -162,6 +208,22 @@ func (c *Client) Best(ctx context.Context, pl Platform, apps []Application) (*Sc
 		return nil, rep, ErrInfeasible
 	}
 	return best.Schedule, rep, nil
+}
+
+// Select evaluates one scenario through the predicted-winner-first
+// selector: when the client's ledger (see WithSelector) confidently
+// predicts a winner for the scenario's feature bucket, only that
+// heuristic runs — on the exact RNG substream it would have drawn
+// inside the full race, so the served schedule is bit-identical to its
+// full-race lane — and otherwise the full portfolio races as in
+// Evaluate. The Decision records which path was taken and why. On a
+// client without WithSelector the ledger is empty, so every call falls
+// back to the full race with FallbackReason "no-evidence".
+func (c *Client) Select(ctx context.Context, sc PortfolioScenario) (*SelectorDecision, error) {
+	if len(sc.Heuristics) == 0 {
+		sc.Heuristics = c.heuristics
+	}
+	return c.sel.Select(ctx, sc)
 }
 
 // Evaluate runs one fully-specified scenario on the worker pool and

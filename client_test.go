@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/selector"
 )
 
 // testApps returns a distinct workload per index, so batch scenarios
@@ -462,5 +463,65 @@ func TestClientEngineSharing(t *testing.T) {
 	}
 	if res.Makespan <= 0 {
 		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+// TestWithSelector: an armed client serves the ledger's confident
+// prediction through Best — a single-heuristic report, bit-identical
+// to that heuristic's lane in the full race — while an unarmed client
+// falls back to the full race on every Select.
+func TestWithSelector(t *testing.T) {
+	ctx := context.Background()
+	pl := TaihuLight()
+	apps := testApps(0)
+
+	// Ground truth: the full race on a plain client.
+	plain := NewClient(WithWorkers(2), WithSeed(5))
+	full, err := plain.Evaluate(ctx, PortfolioScenario{Platform: pl, Apps: apps, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := full.Results[full.Best]
+
+	// Hand-train the scenario's bucket so the race winner is the
+	// confident call.
+	bucket := ExtractFeatures(pl, apps).Bucket()
+	led := NewSelectorLedger()
+	for range [3]struct{}{} {
+		if err := led.Ingest(selector.RaceRecord{
+			Bucket: bucket, Heuristic: winner.Heuristic.String(), Win: true, Margin: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	armed := NewClient(WithWorkers(2), WithSeed(5), WithSelector(led, SelectorThresholds{}))
+	s, rep, err := armed.Best(ctx, pl, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Heuristic != winner.Heuristic {
+		t.Fatalf("armed Best served %d results (first %v), want only %v",
+			len(rep.Results), rep.Results[0].Heuristic, winner.Heuristic)
+	}
+	if s.Makespan != winner.Schedule.Makespan {
+		t.Fatalf("served makespan %v != full-race lane %v", s.Makespan, winner.Schedule.Makespan)
+	}
+	for i := range winner.Schedule.Assignments {
+		if s.Assignments[i] != winner.Schedule.Assignments[i] {
+			t.Fatalf("assignment %d differs from the full-race lane", i)
+		}
+	}
+
+	// Unarmed Select: empty ledger, full race, explicit reason.
+	d, err := plain.Select(ctx, PortfolioScenario{Platform: pl, Apps: apps, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Predicted || d.FallbackReason != "no-evidence" {
+		t.Fatalf("unarmed Select = %+v, want no-evidence fallback", d)
+	}
+	if len(d.Report.Results) != len(full.Results) {
+		t.Fatalf("fallback raced %d heuristics, want %d", len(d.Report.Results), len(full.Results))
 	}
 }

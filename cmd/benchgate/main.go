@@ -51,6 +51,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		minDelta     = fs.Float64("min-delta-speedup", 0, "required full-replan/delta speedup (0 disables)")
 		deltaFull    = fs.String("delta-full", `^BenchmarkDESPortfolioHighRate/full$`, "full-replan benchmark regex for the delta gate")
 		deltaFast    = fs.String("delta-fast", `^BenchmarkDESPortfolioHighRate/delta$`, "delta-rescheduling benchmark regex for the delta gate")
+		minSel       = fs.Float64("min-selector-speedup", 0, "required full-race/selector-shortcut speedup (0 disables)")
+		selFull      = fs.String("selector-full", `^BenchmarkSelectorSweep/mode=full$`, "full-race benchmark regex for the selector gate")
+		selFast      = fs.String("selector-fast", `^BenchmarkSelectorSweep/mode=selector$`, "selector-shortcut benchmark regex for the selector gate")
 		only         = fs.String("only", "", "gate only benchmarks matching this regex (applied to run and baseline)")
 		skip         = fs.String("skip", "", "exclude benchmarks matching this regex (applied to run and baseline)")
 		quiet        = fs.Bool("quiet", false, "only print failures")
@@ -145,6 +148,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "benchgate: delta rescheduling speedup (full replan / delta): %.3fx\n", s)
 		if s < *minDelta {
 			fmt.Fprintf(stderr, "benchgate: FAIL: delta speedup %.3fx below required %.2gx\n", s, *minDelta)
+			fail = true
+		}
+	}
+
+	// Like the delta gate, both selector arms run at one worker, so the
+	// ratio measures scheduling work saved by serving the predicted
+	// winner instead of racing every heuristic.
+	if *minSel > 0 {
+		s, err := benchgate.Speedup(cur, *selFull, *selFast)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchgate: learned-selection speedup (full race / selector): %.3fx\n", s)
+		if s < *minSel {
+			fmt.Fprintf(stderr, "benchgate: FAIL: selector speedup %.3fx below required %.2gx\n", s, *minSel)
 			fail = true
 		}
 	}

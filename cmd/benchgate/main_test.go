@@ -167,3 +167,50 @@ func TestGateReadsFiles(t *testing.T) {
 		t.Fatalf("compare from file failed: %s%s", out.String(), errOut.String())
 	}
 }
+
+// TestGateNewBenchmarkInformational: a benchmark present in the run but
+// absent from the baseline is reported (so reviewers notice the gap in
+// coverage) without failing the gate — growing the suite must not
+// require a simultaneous baseline rewrite.
+func TestGateNewBenchmarkInformational(t *testing.T) {
+	base := benchLog(1000, 2000, 300)
+	cur := benchLog(1000, 2000, 300) +
+		"BenchmarkSelectorSweep/mode=selector-8\t 50\t 500 ns/op\t 100 B/op\t 10 allocs/op\n"
+	code, out := gate(t, base, cur)
+	if code != 0 {
+		t.Fatalf("run with a new benchmark failed the gate (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "BenchmarkSelectorSweep/mode=selector") || !strings.Contains(out, "new") {
+		t.Errorf("output does not report the new benchmark informationally:\n%s", out)
+	}
+}
+
+// selectorLog renders a bench log carrying just the two selector arms
+// with the given ns/op centers.
+func selectorLog(fullNs, selNs float64) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: repro/internal/portfolio\ncpu: test\n")
+	for i := 0; i < 3; i++ {
+		j := float64(i)
+		fmt.Fprintf(&b, "BenchmarkSelectorSweep/mode=full-8\t 50\t %g ns/op\t 1000 B/op\t 10 allocs/op\n", fullNs+j)
+		fmt.Fprintf(&b, "BenchmarkSelectorSweep/mode=selector-8\t 50\t %g ns/op\t 100 B/op\t 10 allocs/op\n", selNs+j)
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+// TestSelectorSpeedupGate: -min-selector-speedup gates the full-race /
+// selector-shortcut ratio exactly like the delta gate.
+func TestSelectorSpeedupGate(t *testing.T) {
+	base := selectorLog(5000, 1000)
+	if code, out := gate(t, base, selectorLog(5000, 1000), "-min-selector-speedup", "3"); code != 0 {
+		t.Fatalf("5x selector speedup failed a 3x gate (%d):\n%s", code, out)
+	}
+	code, out := gate(t, base, selectorLog(5000, 4000), "-min-selector-speedup", "3")
+	if code == 0 {
+		t.Fatalf("1.25x selector speedup passed a 3x gate:\n%s", out)
+	}
+	if !strings.Contains(out, "selector speedup") {
+		t.Errorf("failure output does not name the selector gate:\n%s", out)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/conform"
 	"repro/internal/genscen"
 	"repro/internal/obs"
+	"repro/internal/selector"
 )
 
 func main() {
@@ -83,6 +84,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		golden    = fs.String("golden", "", "golden digest corpus to check against (JSON path)")
 		update    = fs.Bool("update", false, "with -golden: rewrite the corpus from this run")
 		fleetRun  = fs.Bool("fleet", false, "sweep the fleet families (multi-node routing checks) instead of the single-node harness")
+		ledger    = fs.String("selector", "", "trained ledger file: add the learned-selection checks (decision determinism across workers, audited gap bound on oracle-exact families)")
+		gapBound  = fs.Float64("selector-gap-bound", 0, "audited-gap bound for served predictions on oracle-exact families (0 = committed default)")
 		debugAddr = fs.String("debug-addr", "", `serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. "localhost:6060")`)
 	)
 	prof := obs.ProfileFlags(fs)
@@ -109,6 +112,9 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 	if *seeds < 1 {
 		return 2, fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
 	}
+	if *ledger != "" && *fleetRun {
+		return 2, fmt.Errorf("-selector applies to the single-node harness, not -fleet")
+	}
 	var metrics *obs.Registry
 	var ds *obs.DebugServer
 	if *debugAddr != "" {
@@ -134,15 +140,24 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 	if err != nil {
 		return 2, err
 	}
+	var led *selector.Ledger
+	if *ledger != "" {
+		led, err = selector.LoadFile(*ledger)
+		if err != nil {
+			return 2, err
+		}
+	}
 	opt := conform.Options{
-		Seeds:         *seeds,
-		BaseSeed:      *baseSeed,
-		Families:      fams,
-		Workers:       *workers,
-		Grid:          *grid,
-		OracleMaxApps: *oracleMax,
-		Gen:           genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
-		Metrics:       metrics,
+		Seeds:            *seeds,
+		BaseSeed:         *baseSeed,
+		Families:         fams,
+		Workers:          *workers,
+		Grid:             *grid,
+		OracleMaxApps:    *oracleMax,
+		Gen:              genscen.Config{MinApps: *minApps, MaxApps: *maxApps},
+		Metrics:          metrics,
+		Selector:         led,
+		SelectorGapBound: *gapBound,
 	}
 
 	// A golden check must regenerate exactly the corpus's scenarios, so
@@ -158,6 +173,10 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (int, error)
 		gopt := gold.Options()
 		gopt.Workers = opt.Workers
 		gopt.Metrics = opt.Metrics // digests are metrics-invariant by construction
+		// The selector rides along: its checks never touch the digests,
+		// so a -selector run validates against the same corpus.
+		gopt.Selector = opt.Selector
+		gopt.SelectorGapBound = opt.SelectorGapBound
 		opt = gopt
 		// The override is easy to misread as "my flags applied"; say
 		// what actually runs.

@@ -50,6 +50,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/selector"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -102,6 +103,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		port      = fs.Bool("portfolio", false, "race every heuristic concurrently and keep the best schedule")
 		workers   = fs.Int("workers", 0, "worker pool size for -portfolio/-batch (0 = GOMAXPROCS)")
 		batch     = fs.String("batch", "", "JSON file of scenarios to serve in one invocation ('-' for stdin)")
+		telem     = fs.String("telemetry", "", "append per-heuristic win/loss/margin NDJSON from every full race to this file ('-' for stderr); cmd/ledger ingests it")
+		selPath   = fs.String("selector", "", "trained ledger file for -portfolio: serve the predicted winner first, race only on doubt")
 	)
 	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -138,10 +141,31 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		defer ds.Close() // error paths only; Close is idempotent
 		fmt.Fprintf(os.Stderr, "cosched: debug listener on http://%s\n", ds.Addr())
 	}
-	client := repro.NewClient(repro.WithWorkers(*workers), repro.WithMetrics(reg))
+	copts := []repro.ClientOption{repro.WithWorkers(*workers), repro.WithMetrics(reg)}
+	if *selPath != "" {
+		if !*port || *batch != "" {
+			return fmt.Errorf("-selector requires -portfolio (and is not supported with -batch): the selector chooses among the raced heuristics")
+		}
+		led, err := selector.LoadFile(*selPath)
+		if err != nil {
+			return err
+		}
+		copts = append(copts, repro.WithSelector(led, repro.SelectorThresholds{}))
+	}
+	client := repro.NewClient(copts...)
+
+	telw, err := openTelemetry(*telem)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := telw.Close(); err == nil {
+			err = e
+		}
+	}()
 
 	if *batch != "" {
-		if err := runBatch(ctx, client, *batch, pl, *seed, out); err != nil {
+		if err := runBatch(ctx, client, *batch, pl, *seed, out, telw); err != nil {
 			return err
 		}
 		// Drain-then-exit: the report stream is already flushed, so let
@@ -169,9 +193,29 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	var s *sched.Schedule
 	var label string
 	if *port {
-		rep, err := client.Evaluate(ctx, repro.PortfolioScenario{Platform: pl, Apps: apps, Seed: *seed})
-		if err != nil {
+		sc := repro.PortfolioScenario{Platform: pl, Apps: apps, Seed: *seed}
+		var rep *repro.PortfolioReport
+		if *selPath != "" {
+			d, err := client.Select(ctx, sc)
+			if err != nil {
+				return err
+			}
+			rep = d.Report
+			if d.Predicted {
+				fmt.Fprintf(out, "selector: served predicted winner %v (win rate %.0f%%, %d races)\n",
+					d.Prediction.Heuristic, 100*d.Prediction.WinRate, d.Prediction.Races)
+			} else {
+				fmt.Fprintf(out, "selector: full race (%s)\n", d.FallbackReason)
+			}
+		} else if rep, err = client.Evaluate(ctx, sc); err != nil {
 			return err
+		}
+		// Only genuine races train a ledger: a served prediction is a
+		// one-heuristic report and carries no win/loss evidence.
+		if len(rep.Results) > 1 {
+			if err := telw.record(pl, apps, rep); err != nil {
+				return err
+			}
 		}
 		if err := writeRanking(out, rep); err != nil {
 			return err
@@ -361,7 +405,7 @@ type reportJSON struct {
 // A malformed scenario or unknown heuristic name aborts the batch at
 // the point it is decoded; reports already streamed stay valid.
 // Cancelling ctx (Ctrl-C) aborts with ctx.Err().
-func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer) error {
+func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl model.Platform, defaultSeed uint64, out io.Writer, tw *telemetryWriter) error {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -376,17 +420,94 @@ func runBatch(ctx context.Context, client *repro.Client, path string, defaultPl 
 	// exactly as fast as the evaluation window allows, and stops pulling
 	// on failure or cancellation. Its error is read only after
 	// EvaluateBatch returns (which happens-after the iterator finished).
+	// Each scenario's feature bucket is computed at decode time and kept
+	// (a short string, not the scenario), so telemetry can label reports
+	// by index without holding the batch in memory.
 	var decodeErr error
+	var buckets []string
 	scenarios := func(yield func(repro.PortfolioScenario) bool) {
-		decodeErr = serve.DecodeScenarios(r, path, serve.Defaults{Platform: defaultPl, Seed: defaultSeed}, yield)
+		decodeErr = serve.DecodeScenarios(r, path, serve.Defaults{Platform: defaultPl, Seed: defaultSeed}, func(sc repro.PortfolioScenario) bool {
+			if tw != nil {
+				buckets = append(buckets, selector.Extract(sc.Platform, sc.Apps).Bucket())
+			}
+			return yield(sc)
+		})
 	}
 	enc := json.NewEncoder(out)
 	if err := client.EvaluateBatch(ctx, scenarios, func(br repro.BatchResult) error {
+		if tw != nil && br.Index < len(buckets) {
+			if err := tw.recordBucket(buckets[br.Index], br.Report); err != nil {
+				return err
+			}
+		}
 		return enc.Encode(reportOf(br.Report))
 	}); err != nil {
 		return err
 	}
 	return decodeErr
+}
+
+// telemetryWriter streams selector.RaceRecord NDJSON lines — the
+// ledger's ingest format (cmd/ledger train -telemetry) — one line per
+// (heuristic, race). A nil writer is valid and records nothing.
+type telemetryWriter struct {
+	enc    *json.Encoder
+	closer io.Closer
+}
+
+// openTelemetry opens the telemetry sink: "" means off (nil writer),
+// "-" streams to stderr (stdout carries the reports), anything else
+// appends to the named file so successive runs accumulate evidence.
+func openTelemetry(path string) (*telemetryWriter, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if path == "-" {
+		return &telemetryWriter{enc: json.NewEncoder(os.Stderr)}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &telemetryWriter{enc: json.NewEncoder(f), closer: f}, nil
+}
+
+// record emits one race's records, labeling them with the workload's
+// feature bucket.
+func (t *telemetryWriter) record(pl model.Platform, apps []model.Application, rep *repro.PortfolioReport) error {
+	if t == nil {
+		return nil
+	}
+	return t.recordBucket(selector.Extract(pl, apps).Bucket(), rep)
+}
+
+func (t *telemetryWriter) recordBucket(bucket string, rep *repro.PortfolioReport) error {
+	if t == nil || rep == nil || rep.Err != nil {
+		return nil
+	}
+	outs := make([]selector.Outcome, len(rep.Results))
+	for i, r := range rep.Results {
+		outs[i] = selector.Outcome{
+			Heuristic: r.Heuristic,
+			OK:        r.Err == nil && r.Schedule != nil,
+		}
+		if outs[i].OK {
+			outs[i].Makespan = r.Schedule.Makespan
+		}
+	}
+	for _, rr := range selector.Race(bucket, outs) {
+		if err := t.enc.Encode(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *telemetryWriter) Close() error {
+	if t == nil || t.closer == nil {
+		return nil
+	}
+	return t.closer.Close()
 }
 
 // reportOf converts an engine report to its wire form.

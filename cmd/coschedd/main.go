@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 		seed        = fs.Uint64("seed", 0, "service base seed; per-tenant seeds derive from it")
 		drain       = fs.Duration("drain", 10*time.Second, "SIGTERM drain deadline for in-flight requests")
 		cache       = fs.Bool("cache", true, "memoize solved (scenario, heuristic) pairs across requests")
+		selPath     = fs.String("selector", "", `trained ledger file arming {"selector": true} requests with predicted-winner-first selection`)
 	)
 	prof := obs.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -85,11 +86,19 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 	}()
 
 	reg := obs.NewRegistry()
-	client := repro.NewClient(
+	copts := []repro.ClientOption{
 		repro.WithWorkers(*workers),
 		repro.WithCache(*cache),
 		repro.WithMetrics(reg),
-	)
+	}
+	if *selPath != "" {
+		led, err := repro.LoadSelectorLedger(*selPath)
+		if err != nil {
+			return err
+		}
+		copts = append(copts, repro.WithSelector(led, repro.SelectorThresholds{}))
+	}
+	client := repro.NewClient(copts...)
 	srv := serve.New(serve.Config{
 		Client:      client,
 		Registry:    reg,

@@ -71,6 +71,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/selector"
 	"repro/internal/sim"
 )
 
@@ -105,6 +106,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 		workers   = fs.Int("workers", 0, "portfolio policy worker pool (0 = GOMAXPROCS)")
 		fleetRun  = fs.Bool("fleet", false, "simulate a multi-node fleet (scenario JSON is the fleet spec format)")
 		routing   = fs.String("routing", "", "fleet routing policy: least-loaded, cache-affinity, power-of-two-choices or join-shortest-queue (overrides scenario)")
+		ledgerP   = fs.String("selector", "", `win-rate ledger JSON backing a "portfolio:selector" policy (see cmd/ledger)`)
 		events    = fs.Bool("events", true, "stream one NDJSON line per event")
 		gantt     = fs.Bool("gantt", false, "draw an ASCII wait/run timeline on stderr")
 		jsonOut   = fs.Bool("json", false, `append one "kind":"metrics" NDJSON line with the full metrics snapshot`)
@@ -135,6 +137,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 		return runFleet(ctx, fleetFlags{
 			scenario: *scenario, arrivals: *arrivals, routing: *routing,
 			duration: *duration, seed: *seed, workers: *workers,
+			ledger: *ledgerP,
 			events: *events, jsonOut: *jsonOut, promPath: *promPath,
 			tracePath: *tracePath, debugAddr: *debugAddr,
 		}, out, errOut)
@@ -187,6 +190,23 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) 
 	sc, err := sp.BuildWith(client.Engine(), *workers)
 	if err != nil {
 		return err
+	}
+	if *ledgerP != "" {
+		// -selector implies the learned-selection policy unless the
+		// spec or -policy already chose one explicitly.
+		if sp.Policy == "" || sp.Policy == "portfolio" {
+			sp.Policy = "portfolio:selector"
+			if sc, err = sp.BuildWith(client.Engine(), *workers); err != nil {
+				return err
+			}
+		}
+		ledger, err := selector.LoadFile(*ledgerP)
+		if err != nil {
+			return err
+		}
+		if !des.ConfigureSelector(sc.Policy, ledger, selector.Thresholds{}) {
+			return fmt.Errorf("-selector: policy %q has no learned-selection mode (use -policy portfolio:selector)", sc.Policy.Name())
+		}
 	}
 	// Registration is idempotent, so this handle shares its series with
 	// the client's; holding our own lets us attach the tracer.
@@ -369,6 +389,7 @@ type fleetFlags struct {
 	duration                       float64
 	seed                           uint64
 	workers                        int
+	ledger                         string
 	events, jsonOut                bool
 	promPath, tracePath, debugAddr string
 }
@@ -418,6 +439,11 @@ func runFleet(ctx context.Context, f fleetFlags, out, errOut io.Writer) error {
 	sc, err := sp.BuildWith(client.Engine(), f.workers)
 	if err != nil {
 		return err
+	}
+	if f.ledger != "" {
+		if sc.Ledger, err = selector.LoadFile(f.ledger); err != nil {
+			return err
+		}
 	}
 	m := des.NewMetrics(reg)
 	if m != nil && f.tracePath != "" {

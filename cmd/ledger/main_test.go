@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/selector"
+)
+
+// TestTrainSweepDeterministicAcrossWorkers: the trained artifact is a
+// pure function of the sweep parameters — worker count must not leak
+// into the fingerprint.
+func TestTrainSweepDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "w1.json")
+	p8 := filepath.Join(dir, "w8.json")
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"train", "-families", "zero-work,single-app", "-seeds", "4", "-workers", "1", "-out", p1},
+		{"train", "-families", "zero-work,single-app", "-seeds", "4", "-workers", "8", "-out", p8},
+	} {
+		if err := run(ctx, args, os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b8) {
+		t.Fatal("trained ledgers differ between -workers 1 and 8")
+	}
+}
+
+// TestTrainMergesAndIngestsTelemetry: a second train run merges into
+// the existing artifact, telemetry ingest accepts cosched's NDJSON, and
+// inspect renders the result.
+func TestTrainMergesAndIngestsTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ledger.json")
+	ctx := context.Background()
+	if err := run(ctx, []string{"train", "-families", "single-app", "-seeds", "2", "-out", out}, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	first, err := selector.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	telem := filepath.Join(dir, "races.ndjson")
+	lines := `{"bucket":"n=3|seq=1|fp=0|lat=0|skew=0|freq=2|miss=-4","heuristic":"DominantMinRatio","win":true,"margin":1}
+{"bucket":"n=3|seq=1|fp=0|lat=0|skew=0|freq=2|miss=-4","heuristic":"Fair","win":false,"margin":1.25}
+`
+	if err := os.WriteFile(telem, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"train", "-telemetry", telem, "-out", out}, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := selector.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Races(), first.Races()+2; got != want {
+		t.Fatalf("merged races = %d, want %d (sweep) + 2 (telemetry)", got, want)
+	}
+
+	var sb strings.Builder
+	if err := run(ctx, []string{"inspect", "-in", out, "-v"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DominantMinRatio", "fingerprint " + merged.Fingerprint(), "n=3|seq=1|fp=0"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// A corrupt telemetry line aborts with its location, leaving the
+	// artifact untouched.
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte(`{"bucket":"b","heuristic":"NoSuch","win":true,"margin":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"train", "-telemetry", bad, "-out", out}, os.Stderr); err == nil || !strings.Contains(err.Error(), "bad.ndjson:1") {
+		t.Fatalf("bad telemetry error = %v, want line-numbered failure", err)
+	}
+	after, err := selector.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fingerprint() != merged.Fingerprint() {
+		t.Fatal("failed ingest mutated the on-disk ledger")
+	}
+}

@@ -91,6 +91,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
+	"repro/internal/selector"
 	"repro/internal/sim"
 	"repro/internal/solve"
 	"repro/internal/workload"
@@ -266,6 +267,44 @@ func BestSchedule(pl Platform, apps []Application, seed uint64) (*Schedule, *Por
 	s.Assignments = append([]Assignment(nil), best.Schedule.Assignments...)
 	return &s, rep, nil
 }
+
+// Learned heuristic selection (internal/selector): a win-rate ledger
+// keyed by scenario feature buckets predicts the winning heuristic, and
+// a selector policy runs the predicted winner first, falling back to
+// the full portfolio race when the prediction is not confident.
+
+// SelectorLedger accumulates per-(feature-bucket, heuristic) race
+// outcomes and predicts winners; see selector.Ledger.
+type SelectorLedger = selector.Ledger
+
+// SelectorThresholds gates when a prediction is confident enough to
+// skip the race; see selector.Thresholds.
+type SelectorThresholds = selector.Thresholds
+
+// SelectorPrediction is one ledger prediction; see selector.Prediction.
+type SelectorPrediction = selector.Prediction
+
+// SelectorDecision is the outcome of one selected scenario — the
+// served report, whether the shortcut was taken, and the fallback
+// reason when not; see portfolio.Decision.
+type SelectorDecision = portfolio.Decision
+
+// SelectorFeatures is the deterministic feature vector extracted from
+// a scenario; see selector.Features.
+type SelectorFeatures = selector.Features
+
+// ExtractFeatures computes the scenario feature vector driving ledger
+// bucketing; pure and deterministic in its inputs.
+func ExtractFeatures(pl Platform, apps []Application) SelectorFeatures {
+	return selector.Extract(pl, apps)
+}
+
+// NewSelectorLedger returns an empty win-rate ledger.
+func NewSelectorLedger() *SelectorLedger { return selector.New() }
+
+// LoadSelectorLedger loads and validates a persisted ledger (see
+// cmd/ledger for training and inspection).
+func LoadSelectorLedger(path string) (*SelectorLedger, error) { return selector.LoadFile(path) }
 
 // Online simulation (internal/des): jobs arrive over virtual time and an
 // online policy repartitions processors and cache at every arrival and

@@ -1,8 +1,7 @@
 package benchgate
 
 import (
-	"math"
-	"sort"
+	"repro/internal/stats"
 )
 
 // Metric is the aggregate of one benchmark metric over repeated runs:
@@ -63,23 +62,5 @@ func reduce(vs []float64) Metric {
 	if len(vs) == 0 {
 		return Metric{}
 	}
-	med := median(vs)
-	dev := make([]float64, len(vs))
-	for i, v := range vs {
-		dev[i] = math.Abs(v - med)
-	}
-	return Metric{Median: med, MAD: median(dev), N: len(vs)}
-}
-
-// median sorts a copy of vs and returns the middle value (mean of the
-// two middle values for even lengths).
-func median(vs []float64) float64 {
-	s := make([]float64, len(vs))
-	copy(s, vs)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return Metric{Median: stats.Median(vs), MAD: stats.MAD(vs), N: len(vs)}
 }

@@ -52,6 +52,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
+	"repro/internal/selector"
 	"repro/internal/sim"
 	"repro/internal/solve"
 )
@@ -87,6 +88,21 @@ type Options struct {
 	// invariance is itself a conformance property, pinned by
 	// TestMetricsInvariantDigests.
 	Metrics *obs.Registry
+	// Selector, when non-nil, adds the learned-selection check to every
+	// scenario: the ledger-driven selector (internal/selector through
+	// portfolio.SelectorPolicy, audit mode) decides each scenario on the
+	// serial and the parallel engine, the two decisions must be
+	// bit-identical — selection is a pure function of (ledger, scenario),
+	// never of worker count — and a served prediction's audited
+	// optimality gap against the full race must stay within
+	// SelectorGapBound on oracle-exact families. The ledger is read-only
+	// here (the harness never learns), and the scenario digests are
+	// selector-invariant by construction, so a selector run checks
+	// against the same golden corpus as a plain one.
+	Selector *selector.Ledger
+	// SelectorGapBound caps the audited gap of served predictions on
+	// oracle-exact families; 0 means DefaultSelectorGapBound.
+	SelectorGapBound float64
 }
 
 func (o Options) normalized() Options {
@@ -107,6 +123,9 @@ func (o Options) normalized() Options {
 	}
 	if o.OracleMaxApps == 0 {
 		o.OracleMaxApps = 5
+	}
+	if o.SelectorGapBound == 0 {
+		o.SelectorGapBound = DefaultSelectorGapBound
 	}
 	return o
 }
@@ -134,6 +153,10 @@ type FamilyResult struct {
 	// which stores digests only.
 	Replan     des.ReplanStats `json:"replan"`
 	Violations []Violation     `json:"violations,omitempty"`
+	// Selector summarizes the family's learned-selection decisions; nil
+	// unless the run had a ledger (Options.Selector). Like Replan it
+	// rides along in the report and stays out of the golden corpus.
+	Selector *SelectorSummary `json:"selector,omitempty"`
 }
 
 // Report is the outcome of one harness run.
@@ -203,6 +226,7 @@ func RunContext(ctx context.Context, opt Options) (*Report, error) {
 		fr := FamilyResult{Family: fam.String(), GapMin: math.Inf(1)}
 		famHash := sha256.New()
 		var gapLogSum float64
+		var sel selAccum
 		for i := 0; i < opt.Seeds; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -220,6 +244,7 @@ func RunContext(ctx context.Context, opt Options) (*Report, error) {
 			famHash.Write([]byte(sr.digest))
 			fr.Replan.Add(sr.replan)
 			fr.Violations = append(fr.Violations, sr.violations...)
+			sel.add(sr.selector)
 			if sr.gap > 0 {
 				fr.OracleRuns++
 				fr.GapMin = math.Min(fr.GapMin, sr.gap)
@@ -233,6 +258,9 @@ func RunContext(ctx context.Context, opt Options) (*Report, error) {
 			fr.GapMin = 0
 		}
 		fr.Digest = hex.EncodeToString(famHash.Sum(nil))
+		if opt.Selector != nil {
+			fr.Selector = sel.summary()
+		}
 		rep.Families = append(rep.Families, fr)
 	}
 	return rep, nil
@@ -244,6 +272,7 @@ type scenarioResult struct {
 	gap        float64 // portfolio-best / oracle; 0 when the oracle was skipped
 	replan     des.ReplanStats
 	violations []Violation
+	selector   *selDecision // nil unless the run had a ledger
 }
 
 // runScenario executes every check on one instance. It returns an
@@ -371,6 +400,15 @@ func runScenario(in *genscen.Instance, opt Options, serial, parallel *portfolio.
 		return nil, err
 	}
 	sr.replan = replan
+
+	// Learned selection rides alongside the digest, never inside it: a
+	// selector run must stay comparable to the plain golden corpus.
+	if opt.Selector != nil {
+		sr.selector, err = checkSelector(in, opt, serial, parallel, flag)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// The online event log participates in the digest (hashed from the
 	// 1-worker run, so the digest stays worker-invariant): a behavioral

@@ -57,6 +57,28 @@ func (r *Report) Markdown(out io.Writer) error {
 			f.Family, f.Scenarios, f.OracleRuns, gapMin, gapGeo, gapMax,
 			len(f.Violations), shortDigest(f.Digest))
 	}
+	hasSelector := false
+	for _, f := range r.Families {
+		hasSelector = hasSelector || f.Selector != nil
+	}
+	if hasSelector {
+		fmt.Fprintf(w, "\n## Learned selection\n\n")
+		fmt.Fprintf(w, "| family | races | predicted | fallbacks | fallback ratio | sel gap max | sel gap geomean |\n")
+		fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, f := range r.Families {
+			s := f.Selector
+			if s == nil {
+				continue
+			}
+			gapMax, gapGeo := "-", "-"
+			if s.Predicted > 0 {
+				gapMax = fmt.Sprintf("%.6f", s.GapMax)
+				gapGeo = fmt.Sprintf("%.6f", s.GapGeoMean)
+			}
+			fmt.Fprintf(w, "| %s | %d | %d | %d | %.3f | %s | %s |\n",
+				f.Family, s.Races, s.Predicted, s.Fallbacks, s.FallbackRatio, gapMax, gapGeo)
+		}
+	}
 	rt := r.ReplanTotals()
 	fmt.Fprintf(w, "\nreplan: %d fast-path / %d full-solve allocations, memo hit rate %.3f\n",
 		rt.FastPath, rt.FullSolve, rt.HitRate())

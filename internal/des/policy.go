@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
+	"repro/internal/selector"
 	"repro/internal/solve"
 )
 
@@ -231,6 +232,18 @@ type PortfolioPolicy struct {
 	stats  ReplanStats
 	apps   []model.Application // residual-work plan buffer, recycled
 	rs     []portfolio.Result  // fast-path result buffer, recycled
+
+	// Learned selection ("portfolio:selector"): when a ledger is set,
+	// Allocate first asks it for a confident predicted winner and, when
+	// it gets one, solves only that heuristic — on the exact substream
+	// the race would have given it — instead of racing the portfolio.
+	// A nil or empty ledger predicts nothing, so the policy is then
+	// bit-identical to plain "portfolio".
+	selMode     bool
+	ledger      *selector.Ledger
+	th          selector.Thresholds
+	predictions uint64
+	fallbacks   uint64
 }
 
 // NewPortfolioPolicy returns a portfolio-driven policy. A nil engine
@@ -253,6 +266,39 @@ func NewPortfolioPolicy(engine *portfolio.Engine, workers int, seed uint64) *Por
 // bit-for-bit; the ":full" policy-spec suffix exposes it on the wire.
 func (p *PortfolioPolicy) SetFullReplan(full bool) { p.full = full }
 
+// SetLedger switches the policy into learned-selection mode backed by
+// l (nil keeps selector mode with an always-fallback empty ledger).
+// The zero Thresholds means selector.DefaultThresholds(). Callers that
+// parsed a "portfolio:selector" spec inject the trained ledger here —
+// the ledger is runtime state, never part of the wire spec.
+func (p *PortfolioPolicy) SetLedger(l *selector.Ledger, th selector.Thresholds) {
+	p.selMode = true
+	p.ledger = l
+	if th == (selector.Thresholds{}) {
+		th = selector.DefaultThresholds()
+	}
+	p.th = th
+}
+
+// SelectorStats reports how many Allocate calls were served by the
+// predicted winner versus by a race (zero unless in selector mode).
+func (p *PortfolioPolicy) SelectorStats() (predictions, fallbacks uint64) {
+	return p.predictions, p.fallbacks
+}
+
+// ConfigureSelector injects a trained ledger into pol when it is a
+// selector-mode portfolio policy, reporting whether it did. The
+// simulators call this after ParsePolicy: the spec string selects the
+// mode ("portfolio:selector"), the caller supplies the ledger.
+func ConfigureSelector(pol Policy, l *selector.Ledger, th selector.Thresholds) bool {
+	pp, ok := pol.(*PortfolioPolicy)
+	if !ok || !pp.selMode {
+		return false
+	}
+	pp.SetLedger(l, th)
+	return true
+}
+
 // ReplanStats reports the delta-rescheduling telemetry; the engine
 // copies it into Result.Replan.
 func (p *PortfolioPolicy) ReplanStats() ReplanStats {
@@ -273,6 +319,13 @@ func (p *PortfolioPolicy) Allocate(pl model.Platform, residents []Resident) ([]s
 	// decorrelates the two layers.
 	p.apps = residualApps(p.apps, residents)
 	scSeed := solve.NewRNG(p.seed ^ p.calls*policySeedStride).Uint64()
+	if p.selMode {
+		if asg, ok, err := p.predictPath(pl, scSeed); ok {
+			p.predictions++
+			return asg, err
+		}
+		p.fallbacks++
+	}
 	if !p.full {
 		if asg, ok, err := p.fastPath(pl, scSeed); ok {
 			p.stats.FastPath++
@@ -346,8 +399,46 @@ func (p *PortfolioPolicy) fastPath(pl model.Platform, scSeed uint64) ([]sched.As
 	return rs[best].Schedule.Assignments, true, nil
 }
 
+// predictPath solves only the ledger's confidently predicted winner,
+// drawing the exact RNG substream the full race would have handed it
+// at its index (portfolio.HeuristicSeed), so the resulting plan is
+// bit-identical to that heuristic's lane of the race. ok is false —
+// deferring to the race — when the ledger has no confident call or the
+// predicted heuristic fails on this residual workload.
+func (p *PortfolioPolicy) predictPath(pl model.Platform, scSeed uint64) ([]sched.Assignment, bool, error) {
+	if p.ledger == nil {
+		return nil, false, nil
+	}
+	bucket := selector.Extract(pl, p.apps).Bucket()
+	pred, ok := p.ledger.Predict(bucket, p.hs)
+	if !ok || !pred.Confident(p.th) {
+		return nil, false, nil
+	}
+	hi := 0
+	for i, h := range p.hs {
+		if h == pred.Heuristic {
+			hi = i
+			break
+		}
+	}
+	var rng *solve.RNG
+	if pred.Heuristic.Randomized() {
+		rng = solve.NewRNG(portfolio.HeuristicSeed(scSeed, hi))
+	}
+	s, err := pred.Heuristic.Schedule(pl, p.apps, rng)
+	if err != nil || s.Sequential {
+		return nil, false, nil
+	}
+	return s.Assignments, true, nil
+}
+
 // Name implements Policy.
-func (p *PortfolioPolicy) Name() string { return "portfolio" }
+func (p *PortfolioPolicy) Name() string {
+	if p.selMode {
+		return "portfolio:selector"
+	}
+	return "portfolio"
+}
 
 // NoRepartition schedules jobs in waves: when the node is idle it
 // allocates the whole resident set with the wrapped heuristic and then
@@ -420,6 +511,11 @@ func (p *NoRepartition) Name() string { return "norepartition:" + p.h.String() }
 // ParsePolicy resolves a policy specification string:
 //
 //	"portfolio"                race all concurrent heuristics, keep the winner
+//	"portfolio:selector"       learned selection: run the ledger's predicted
+//	                           winner, race only on doubt (inject the trained
+//	                           ledger with ConfigureSelector; without one the
+//	                           policy always races and is bit-identical to
+//	                           "portfolio")
 //	"<Heuristic>"              repartition with that heuristic every event
 //	"norepartition[:<H>]"      wave scheduling, frozen between drains
 //
@@ -460,6 +556,10 @@ func parsePolicyWith(engine *portfolio.Engine, spec string, workers int, seed ui
 	switch {
 	case spec == "portfolio":
 		return NewPortfolioPolicy(engine, workers, seed), nil
+	case spec == "portfolio:selector":
+		p := NewPortfolioPolicy(engine, workers, seed)
+		p.SetLedger(nil, selector.Thresholds{})
+		return p, nil
 	case spec == "norepartition":
 		return NewNoRepartition(sched.DominantMinRatio, seed)
 	case strings.HasPrefix(spec, "norepartition:"):

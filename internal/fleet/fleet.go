@@ -32,6 +32,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/model"
 	"repro/internal/portfolio"
+	"repro/internal/selector"
 	"repro/internal/stats"
 )
 
@@ -81,6 +82,10 @@ type Scenario struct {
 	// so one registry serves the whole fleet). Nil disables
 	// observation; results are bit-identical either way.
 	Metrics *des.Metrics
+	// Ledger backs any "portfolio:selector" node policies with a
+	// trained win-rate ledger (nil leaves them always falling back to
+	// the full race, bit-identical to "portfolio").
+	Ledger *selector.Ledger
 }
 
 // Route records one routing decision.
@@ -182,6 +187,9 @@ func SimulateContext(ctx context.Context, sc Scenario) (*Result, error) {
 		pol, err := des.ParsePolicyShared(engine, spec, sc.Workers, NodePolicySeed(sc.Seed, i))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: node %s: %w", names[i], err)
+		}
+		if sc.Ledger != nil {
+			des.ConfigureSelector(pol, sc.Ledger, selector.Thresholds{})
 		}
 		nodes[i], err = des.NewNode(des.NodeConfig{
 			Platform:    nc.Platform,

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -98,5 +99,47 @@ func BenchmarkPortfolioMemoized(b *testing.B) {
 				b.Fatal(rep.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkSelectorSweep measures the learned-selection shortcut on the
+// same NPB sweep as BenchmarkPortfolioSweep, at one worker so the
+// numbers compare work, not parallelism. mode=full runs the selector
+// with an empty ledger (every scenario falls back to the full race —
+// the selector's overhead on top of the sweep); mode=selector runs from
+// a ledger trained on the sweep itself, so every scenario is served by
+// the single predicted heuristic. scripts/bench.sh gates the
+// selector-vs-full-race work reduction via benchgate.
+func BenchmarkSelectorSweep(b *testing.B) {
+	scenarios := npbSweepScenarios()
+	train := NewSelector(SelectorConfig{Engine: New(Config{Workers: 1}), Learn: true})
+	for _, sc := range scenarios {
+		if _, err := train.Select(context.Background(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range []string{"full", "selector"} {
+		ledger := train.Ledger()
+		if mode == "full" {
+			ledger = nil
+		}
+		b.Run("mode="+mode, func(b *testing.B) {
+			p := NewSelector(SelectorConfig{Engine: New(Config{Workers: 1}), Ledger: ledger})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, sc := range scenarios {
+					d, err := p.Select(context.Background(), sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d.Report.Best < 0 {
+						b.Fatal("no feasible schedule")
+					}
+					if mode == "selector" && !d.Predicted {
+						b.Fatalf("trained ledger fell back (%s) — the benchmark would not measure the shortcut", d.FallbackReason)
+					}
+				}
+			}
+		})
 	}
 }

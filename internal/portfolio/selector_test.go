@@ -1,0 +1,186 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/selector"
+	"repro/internal/workload"
+)
+
+func selScenario(seed uint64) Scenario {
+	return Scenario{Platform: model.TaihuLight(), Apps: workload.NPB(), Seed: seed}
+}
+
+// trainSelector races scenarios through a learning selector and returns
+// the trained ledger.
+func trainSelector(t testing.TB, scenarios []Scenario) *selector.Ledger {
+	t.Helper()
+	p := NewSelector(SelectorConfig{Engine: New(Config{Workers: 1}), Learn: true})
+	for _, sc := range scenarios {
+		if _, err := p.Select(context.Background(), sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p.Ledger()
+}
+
+func TestSelectorEmptyLedgerFallsBack(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	p := NewSelector(SelectorConfig{Engine: eng})
+	sc := selScenario(7)
+	d, err := p.Select(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Predicted || d.FallbackReason != "no-evidence" {
+		t.Fatalf("empty ledger must fall back with no-evidence, got %+v", d)
+	}
+	full, err := eng.Evaluate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Report.Best != full.Best ||
+		d.Report.BestSchedule().Makespan != full.BestSchedule().Makespan {
+		t.Fatal("fallback race differs from a plain portfolio race")
+	}
+	if s := p.Stats(); s.Predictions != 0 || s.Fallbacks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// The shortcut must reproduce, bit for bit, the result the predicted
+// heuristic would have had inside the full race — including the
+// randomized heuristics, whose RNG substream depends on their index in
+// the race.
+func TestSelectorSeedCompensation(t *testing.T) {
+	sc := selScenario(42)
+	bucket := selector.Extract(sc.Platform, sc.Apps).Bucket()
+	eng := New(Config{Workers: 1})
+	full, err := eng.Evaluate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hi, h := range sched.ExtendedHeuristics {
+		if full.Results[hi].Err != nil {
+			continue
+		}
+		// A hand-built ledger that makes h the confident winner.
+		l := selector.New()
+		for range [3]struct{}{} {
+			if err := l.Ingest(selector.RaceRecord{Bucket: bucket, Heuristic: h.String(), Win: true, Margin: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := NewSelector(SelectorConfig{Engine: eng, Ledger: l})
+		d, err := p.Select(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Predicted || d.Prediction.Heuristic != h {
+			t.Fatalf("%v: expected a confident prediction, got %+v", h, d)
+		}
+		got, want := d.Report.BestSchedule(), full.Results[hi].Schedule
+		if got.Makespan != want.Makespan {
+			t.Fatalf("%v: shortcut makespan %v != full-race %v", h, got.Makespan, want.Makespan)
+		}
+		for i := range want.Assignments {
+			if got.Assignments[i] != want.Assignments[i] {
+				t.Fatalf("%v: assignment %d differs: %+v vs %+v", h, i, got.Assignments[i], want.Assignments[i])
+			}
+		}
+	}
+}
+
+// Selection is a pure function of (ledger, scenario): any worker count
+// serves the same heuristic and the same bits.
+func TestSelectorWorkerCountInvariance(t *testing.T) {
+	scenarios := []Scenario{selScenario(1), selScenario(2), selScenario(3)}
+	ledger := trainSelector(t, scenarios)
+	type outcome struct {
+		predicted bool
+		h         sched.Heuristic
+		mk        float64
+	}
+	runs := map[int][]outcome{}
+	for _, w := range []int{1, 8} {
+		p := NewSelector(SelectorConfig{Engine: New(Config{Workers: w}), Ledger: ledger})
+		for _, sc := range scenarios {
+			d, err := p.Select(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := outcome{predicted: d.Predicted}
+			if br := d.Report.BestResult(); br != nil {
+				o.h, o.mk = br.Heuristic, br.Schedule.Makespan
+			}
+			runs[w] = append(runs[w], o)
+		}
+	}
+	for i := range scenarios {
+		if runs[1][i] != runs[8][i] {
+			t.Fatalf("scenario %d: workers=1 %+v vs workers=8 %+v", i, runs[1][i], runs[8][i])
+		}
+	}
+}
+
+// After training on a scenario's own bucket the selector must shortcut
+// it, and the audited gap of the shortcut must be exactly 1 when the
+// prediction matches the race winner.
+func TestSelectorLearnsAndAudits(t *testing.T) {
+	scenarios := []Scenario{selScenario(1), selScenario(2), selScenario(3), selScenario(4)}
+	ledger := trainSelector(t, scenarios)
+	reg := obs.NewRegistry()
+	p := NewSelector(SelectorConfig{
+		Engine:  New(Config{Workers: 2}),
+		Ledger:  ledger,
+		Audit:   true,
+		Metrics: NewSelectorMetrics(reg),
+	})
+	predicted := 0
+	for _, sc := range scenarios {
+		d, err := p.Select(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Predicted {
+			continue
+		}
+		predicted++
+		if d.Full == nil || math.IsNaN(d.Gap) {
+			t.Fatalf("audit mode must measure the gap, got %+v", d)
+		}
+		if d.Gap < 1-1e-12 {
+			t.Fatalf("gap %v below 1: shortcut beat the full race it mirrors", d.Gap)
+		}
+		if d.Prediction.Heuristic == d.Full.BestResult().Heuristic && d.Gap != 1 {
+			t.Fatalf("prediction matches the winner but gap = %v", d.Gap)
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("trained ledger never predicted its own training scenarios")
+	}
+	if s := p.Stats(); int(s.Predictions) != predicted {
+		t.Fatalf("stats %+v vs %d predicted", s, predicted)
+	}
+}
+
+func TestSelectorMetricsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewSelector(SelectorConfig{Engine: New(Config{Workers: 1}), Metrics: NewSelectorMetrics(reg)})
+	if _, err := p.Select(context.Background(), selScenario(9)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `selector_fallbacks_total{reason="no-evidence"} 1`) {
+		t.Fatalf("fallback counter missing from exposition:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,35 @@
+// External test package: genscen transitively imports selector (via
+// des), so this test cannot live in package selector without an import
+// cycle.
+package selector_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/genscen"
+	"repro/internal/selector"
+)
+
+// The bucket key is committed: every genscen family must map to a
+// stable, parseable key, and distinct regimes must not all collapse
+// into one bucket.
+func TestBucketCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	for _, fam := range genscen.Families {
+		for seed := uint64(1); seed <= 10; seed++ {
+			in, err := genscen.Generate(fam, seed, genscen.Config{})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", fam, seed, err)
+			}
+			b := selector.Extract(in.Platform, in.Apps).Bucket()
+			if !strings.HasPrefix(b, "n=") || strings.Count(b, "|") != 6 {
+				t.Fatalf("malformed bucket %q", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("bucket grid too coarse: %d distinct buckets over all families", len(seen))
+	}
+}

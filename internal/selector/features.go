@@ -1,0 +1,138 @@
+// Package selector implements learned heuristic selection: a
+// deterministic feature extractor over scheduling scenarios, and a
+// win-rate ledger accumulating per-(feature-bucket, heuristic) race
+// outcomes across runs. The portfolio's selector policy consults the
+// ledger to run the predicted winner first and fall back to the full
+// race only when the prediction is not confident.
+//
+// The package is deliberately dependency-light — model, sched, stats —
+// so it can sit below both the portfolio engine and the simulators
+// without import cycles.
+package selector
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Features is the deterministic description of one scenario the ledger
+// keys on: workload shape only, never absolute identity, so scenarios
+// that differ only in seed or naming land in the same bucket.
+type Features struct {
+	Apps          int     // number of co-scheduled applications
+	SeqMean       float64 // mean sequential fraction s_i
+	SeqMax        float64 // worst sequential fraction
+	CachePressure float64 // mean of min(1, a_i/Cs); unbounded footprints count as 1
+	LatencyRatio  float64 // ll/ls (miss penalty over hit cost); +Inf when ls == 0 and ll > 0
+	WorkSkew      float64 // max w_i / mean w_i, 1 for perfectly balanced work
+	FreqMean      float64 // mean access frequency f_i
+	MissMean      float64 // mean reference miss rate m_i(C0)
+}
+
+// Extract computes the features of (pl, apps). It is a pure function of
+// its arguments: identical inputs produce bit-identical features on any
+// platform and at any worker count. Extract does not validate — garbage
+// in, garbage features out — because every entry point that feeds the
+// ledger already validated the scenario.
+func Extract(pl model.Platform, apps []model.Application) Features {
+	f := Features{Apps: len(apps)}
+	if len(apps) == 0 {
+		return f
+	}
+	var seqSum, fpSum, workSum, freqSum, missSum, workMax float64
+	for _, a := range apps {
+		seqSum += a.SeqFraction
+		f.SeqMax = math.Max(f.SeqMax, a.SeqFraction)
+		pressure := 1.0 // unbounded footprint: wants the whole cache
+		if a.Footprint > 0 && pl.CacheSize > 0 {
+			pressure = math.Min(1, a.Footprint/pl.CacheSize)
+		}
+		fpSum += pressure
+		workSum += a.Work
+		workMax = math.Max(workMax, a.Work)
+		freqSum += a.AccessFreq
+		missSum += a.RefMissRate
+	}
+	n := float64(len(apps))
+	f.SeqMean = seqSum / n
+	f.CachePressure = fpSum / n
+	f.FreqMean = freqSum / n
+	f.MissMean = missSum / n
+	switch {
+	case pl.LatencyS > 0:
+		f.LatencyRatio = pl.LatencyL / pl.LatencyS
+	case pl.LatencyL > 0:
+		f.LatencyRatio = math.Inf(1)
+	default:
+		f.LatencyRatio = 0
+	}
+	if mean := workSum / n; mean > 0 {
+		f.WorkSkew = workMax / mean
+	} else {
+		f.WorkSkew = 1
+	}
+	return f
+}
+
+// Bucket quantizes the features into the coarse key the ledger
+// aggregates under. The grid is deliberately blunt — a handful of
+// scenarios per family is enough to populate a bucket — and committed:
+// changing any boundary invalidates every trained ledger, which the
+// schema version guards (bump SchemaVersion when touching this).
+func (f Features) Bucket() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", clampInt(f.Apps, 0, 8))
+	fmt.Fprintf(&b, "|seq=%d", clampInt(int(math.Floor(f.SeqMean*20)), 0, 20))
+	fmt.Fprintf(&b, "|fp=%d", clampInt(int(math.Floor(f.CachePressure/0.25)), 0, 4))
+	fmt.Fprintf(&b, "|lat=%d", logBucket(f.LatencyRatio, 10, -1, 7))
+	fmt.Fprintf(&b, "|skew=%d", logBucket(f.WorkSkew, 2, 0, 10))
+	fmt.Fprintf(&b, "|freq=%d", clampInt(int(math.Floor(f.FreqMean/0.25)), 0, 4))
+	fmt.Fprintf(&b, "|miss=%d", logBucket(f.MissMean, 10, -6, 0))
+	return b.String()
+}
+
+// Fingerprint returns a short stable hash of the exact (unquantized)
+// features: bit-identical features yield identical fingerprints on any
+// platform, because each float is encoded via its shortest hex
+// representation rather than a locale- or precision-dependent format.
+func (f Features) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d", f.Apps)
+	for _, v := range []float64{
+		f.SeqMean, f.SeqMax, f.CachePressure, f.LatencyRatio,
+		f.WorkSkew, f.FreqMean, f.MissMean,
+	} {
+		h.Write([]byte{'|'})
+		h.Write([]byte(strconv.FormatFloat(v, 'x', -1, 64)))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// logBucket returns floor(log_base(v)) clamped to [lo, hi]; v <= 0 (and
+// NaN) map below the range to lo-1, a distinct "absent" bucket.
+func logBucket(v, base float64, lo, hi int) int {
+	if !(v > 0) {
+		return lo - 1
+	}
+	l := math.Log(v) / math.Log(base)
+	if math.IsNaN(l) {
+		return lo - 1
+	}
+	return clampInt(int(math.Floor(l)), lo, hi)
+}

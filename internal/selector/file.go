@@ -1,0 +1,46 @@
+package selector
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// LoadFile loads and validates a ledger from path (see Load).
+func LoadFile(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// SaveFile writes the ledger to path atomically: a temp file in the
+// same directory, then a rename, so a crashed or concurrent training
+// run can never leave a half-written ledger behind. The parent
+// directory is created when missing (the default runs/ledger.json
+// lives in a gitignored directory that may not exist yet).
+func (l *Ledger) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := l.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

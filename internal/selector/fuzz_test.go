@@ -1,0 +1,42 @@
+package selector
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLedgerJSONRoundTrip: any bytes Load accepts must Save to a
+// canonical form that Loads back byte-identically — the fixed point the
+// conform fixture and cross-run accumulation rely on. Everything else
+// must be rejected with an error, never a panic.
+func FuzzLedgerJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"schema":"repro-ledger/v1","buckets":{}}`))
+	f.Add([]byte(`{"schema":"repro-ledger/v1","buckets":{"n=3|seq=0|fp=1|lat=0|skew=0|freq=2|miss=-3":{"DominantMinRatio":{"races":4,"wins":3,"margins":[1,1,1.25,1]}}}}`))
+	f.Add([]byte(`{"schema":"repro-ledger/v1","buckets":{"b":{"SharedCache":{"races":1,"wins":0,"margins":[2.5]},"LocalSearch":{"races":1,"wins":1,"margins":[1]}}}}`))
+	f.Add([]byte(`{"schema":"repro-ledger/v0","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":1,"margins":[0.5]}}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := l.Save(&first); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		l2, err := Load(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := l2.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+		}
+		if l.Fingerprint() != l2.Fingerprint() {
+			t.Fatal("fingerprint unstable across round trip")
+		}
+	})
+}

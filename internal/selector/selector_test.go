@@ -1,0 +1,210 @@
+package selector
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func npbApps() []model.Application {
+	return []model.Application{
+		{Name: "bt", Work: 6e10, SeqFraction: 0.02, AccessFreq: 0.6, Footprint: 12e9, RefMissRate: 4e-3, RefCacheSize: 1e9},
+		{Name: "lu", Work: 1e11, SeqFraction: 0.05, AccessFreq: 0.5, Footprint: 24e9, RefMissRate: 2e-3, RefCacheSize: 1e9},
+		{Name: "sp", Work: 3e10, SeqFraction: 0.01, AccessFreq: 0.8, Footprint: 0, RefMissRate: 8e-3, RefCacheSize: 1e9},
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	pl := model.TaihuLight()
+	apps := npbApps()
+	f1 := Extract(pl, apps)
+	f2 := Extract(pl, append([]model.Application(nil), apps...))
+	if f1 != f2 {
+		t.Fatalf("Extract not deterministic: %+v vs %+v", f1, f2)
+	}
+	if f1.Fingerprint() != f2.Fingerprint() {
+		t.Fatal("fingerprints differ for identical features")
+	}
+	if f1.Bucket() != f2.Bucket() {
+		t.Fatal("buckets differ for identical features")
+	}
+	if f1.Apps != 3 {
+		t.Fatalf("Apps = %d, want 3", f1.Apps)
+	}
+	// Unbounded footprint counts as full pressure.
+	want := (math.Min(1, 12e9/pl.CacheSize) + math.Min(1, 24e9/pl.CacheSize) + 1) / 3
+	if math.Abs(f1.CachePressure-want) > 1e-12 {
+		t.Fatalf("CachePressure = %v, want %v", f1.CachePressure, want)
+	}
+	// Renaming apps must not move the scenario to another bucket.
+	renamed := npbApps()
+	for i := range renamed {
+		renamed[i].Name = "x"
+	}
+	if Extract(pl, renamed).Bucket() != f1.Bucket() {
+		t.Fatal("bucket depends on app names")
+	}
+}
+
+func TestRaceRecordsAndObserve(t *testing.T) {
+	outs := []Outcome{
+		{Heuristic: sched.DominantMinRatio, Makespan: 10, OK: true},
+		{Heuristic: sched.DominantMaxRatio, Makespan: 12, OK: true},
+		{Heuristic: sched.RandomPart, Makespan: 0, OK: false},
+	}
+	recs := Race("b1", outs)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if !recs[0].Win || recs[0].Margin != 1 || recs[0].Heuristic != "DominantMinRatio" {
+		t.Fatalf("winner record wrong: %+v", recs[0])
+	}
+	if recs[1].Win || math.Abs(recs[1].Margin-1.2) > 1e-12 {
+		t.Fatalf("loser record wrong: %+v", recs[1])
+	}
+
+	l := New()
+	for range [5]struct{}{} {
+		l.Observe("b1", outs)
+	}
+	p, ok := l.Predict("b1", []sched.Heuristic{sched.DominantMaxRatio, sched.DominantMinRatio})
+	if !ok || p.Heuristic != sched.DominantMinRatio {
+		t.Fatalf("Predict = %+v ok=%v, want DominantMinRatio", p, ok)
+	}
+	if p.Races != 5 || p.Wins != 5 || p.WinRate != 1 || p.Gap != 1 {
+		t.Fatalf("prediction evidence wrong: %+v", p)
+	}
+	if math.Abs(p.Advantage-1.2) > 1e-12 {
+		t.Fatalf("Advantage = %v, want 1.2", p.Advantage)
+	}
+	if !p.Confident(DefaultThresholds()) {
+		t.Fatalf("prediction should clear default thresholds: %+v", p)
+	}
+	if p.Confident(Thresholds{MinRaces: 6}) {
+		t.Fatal("MinRaces threshold not applied")
+	}
+	if _, ok := l.Predict("nope", sched.ExtendedHeuristics); ok {
+		t.Fatal("unknown bucket must not predict")
+	}
+	if _, ok := l.Predict("b1", []sched.Heuristic{sched.LocalSearch}); ok {
+		t.Fatal("candidate without evidence must not predict")
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	l := New()
+	l.Observe("b1", []Outcome{
+		{Heuristic: sched.DominantMinRatio, Makespan: 10, OK: true},
+		{Heuristic: sched.SharedCache, Makespan: 15, OK: true},
+	})
+	l.Observe("b2", []Outcome{{Heuristic: sched.Fair, Makespan: 3, OK: true}})
+
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := Load(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.buckets, l.buckets) {
+		t.Fatalf("round trip changed contents:\n%s", first)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatalf("Save not canonical:\n%s\nvs\n%s", first, buf2.String())
+	}
+	if got.Fingerprint() != l.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+func TestLedgerMergeAccumulates(t *testing.T) {
+	a, b := New(), New()
+	outs := []Outcome{{Heuristic: sched.DominantMinRatio, Makespan: 2, OK: true}}
+	a.Observe("b1", outs)
+	b.Observe("b1", outs)
+	b.Observe("b2", outs)
+	a.Merge(b)
+	c, ok := a.Cell("b1", sched.DominantMinRatio)
+	if !ok || c.Races != 2 || c.Wins != 2 || len(c.Margins) != 2 {
+		t.Fatalf("merged cell wrong: %+v ok=%v", c, ok)
+	}
+	if _, ok := a.Cell("b2", sched.DominantMinRatio); !ok {
+		t.Fatal("merge dropped new bucket")
+	}
+	if got := len(a.Buckets()); got != 2 {
+		t.Fatalf("Buckets() = %d, want 2", got)
+	}
+	if a.Races() != 3 {
+		t.Fatalf("Races() = %d, want 3", a.Races())
+	}
+}
+
+func TestLedgerLoadRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"bad schema", `{"schema":"repro-ledger/v0","buckets":{}}`},
+		{"unknown heuristic", `{"schema":"repro-ledger/v1","buckets":{"b":{"NotAHeuristic":{"races":1,"wins":1,"margins":[1]}}}}`},
+		{"nan margin", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":1,"margins":[null]}}}}`},
+		{"inf margin", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":1,"margins":[1e999]}}}}`},
+		{"sub-1 margin", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":1,"margins":[0.5]}}}}`},
+		{"wins exceed races", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":2}}}}`},
+		{"negative races", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":-1,"wins":-1}}}}`},
+		{"margins exceed races", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":{"races":1,"wins":1,"margins":[1,1]}}}}`},
+		{"empty bucket key", `{"schema":"repro-ledger/v1","buckets":{"":{"DominantMinRatio":{"races":1,"wins":1,"margins":[1]}}}}`},
+		{"null cell", `{"schema":"repro-ledger/v1","buckets":{"b":{"DominantMinRatio":null}}}`},
+	}
+	for _, tc := range cases {
+		_, err := Load(strings.NewReader(tc.body))
+		if err == nil {
+			t.Errorf("%s: Load accepted corrupt ledger", tc.name)
+			continue
+		}
+		var verr *model.ValidationError
+		// JSON cannot carry NaN/Inf literals, so those two cases die in
+		// the decoder (null -> 0 margin, 1e999 -> range error) rather
+		// than in validation; every in-range corruption must surface as
+		// a *model.ValidationError.
+		if tc.name != "inf margin" && !errors.As(err, &verr) {
+			t.Errorf("%s: error %v is not a *model.ValidationError", tc.name, err)
+		}
+	}
+	// A NaN that survives JSON decoding (null -> 0) and a syntactically
+	// broken file both fail; ingest-side NaN is checked directly:
+	err := New().Ingest(RaceRecord{Bucket: "b", Heuristic: "DominantMinRatio", Win: true, Margin: math.NaN()})
+	var verr *model.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Ingest(NaN margin) = %v, want *model.ValidationError", err)
+	}
+	err = New().Ingest(RaceRecord{Bucket: "b", Heuristic: "Bogus", Win: true, Margin: 1})
+	if !errors.As(err, &verr) {
+		t.Fatalf("Ingest(unknown heuristic) = %v, want *model.ValidationError", err)
+	}
+}
+
+func TestMarginReservoirCap(t *testing.T) {
+	l := New()
+	outs := []Outcome{{Heuristic: sched.DominantMinRatio, Makespan: 1, OK: true}}
+	for range [2 * maxMargins]struct{}{} {
+		l.Observe("b", outs)
+	}
+	c, _ := l.Cell("b", sched.DominantMinRatio)
+	if len(c.Margins) != maxMargins {
+		t.Fatalf("reservoir holds %d margins, want cap %d", len(c.Margins), maxMargins)
+	}
+	if c.Races != 2*maxMargins {
+		t.Fatalf("Races = %d, want %d", c.Races, 2*maxMargins)
+	}
+}

@@ -3,7 +3,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule        one scenario in, the winning co-schedule out
+//	POST /v1/schedule        one scenario in, the winning co-schedule out;
+//	                         {"selector": true} opts into learned
+//	                         predicted-winner-first selection when the
+//	                         service's client is armed with a ledger
+//	                         (repro.WithSelector, coschedd -selector)
 //	POST /v1/evaluate        one scenario in, the full portfolio report out
 //	POST /v1/evaluate-batch  scenario stream in (JSON array or NDJSON),
 //	                         one NDJSON report line per scenario, in
@@ -185,8 +189,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, err := s.evaluate(r, sc)
-	if err != nil {
+	var rep *repro.PortfolioReport
+	var selw *SelectorWire
+	if sj.Selector {
+		// Opt-in learned selection: predicted winner first, full race on
+		// doubt. On a client without a trained ledger every request falls
+		// back — the response then matches the plain path bit for bit,
+		// modulo the selector stanza.
+		d, err := s.selectOne(r, sc)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		rep = d.Report
+		selw = &SelectorWire{Predicted: d.Predicted, Fallback: d.FallbackReason}
+		if d.Predicted {
+			selw.Races, selw.Wins = d.Prediction.Races, d.Prediction.Wins
+		}
+	} else if rep, err = s.evaluate(r, sc); err != nil {
 		writeError(w, statusOf(err), err)
 		return
 	}
@@ -195,7 +215,23 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, repro.ErrInfeasible)
 		return
 	}
-	writeJSON(w, ScheduleOf(sc, best))
+	out := ScheduleOf(sc, best)
+	out.Selector = selw
+	writeJSON(w, out)
+}
+
+// selectOne runs one scenario through the client's selector, timing the
+// compute section like evaluate.
+func (s *Server) selectOne(r *http.Request, sc repro.PortfolioScenario) (*repro.SelectorDecision, error) {
+	var start time.Time
+	if s.schedLat != nil {
+		start = time.Now()
+	}
+	d, err := s.client.Select(r.Context(), sc)
+	if s.schedLat != nil {
+		s.schedLat.Observe(time.Since(start).Seconds())
+	}
+	return d, err
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {

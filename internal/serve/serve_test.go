@@ -13,6 +13,7 @@ import (
 
 	repro "repro"
 	"repro/internal/obs"
+	"repro/internal/selector"
 )
 
 // twoApps is a small scenario body reused across the suite. RandomPart
@@ -537,5 +538,80 @@ func TestBatchBoundedMemory(t *testing.T) {
 	}
 	if got := len(strings.Split(strings.TrimSpace(string(rest)), "\n")); got != 15 {
 		t.Errorf("remaining lines = %d, want 15", got)
+	}
+}
+
+// TestScheduleSelectorOptIn: {"selector": true} on /v1/schedule is
+// honored on an unarmed service (full-race fallback, explicit reason)
+// and served by the prediction on a service armed with a trained
+// ledger — with the same winning schedule either way.
+func TestScheduleSelectorOptIn(t *testing.T) {
+	optIn := strings.Replace(twoApps, `{"apps":`, `{"selector": true, "apps":`, 1)
+
+	_, plain := newTestServer(t, Config{})
+	resp, base := post(t, plain.URL+"/v1/schedule", "", twoApps)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, base)
+	}
+	var want ScheduleWire
+	if err := json.Unmarshal([]byte(base), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, plain.URL+"/v1/schedule", "", optIn)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unarmed opt-in status %d: %s", resp.StatusCode, body)
+	}
+	var sw ScheduleWire
+	if err := json.Unmarshal([]byte(body), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Selector == nil || sw.Selector.Predicted || sw.Selector.Fallback != "no-evidence" {
+		t.Fatalf("unarmed opt-in selector = %+v, want no-evidence fallback", sw.Selector)
+	}
+	if sw.Heuristic != want.Heuristic || sw.Makespan != want.Makespan {
+		t.Fatalf("unarmed opt-in served %s/%g, plain served %s/%g",
+			sw.Heuristic, sw.Makespan, want.Heuristic, want.Makespan)
+	}
+
+	// Train the scenario's bucket so the plain winner is the confident
+	// call, and arm a service with it.
+	var sj ScenarioWire
+	if err := json.Unmarshal([]byte(twoApps), &sj); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sj.Scenario(Defaults{Platform: repro.TaihuLight()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := repro.NewSelectorLedger()
+	bucket := repro.ExtractFeatures(sc.Platform, sc.Apps).Bucket()
+	for range [3]struct{}{} {
+		if err := led.Ingest(selector.RaceRecord{Bucket: bucket, Heuristic: want.Heuristic, Win: true, Margin: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, armed := newTestServer(t, Config{
+		Client: repro.NewClient(repro.WithSelector(led, repro.SelectorThresholds{})),
+	})
+	resp, body = post(t, armed.URL+"/v1/schedule", "", optIn)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("armed opt-in status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Selector == nil || !sw.Selector.Predicted || sw.Selector.Races != 3 || sw.Selector.Wins != 3 {
+		t.Fatalf("armed opt-in selector = %+v, want predicted with 3/3 evidence", sw.Selector)
+	}
+	if sw.Heuristic != want.Heuristic || sw.Makespan != want.Makespan {
+		t.Fatalf("prediction served %s/%g, full race serves %s/%g",
+			sw.Heuristic, sw.Makespan, want.Heuristic, want.Makespan)
+	}
+
+	// Without the flag an armed service races in full: no stanza.
+	resp, body = post(t, armed.URL+"/v1/schedule", "", twoApps)
+	if resp.StatusCode != http.StatusOK || strings.Contains(body, `"selector"`) {
+		t.Fatalf("plain request on armed service leaked a selector stanza: %s", body)
 	}
 }

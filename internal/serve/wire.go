@@ -22,6 +22,13 @@ type ScenarioWire struct {
 	Apps       []des.AppSpec     `json:"apps"`
 	Heuristics []string          `json:"heuristics,omitempty"`
 	Seed       *uint64           `json:"seed,omitempty"`
+	// Selector opts a /v1/schedule request into predicted-winner-first
+	// selection: the service serves the heuristic its trained ledger
+	// predicts and races the full portfolio only on doubt. On a service
+	// without a ledger the flag is honored but every request falls back
+	// to the full race (the safe default). Ignored by the other
+	// endpoints, whose point is the full report.
+	Selector bool `json:"selector,omitempty"`
 }
 
 // Defaults supplies the values a ScenarioWire may omit.
@@ -162,12 +169,23 @@ type AssignmentWire struct {
 	Finish     float64 `json:"finish"`
 }
 
+// SelectorWire reports how a selector-opted /v1/schedule request was
+// served: by the ledger's prediction, or by a full race and why.
+type SelectorWire struct {
+	Predicted bool   `json:"predicted"`
+	Fallback  string `json:"fallback,omitempty"` // "no-evidence" | "unconfident" | "infeasible"
+	Races     int    `json:"races,omitempty"`    // prediction evidence: races entered ...
+	Wins      int    `json:"wins,omitempty"`     // ... and won by the served heuristic
+}
+
 // ScheduleWire is the /v1/schedule response: the winning heuristic and
-// its complete co-schedule.
+// its complete co-schedule. Selector is present only on requests that
+// opted into learned selection.
 type ScheduleWire struct {
 	Heuristic   string           `json:"heuristic"`
 	Makespan    float64          `json:"makespan"`
 	Assignments []AssignmentWire `json:"assignments"`
+	Selector    *SelectorWire    `json:"selector,omitempty"`
 }
 
 // ScheduleOf renders the winning result of a race against the scenario

@@ -136,6 +136,38 @@ func (s *Series) Normalize(base *Series) *Series {
 	return out
 }
 
+// Median returns the middle value of xs (the mean of the two middle
+// values for even lengths), or NaN for an empty sample. xs is not
+// modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs — the robust spread
+// estimate gating benchmark comparisons and ledger margin summaries —
+// or NaN for an empty sample. A single sample or an all-equal sample
+// has MAD 0.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
 // GeoMean returns the geometric mean of positive samples; zero or
 // negative entries yield NaN.
 func GeoMean(xs []float64) float64 {

@@ -193,3 +193,93 @@ func TestQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Edge cases the benchgate and ledger margin paths lean on: a single
+// sample is its own median with zero spread; an all-equal sample has
+// zero spread regardless of length.
+func TestMedianMADEdgeCases(t *testing.T) {
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(MAD(nil)) {
+		t.Fatal("empty sample must yield NaN")
+	}
+	if got := Median([]float64{42}); got != 42 {
+		t.Fatalf("single-sample median = %v, want 42", got)
+	}
+	if got := MAD([]float64{42}); got != 0 {
+		t.Fatalf("single-sample MAD = %v, want 0", got)
+	}
+	for n := 1; n <= 9; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = -3.5
+		}
+		if got := Median(xs); got != -3.5 {
+			t.Fatalf("all-equal median (n=%d) = %v, want -3.5", n, got)
+		}
+		if got := MAD(xs); got != 0 {
+			t.Fatalf("all-equal MAD (n=%d) = %v, want 0", n, got)
+		}
+	}
+	// Odd length: the middle order statistic, untouched by its
+	// neighbors. Even length: the mean of the two middle values.
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("odd-length median = %v, want 5", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even-length median = %v, want 2.5", got)
+	}
+}
+
+// Property: Median is order-invariant, bounded by the extrema, and for
+// odd lengths is an element of the sample; MAD is non-negative and
+// invariant under translation.
+func TestMedianMADProperties(t *testing.T) {
+	f := func(seed uint64, nPick uint8) bool {
+		r := solve.NewRNG(seed)
+		n := 1 + int(nPick)%50
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 1e3
+		}
+		med := Median(xs)
+		// Order invariance: reverse and compare bit-for-bit.
+		rev := make([]float64, n)
+		for i, x := range xs {
+			rev[n-1-i] = x
+		}
+		if Median(rev) != med {
+			return false
+		}
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		if med < mn || med > mx {
+			return false
+		}
+		if n%2 == 1 {
+			found := false
+			for _, x := range xs {
+				if x == med {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		mad := MAD(xs)
+		if mad < 0 {
+			return false
+		}
+		shifted := make([]float64, n)
+		for i, x := range xs {
+			shifted[i] = x + 1000
+		}
+		return math.Abs(MAD(shifted)-mad) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,10 +9,11 @@
 # Environment:
 #   BENCH_TIME        -benchtime (default 30x)
 #   BENCH_COUNT       -count: repeated runs feeding the median/MAD aggregation (default 10)
-#   BENCH_LABEL       trajectory label (default "PR 6")
-#   BENCH_TRAJECTORY  trajectory artifact path (default BENCH_6.json)
+#   BENCH_LABEL       trajectory label (default "PR 10")
+#   BENCH_TRAJECTORY  trajectory artifact path (default BENCH_10.json)
 #   MIN_SPEEDUP       required parallel speedup on >= 4 CPUs (default 2.0)
 #   MIN_DELTA_SPEEDUP required full-replan/delta speedup at high arrival rate (default 5.0)
+#   MIN_SELECTOR_SPEEDUP required full-race/selector-shortcut speedup (default 3.0)
 #   BENCHGATE_FLAGS   extra flags passed to benchgate (e.g. "-tol-ns 50")
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,16 +23,17 @@ LATEST=$BENCH_DIR/latest.txt
 BASELINE=$BENCH_DIR/baseline.json
 BENCH_TIME=${BENCH_TIME:-30x}
 BENCH_COUNT=${BENCH_COUNT:-10}
-BENCH_LABEL=${BENCH_LABEL:-"PR 9"}
-BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_9.json}
+BENCH_LABEL=${BENCH_LABEL:-"PR 10"}
+BENCH_TRAJECTORY=${BENCH_TRAJECTORY:-BENCH_10.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_DELTA_SPEEDUP=${MIN_DELTA_SPEEDUP:-5.0}
+MIN_SELECTOR_SPEEDUP=${MIN_SELECTOR_SPEEDUP:-3.0}
 BENCHGATE_FLAGS=${BENCHGATE_FLAGS:-}
 
 run_bench() {
   mkdir -p "$BENCH_DIR"
   {
-    go test -run '^$' -bench 'BenchmarkPortfolio' -benchmem -benchtime "$BENCH_TIME" \
+    go test -run '^$' -bench 'BenchmarkPortfolio|BenchmarkSelector' -benchmem -benchtime "$BENCH_TIME" \
       -count "$BENCH_COUNT" ./internal/portfolio
     go test -run '^$' -bench 'BenchmarkDES' -benchmem -benchtime "$BENCH_TIME" \
       -count "$BENCH_COUNT" ./internal/des
@@ -53,7 +55,8 @@ gate() {
 case "${1:-run}" in
   run)
     run_bench
-    gate -min-speedup "$MIN_SPEEDUP" -min-delta-speedup "$MIN_DELTA_SPEEDUP"
+    gate -min-speedup "$MIN_SPEEDUP" -min-delta-speedup "$MIN_DELTA_SPEEDUP" \
+      -min-selector-speedup "$MIN_SELECTOR_SPEEDUP"
     ;;
   baseline)
     run_bench
@@ -63,6 +66,7 @@ case "${1:-run}" in
   compare)
     run_bench
     gate -min-speedup "$MIN_SPEEDUP" -min-delta-speedup "$MIN_DELTA_SPEEDUP" \
+      -min-selector-speedup "$MIN_SELECTOR_SPEEDUP" \
       -trajectory "$BENCH_TRAJECTORY" -label "$BENCH_LABEL"
     ;;
   *)
